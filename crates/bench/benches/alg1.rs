@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks of Alg. 1: planning throughput vs DAG size
+//! (the paper claims cubic complexity; these track the constant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use l15_core::alg1::schedule_with_l15;
+use l15_core::baseline::baseline_priorities;
+use l15_dag::gen::{DagGenParams, DagGenerator};
+use l15_dag::ExecutionTimeModel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_alg1(c: &mut Criterion) {
+    let etm = ExecutionTimeModel::new(2048).expect("valid way size");
+    let mut group = c.benchmark_group("alg1_plan");
+    for p in [9usize, 15, 21] {
+        let gen = DagGenerator::new(DagGenParams { max_width: p, ..Default::default() });
+        let mut rng = SmallRng::seed_from_u64(42);
+        let task = gen.generate(&mut rng).expect("valid params");
+        group.bench_with_input(BenchmarkId::new("proposed", p), &task, |b, t| {
+            b.iter(|| schedule_with_l15(std::hint::black_box(t), 16, &etm))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", p), &task, |b, t| {
+            b.iter(|| baseline_priorities(std::hint::black_box(t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg1);
+criterion_main!(benches);

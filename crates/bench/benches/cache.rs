@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the L1.5 data/control paths: masked
+//! read/write lookups, fills, SDU reconfiguration and `gv_set` latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use l15_cache::l15::{L15Cache, L15Config, PendingReq, RequestBuffer};
+use l15_cache::WayMask;
+
+fn fresh_cache() -> L15Cache {
+    let mut c = L15Cache::new(L15Config::default()).expect("paper config is valid");
+    c.demand(0, 8).expect("within zeta");
+    c.demand(1, 8).expect("within zeta");
+    c.settle();
+    c
+}
+
+fn bench_l15(c: &mut Criterion) {
+    c.bench_function("l15_read_hit", |b| {
+        let mut cache = fresh_cache();
+        cache
+            .fill(0, 0x1000, 0x1000, &vec![7u8; 64], false)
+            .expect("core 0 owns ways");
+        let mut buf = [0u8; 8];
+        b.iter(|| {
+            let out = cache
+                .read(0, std::hint::black_box(0x1000), 0x1000, &mut buf)
+                .expect("core in range");
+            std::hint::black_box(out.hit)
+        })
+    });
+
+    c.bench_function("l15_read_miss", |b| {
+        let mut cache = fresh_cache();
+        let mut buf = [0u8; 8];
+        b.iter(|| {
+            let out = cache
+                .read(0, std::hint::black_box(0x9000), 0x9000, &mut buf)
+                .expect("core in range");
+            std::hint::black_box(out.hit)
+        })
+    });
+
+    c.bench_function("l15_fill", |b| {
+        let mut cache = fresh_cache();
+        let line = vec![3u8; 64];
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            cache
+                .fill(0, addr, addr, std::hint::black_box(&line), false)
+                .expect("core in range")
+        })
+    });
+
+    c.bench_function("l15_gv_set", |b| {
+        let mut cache = fresh_cache();
+        let mask = cache.supply(0).expect("core in range");
+        b.iter(|| cache.gv_set(0, std::hint::black_box(mask)).expect("owned"))
+    });
+
+    c.bench_function("sdu_reconfigure_8_ways", |b| {
+        b.iter(|| {
+            let mut cache = L15Cache::new(L15Config::default()).expect("valid");
+            cache.demand(0, 8).expect("within zeta");
+            let (events, _, cycles) = cache.settle();
+            std::hint::black_box((events.len(), cycles))
+        })
+    });
+
+    c.bench_function("reqbuf_push_issue", |b| {
+        // The Sec. 3.3 in-flight buffer: sustained push + dual-port issue.
+        let mut buf = RequestBuffer::new(16, 2);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            buf.push(PendingReq {
+                core: (i % 4) as usize,
+                vaddr: i * 64,
+                paddr: i * 64,
+                is_store: i % 3 == 0,
+                priority: (i % 4) as u8,
+                age: 0,
+            });
+            std::hint::black_box(buf.issue().len())
+        })
+    });
+
+    c.bench_function("waymask_ops", |b| {
+        let a = WayMask::from(0xAAAAu64);
+        let m = WayMask::from(0x0F0Fu64);
+        b.iter(|| {
+            let u = std::hint::black_box(a).union(m);
+            let i = u.intersect(a);
+            std::hint::black_box(i.count())
+        })
+    });
+}
+
+criterion_group!(benches, bench_l15);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the makespan and periodic simulators — the
+//! engines behind Fig. 7 / Tab. 2 and Fig. 8 respectively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use l15_core::baseline::SystemModel;
+use l15_core::casestudy::{generate_case_study, CaseStudyParams};
+use l15_core::periodic::{simulate_taskset, PeriodicParams};
+use l15_dag::gen::{DagGenParams, DagGenerator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_makespan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("makespan_instance");
+    for (name, model) in [
+        ("proposed", SystemModel::proposed()),
+        ("cmp_l1", SystemModel::cmp_l1()),
+    ] {
+        let gen = DagGenerator::new(DagGenParams::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let task = gen.generate(&mut rng).expect("valid params");
+        let plan = model.plan(&task);
+        group.bench_with_input(BenchmarkId::new(name, "8c"), &task, |b, t| {
+            let mut r = SmallRng::seed_from_u64(5);
+            b.iter(|| model.simulate_instance(std::hint::black_box(t), 8, &plan, 1, &mut r))
+        });
+    }
+    group.finish();
+
+    c.bench_function("periodic_trial_8c_80pct", |b| {
+        let model = SystemModel::proposed();
+        let params = PeriodicParams::default();
+        let cs = CaseStudyParams::default();
+        let mut set_rng = SmallRng::seed_from_u64(11);
+        let tasks = generate_case_study(4, 6.4, &cs, &mut set_rng).expect("valid params");
+        let mut rng = SmallRng::seed_from_u64(13);
+        b.iter(|| simulate_taskset(std::hint::black_box(&tasks), &model, &params, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_makespan);
+criterion_main!(benches);

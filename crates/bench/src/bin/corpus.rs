@@ -1,0 +1,114 @@
+//! Reproducible corpora: generate a directory of `.dag` task files from
+//! the Sec. 5.1 generator, or evaluate all systems over an existing corpus
+//! — so experiment inputs can be archived, shared and diffed.
+//!
+//! ```sh
+//! # generate 20 default-parameter tasks into ./corpus
+//! cargo run --release -p l15-bench --bin corpus -- gen ./corpus 20
+//! # evaluate them
+//! cargo run --release -p l15-bench --bin corpus -- eval ./corpus
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use l15_bench::env_seed;
+use l15_core::baseline::SystemModel;
+use l15_dag::gen::{DagGenParams, DagGenerator};
+use l15_dag::textio;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn generate(dir: &Path, count: usize, seed: u64) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let gen = DagGenerator::new(DagGenParams::default());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..count {
+        let task = gen.generate(&mut rng).expect("default parameters are valid");
+        let path = dir.join(format!("task_{i:04}.dag"));
+        fs::write(&path, textio::write_task(&task))?;
+    }
+    println!("wrote {count} tasks to {}", dir.display());
+    Ok(())
+}
+
+fn evaluate(dir: &Path) -> std::io::Result<()> {
+    let mut paths: Vec<_> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "dag"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no .dag files in {}", dir.display());
+        return Ok(());
+    }
+    let systems = [
+        ("Prop.", SystemModel::proposed()),
+        ("CMP|L1", SystemModel::cmp_l1()),
+        ("CMP|L2", SystemModel::cmp_l2()),
+    ];
+    println!("{:>16} {:>9} {:>9}  avg makespan per system", "file", "nodes", "edges");
+    let mut totals = vec![0.0f64; systems.len()];
+    for path in &paths {
+        let text = fs::read_to_string(path)?;
+        let task = match textio::parse_task(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                continue;
+            }
+        };
+        print!(
+            "{:>16} {:>9} {:>9} ",
+            path.file_name().unwrap_or_default().to_string_lossy(),
+            task.graph().node_count(),
+            task.graph().edge_count()
+        );
+        for (i, (_, m)) in systems.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let spans = m.evaluate(&task, 8, 10, &mut rng);
+            let avg = spans.iter().sum::<f64>() / spans.len() as f64;
+            totals[i] += avg;
+            print!(" {avg:>10.2}");
+        }
+        println!();
+    }
+    print!("{:>37} ", "mean:");
+    for (i, (name, _)) in systems.iter().enumerate() {
+        print!(" {:>10.2}", totals[i] / paths.len() as f64);
+        let _ = name;
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage: corpus gen <dir> <count> | corpus eval <dir>";
+    let result = match args.get(1).map(String::as_str) {
+        Some("gen") => {
+            let dir = Path::new(args.get(2).map(String::as_str).unwrap_or("./corpus"));
+            let count = args
+                .get(3)
+                .and_then(|c| c.parse().ok())
+                .unwrap_or(20usize);
+            generate(dir, count, env_seed())
+        }
+        Some("eval") => {
+            let dir = Path::new(args.get(2).map(String::as_str).unwrap_or("./corpus"));
+            evaluate(dir)
+        }
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

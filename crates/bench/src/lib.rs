@@ -1,0 +1,286 @@
+//! # l15-bench — experiment harness regenerating the paper's evaluation
+//!
+//! One binary per table/figure (see `src/bin/`):
+//!
+//! | target   | reproduces |
+//! |----------|------------|
+//! | `fig7`   | Fig. 7(a)–(c): average normalised makespan vs `U_i`, `p`, `cpr` |
+//! | `table2` | Tab. 2: worst-case normalised makespan vs `U_i`, `p`, `cpr` |
+//! | `fig8ab` | Fig. 8(a)/(b): success ratios on 8/16-core SoCs |
+//! | `fig8c`  | Fig. 8(c): L1.5 utilisation and misconfiguration ratio φ |
+//! | `area`   | Sec. 5.4: post-layout area comparison |
+//!
+//! Scale knobs come from the environment: `L15_DAGS` (default 500, the
+//! paper's count), `L15_TRIALS` (default 200), `L15_SEED` (default 1).
+//! Criterion micro-benches live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use l15_core::baseline::SystemModel;
+use l15_core::casestudy::{generate_case_study, CaseStudyParams};
+use l15_core::periodic::{simulate_taskset, PeriodicOutcome, PeriodicParams};
+use l15_dag::gen::{DagGenParams, DagGenerator};
+use l15_dag::DagTask;
+
+/// Reads an environment scale knob.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads the experiment seed (`L15_SEED`).
+pub fn env_seed() -> u64 {
+    env_usize("L15_SEED", 1) as u64
+}
+
+/// The swept generator parameter of Fig. 7 / Tab. 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sweep {
+    /// Task utilisation `U_i`.
+    Utilisation(f64),
+    /// Maximum layer width `p`.
+    MaxWidth(usize),
+    /// Critical path ratio `cpr`.
+    Cpr(f64),
+}
+
+impl Sweep {
+    /// The x-axis value.
+    pub fn x(&self) -> f64 {
+        match *self {
+            Sweep::Utilisation(u) => u,
+            Sweep::MaxWidth(p) => p as f64,
+            Sweep::Cpr(c) => c,
+        }
+    }
+
+    /// Applies the sweep point to generator parameters (other parameters
+    /// keep the paper's defaults).
+    pub fn apply(&self, params: &mut DagGenParams) {
+        match *self {
+            Sweep::Utilisation(u) => params.utilisation = u,
+            Sweep::MaxWidth(p) => params.max_width = p,
+            Sweep::Cpr(c) => params.cpr = c,
+        }
+    }
+
+    /// The paper's five sweep points for each parameter.
+    pub fn paper_points(kind: &str) -> Vec<Sweep> {
+        match kind {
+            "utilisation" => [0.2, 0.4, 0.6, 0.8, 1.0]
+                .iter()
+                .map(|&u| Sweep::Utilisation(u))
+                .collect(),
+            "p" => [9usize, 12, 15, 18, 21]
+                .iter()
+                .map(|&p| Sweep::MaxWidth(p))
+                .collect(),
+            "cpr" => [0.1, 0.2, 0.3, 0.4, 0.5]
+                .iter()
+                .map(|&c| Sweep::Cpr(c))
+                .collect(),
+            other => panic!("unknown sweep kind `{other}`"),
+        }
+    }
+}
+
+/// Makespan statistics of one system at one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MakespanStat {
+    /// Mean over all DAGs and instances.
+    pub average: f64,
+    /// Mean over DAGs of the per-DAG worst instance.
+    pub worst_case: f64,
+}
+
+/// One sweep point evaluated on all compared systems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept value.
+    pub x: f64,
+    /// Per-system statistics, ordered as the `systems` argument.
+    pub stats: Vec<MakespanStat>,
+}
+
+/// Evaluates `systems` over `points`, generating `n_dags` DAGs per point
+/// and simulating the first `instances` releases of each (the paper: 500
+/// DAGs × 10 instances, 8 cores).
+pub fn makespan_sweep(
+    points: &[Sweep],
+    systems: &[SystemModel],
+    n_dags: usize,
+    instances: usize,
+    cores: usize,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    points
+        .iter()
+        .map(|pt| {
+            let mut params = DagGenParams::default();
+            pt.apply(&mut params);
+            let gen = DagGenerator::new(params);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let tasks: Vec<DagTask> = (0..n_dags)
+                .map(|_| gen.generate(&mut rng).expect("paper parameters are valid"))
+                .collect();
+            let stats = systems
+                .iter()
+                .map(|m| {
+                    let mut r = SmallRng::seed_from_u64(seed.wrapping_add(17));
+                    let mut avg = 0.0;
+                    let mut wc = 0.0;
+                    for t in &tasks {
+                        let spans = m.evaluate(t, cores, instances, &mut r);
+                        avg += spans.iter().sum::<f64>() / spans.len() as f64;
+                        wc += spans.iter().cloned().fold(f64::MIN, f64::max);
+                    }
+                    MakespanStat {
+                        average: avg / n_dags as f64,
+                        worst_case: wc / n_dags as f64,
+                    }
+                })
+                .collect();
+            SweepPoint { x: pt.x(), stats }
+        })
+        .collect()
+}
+
+/// Normalises a family of series by the maximum value observed anywhere in
+/// it (the paper's "normalised by the highest value observed").
+pub fn normalise(series: &mut [Vec<f64>]) {
+    let max = series
+        .iter()
+        .flat_map(|s| s.iter())
+        .cloned()
+        .fold(f64::MIN, f64::max);
+    if max > 0.0 {
+        for s in series.iter_mut() {
+            for v in s.iter_mut() {
+                *v /= max;
+            }
+        }
+    }
+}
+
+/// Success-ratio measurement at one target utilisation (Fig. 8(a)/(b)).
+pub fn success_at(
+    model: &SystemModel,
+    cores: usize,
+    target_util: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let params = PeriodicParams {
+        cores,
+        cores_per_cluster: 4,
+        zeta: 16,
+        releases: 5,
+        way_config_time: 0.0005,
+    };
+    let cs = CaseStudyParams { width: cores, ..Default::default() };
+    let mut ok = 0usize;
+    for trial in 0..trials {
+        // Identical task sets across systems: the set depends only on
+        // (seed, trial), the contention draws on the model's own stream.
+        let mut set_rng = SmallRng::seed_from_u64(seed ^ (trial as u64) << 16);
+        let n_tasks = (cores / 2).max(2);
+        let tasks = generate_case_study(n_tasks, target_util * cores as f64, &cs, &mut set_rng)
+            .expect("case-study parameters are valid");
+        let mut sim_rng = SmallRng::seed_from_u64(seed.wrapping_add(trial as u64));
+        if simulate_taskset(&tasks, model, &params, &mut sim_rng).success() {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials.max(1) as f64
+}
+
+/// Side-effects measurement (Fig. 8(c)): runs the proposed system at a
+/// target utilisation and returns the aggregated outcome.
+pub fn side_effects_at(
+    cores: usize,
+    target_util: f64,
+    trials: usize,
+    seed: u64,
+) -> PeriodicOutcome {
+    let model = SystemModel::proposed();
+    let params = PeriodicParams {
+        cores,
+        cores_per_cluster: 4,
+        zeta: 16,
+        releases: 5,
+        way_config_time: 0.0005,
+    };
+    let cs = CaseStudyParams { width: cores, ..Default::default() };
+    let mut agg = PeriodicOutcome::default();
+    let mut util_sum = 0.0;
+    let mut phi_sum = 0.0;
+    for trial in 0..trials {
+        let mut set_rng = SmallRng::seed_from_u64(seed ^ (trial as u64) << 16);
+        let n_tasks = (cores / 2).max(2);
+        let tasks = generate_case_study(n_tasks, target_util * cores as f64, &cs, &mut set_rng)
+            .expect("case-study parameters are valid");
+        let mut sim_rng = SmallRng::seed_from_u64(seed.wrapping_add(trial as u64));
+        let out = simulate_taskset(&tasks, &model, &params, &mut sim_rng);
+        agg.jobs += out.jobs;
+        agg.misses += out.misses;
+        util_sum += out.l15_utilisation;
+        phi_sum += out.phi_avg;
+        // The paper's phi is measured per system execution (one trial);
+        // report the worst trial, not the worst individual node.
+        agg.phi_max = agg.phi_max.max(out.phi_avg);
+    }
+    agg.l15_utilisation = util_sum / trials.max(1) as f64;
+    agg.phi_avg = phi_sum / trials.max(1) as f64;
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_match_paper() {
+        assert_eq!(Sweep::paper_points("utilisation").len(), 5);
+        assert_eq!(Sweep::paper_points("p")[0], Sweep::MaxWidth(9));
+        assert_eq!(Sweep::paper_points("cpr")[4], Sweep::Cpr(0.5));
+    }
+
+    #[test]
+    fn normalise_scales_to_unit_max() {
+        let mut series = vec![vec![1.0, 2.0], vec![4.0, 3.0]];
+        normalise(&mut series);
+        assert_eq!(series[1][0], 1.0);
+        assert_eq!(series[0][0], 0.25);
+    }
+
+    #[test]
+    fn tiny_sweep_runs() {
+        let points = vec![Sweep::Utilisation(0.4)];
+        let systems = vec![SystemModel::proposed(), SystemModel::cmp_l1()];
+        let r = makespan_sweep(&points, &systems, 3, 2, 8, 7);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].stats.len(), 2);
+        assert!(r[0].stats[0].average > 0.0);
+        assert!(r[0].stats[0].worst_case >= r[0].stats[0].average - 1e-9);
+    }
+
+    #[test]
+    fn tiny_success_ratio_runs() {
+        let m = SystemModel::proposed();
+        let s = success_at(&m, 8, 0.4, 3, 5);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn tiny_side_effects_run() {
+        let out = side_effects_at(8, 0.8, 2, 5);
+        assert!(out.l15_utilisation > 0.0);
+        assert!(out.phi_max < 0.05);
+    }
+}

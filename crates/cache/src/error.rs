@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from cache construction and reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// A geometry parameter is invalid (zero, or not a power of two where one
+    /// is required).
+    BadGeometry {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the constraint violated.
+        reason: String,
+    },
+    /// A core index exceeds the number of cores the structure was built for.
+    UnknownCore(usize),
+    /// A way index exceeds the number of ways.
+    UnknownWay(usize),
+    /// The caller attempted an operation on a way it does not own.
+    NotOwner {
+        /// The requesting core.
+        core: usize,
+        /// The way that is not owned by `core`.
+        way: usize,
+    },
+    /// `demand()` asked for more ways than the cache has in total.
+    DemandTooLarge {
+        /// Number of ways demanded.
+        requested: usize,
+        /// Total ways `ζ` in the cache.
+        total: usize,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::BadGeometry { name, reason } => {
+                write!(f, "invalid cache geometry `{name}`: {reason}")
+            }
+            CacheError::UnknownCore(c) => write!(f, "unknown core index {c}"),
+            CacheError::UnknownWay(w) => write!(f, "unknown way index {w}"),
+            CacheError::NotOwner { core, way } => {
+                write!(f, "core {core} does not own way {way}")
+            }
+            CacheError::DemandTooLarge { requested, total } => {
+                write!(f, "demanded {requested} ways but the cache has only {total}")
+            }
+        }
+    }
+}
+
+impl Error for CacheError {}

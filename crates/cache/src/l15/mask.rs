@@ -1,0 +1,153 @@
+//! Dual-level mask logic and the cross-application protector (Sec. 3.1–3.2).
+//!
+//! Read paths (Fig. 4(a) ⓑ): at the upper level, all GV registers are
+//! OR-combined with the requesting core's local OW register; at the lower
+//! level the result gates the request's index bits with AND-gates. The
+//! protector (Sec. 3.2) XNORs the TIDs of the contributing core and the
+//! requester and ANDs the result into the GV path, so cache sharing never
+//! crosses applications (whose virtual→physical mappings differ).
+//!
+//! Write paths (Fig. 4(b)) never touch shared ways: the upper level ANDs the
+//! local OW register with the NOT-gated local GV register, selecting ways
+//! owned by the core but not shared.
+
+use crate::geometry::WayMask;
+use crate::l15::regs::ControlRegs;
+use crate::CacheError;
+
+/// Stateless combinational mask logic over the control registers.
+///
+/// In hardware this is a forest of OR/AND/XNOR gates; here it is a pair of
+/// pure functions so it can be unit-tested as a truth table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaskLogic;
+
+impl MaskLogic {
+    /// Creates the (stateless) mask logic.
+    pub fn new() -> Self {
+        MaskLogic
+    }
+
+    /// Ways `core` may *read*: its own ways plus every way another core has
+    /// marked globally visible, **provided** the contributing core runs the
+    /// same application (TID match — the protector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownCore`] for an out-of-range core.
+    pub fn read_mask(&self, regs: &ControlRegs, core: usize) -> Result<WayMask, CacheError> {
+        let mut m = regs.ow(core)?;
+        let my_tid = regs.tid(core)?;
+        for other in 0..regs.n_cores() {
+            if other == core {
+                continue;
+            }
+            // Protector: XNOR(TID_other, TID_core) AND GV_other.
+            if regs.tid(other)? == my_tid {
+                m = m.union(regs.gv(other)?);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Ways `core` may *write*: owned but not globally shared
+    /// (`OW[core] & !GV[core]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownCore`] for an out-of-range core.
+    pub fn write_mask(&self, regs: &ControlRegs, core: usize) -> Result<WayMask, CacheError> {
+        Ok(regs.ow(core)?.difference(regs.gv(core)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Fig. 2-style configuration: 4 cores, 16 ways, cores 0–3
+    /// own 4 ways each, core 1 shares two of its ways globally.
+    fn example_regs() -> ControlRegs {
+        let mut r = ControlRegs::new(4, 16);
+        for core in 0..4 {
+            for w in 0..4 {
+                r.grant(core, core * 4 + w).unwrap();
+            }
+        }
+        r.set_gv(1, WayMask::from(0b0011_0000u64)).unwrap(); // ways 4, 5
+        r
+    }
+
+    #[test]
+    fn read_mask_includes_own_and_shared() {
+        let r = example_regs();
+        let m = MaskLogic::new();
+        // Core 0 reads its own ways 0-3 plus core 1's shared ways 4-5.
+        let rm = m.read_mask(&r, 0).unwrap();
+        assert_eq!(rm, WayMask::from(0b0011_1111u64));
+        // Core 2 likewise.
+        let rm2 = m.read_mask(&r, 2).unwrap();
+        // Core 2 owns ways 8-11 and reads core 1's shared ways 4-5.
+        assert_eq!(rm2, WayMask::from(0xF30u64));
+        assert!(rm2.contains(4) && rm2.contains(5));
+        assert!(rm2.contains(8) && !rm2.contains(3));
+    }
+
+    #[test]
+    fn write_mask_excludes_shared_ways() {
+        let r = example_regs();
+        let m = MaskLogic::new();
+        // Core 1 owns 4-7 but shares 4-5, so it may write only 6-7.
+        let wm = m.write_mask(&r, 1).unwrap();
+        assert_eq!(wm, WayMask::from(0b1100_0000u64));
+        // Core 0 shares nothing; write mask == ow.
+        assert_eq!(m.write_mask(&r, 0).unwrap(), r.ow(0).unwrap());
+    }
+
+    #[test]
+    fn protector_blocks_cross_application_sharing() {
+        let mut r = example_regs();
+        let m = MaskLogic::new();
+        // Same TID: core 0 sees core 1's shared ways.
+        assert!(m.read_mask(&r, 0).unwrap().contains(4));
+        // Different application on core 0: sharing must vanish...
+        r.set_tid(0, 42).unwrap();
+        let rm = m.read_mask(&r, 0).unwrap();
+        assert!(!rm.contains(4) && !rm.contains(5));
+        // ...but its own ways remain accessible.
+        assert!(rm.contains(0));
+        // And core 2 (still TID 0, same as core 1) keeps seeing them.
+        assert!(m.read_mask(&r, 2).unwrap().contains(4));
+    }
+
+    #[test]
+    fn no_gv_means_private_masks() {
+        let mut r = ControlRegs::new(2, 4);
+        r.grant(0, 0).unwrap();
+        r.grant(1, 1).unwrap();
+        let m = MaskLogic::new();
+        assert_eq!(m.read_mask(&r, 0).unwrap(), WayMask::single(0));
+        assert_eq!(m.read_mask(&r, 1).unwrap(), WayMask::single(1));
+        assert_eq!(m.write_mask(&r, 0).unwrap(), WayMask::single(0));
+    }
+
+    #[test]
+    fn fully_shared_way_is_readable_by_all_but_writable_by_none() {
+        let mut r = ControlRegs::new(3, 4);
+        r.grant(0, 2).unwrap();
+        r.set_gv(0, WayMask::single(2)).unwrap();
+        let m = MaskLogic::new();
+        for core in 0..3 {
+            assert!(m.read_mask(&r, core).unwrap().contains(2), "core {core}");
+            assert!(!m.write_mask(&r, core).unwrap().contains(2), "core {core}");
+        }
+    }
+
+    #[test]
+    fn unknown_core_is_rejected() {
+        let r = ControlRegs::new(2, 4);
+        let m = MaskLogic::new();
+        assert!(m.read_mask(&r, 7).is_err());
+        assert!(m.write_mask(&r, 7).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! The L1.5 cache: a Virtual Indexed, Physically Tagged (VIPT),
+//! Selectively-Inclusive, Non-Exclusive (SINE) cache shared by the cores of
+//! one computing cluster (paper Sec. 2–3).
+//!
+//! The module mirrors the microarchitecture of Fig. 4/5 structurally:
+//!
+//! * [`ControlRegs`] — per-core TID / Ownership (OW) / Global-Visibility (GV)
+//!   bitmap registers (Fig. 4(a) ⓐ);
+//! * [`MaskLogic`] — the dual-level OR/AND filtering that derives each
+//!   core's read and write way masks, including the cross-application
+//!   *protector* that gates GV contributions by TID equality (Sec. 3.2);
+//! * [`Sdu`] — the Supply-Demand Unit: per-core S/D registers, comparators
+//!   and the Walloc FSM that (re)assigns **one way per cycle** (Fig. 5) —
+//!   the very property Sec. 5.3 blames for the residual misconfiguration
+//!   ratio φ;
+//! * [`L15Cache`] — the cache ways, line/data selectors and hit checkers,
+//!   plus the new-ISA control port (`demand`, `supply`, `gv_set`, `gv_get`,
+//!   `ip_set`);
+//! * [`RequestBuffer`] — the Sec. 3.3 in-flight request buffer that lets
+//!   superscalar out-of-order cores present multiple simultaneous
+//!   requests to the mask logic.
+
+mod cache;
+mod mask;
+mod regs;
+mod reqbuf;
+mod sdu;
+mod selector;
+
+pub use cache::{InclusionPolicy, L15Cache, L15Config, L15ConfigState, L15Outcome};
+pub use mask::MaskLogic;
+pub use regs::ControlRegs;
+pub use reqbuf::{PendingReq, RequestBuffer};
+pub use sdu::{Sdu, SduEvent};
+pub use selector::{DataSelector, HitChecker, LatchedLine};

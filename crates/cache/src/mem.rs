@@ -1,0 +1,113 @@
+//! Flat external memory with fixed access latency (the paper's
+//! 4 GB @ 800 MHz DDR behind the L2).
+//!
+//! Backed by a sparse page map so a 32-bit address space costs memory only
+//! for pages actually touched.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse main-memory model.
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    latency: u32,
+}
+
+impl MainMemory {
+    /// Creates an empty memory with the given fixed access `latency`
+    /// (cycles per line transfer).
+    pub fn new(latency: u32) -> Self {
+        MainMemory {
+            pages: HashMap::new(),
+            latency,
+        }
+    }
+
+    /// Access latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`. Unwritten memory reads as
+    /// zero.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = addr + i as u64;
+            let page = a >> PAGE_BITS;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            *b = self.pages.get(&page).map_or(0, |p| p[off]);
+        }
+    }
+
+    /// Writes `data` starting at `addr`, allocating pages on demand.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            let page = a >> PAGE_BITS;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            self.pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))[off] = b;
+        }
+    }
+
+    /// Convenience: reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Convenience: writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Number of 4 KiB pages currently allocated.
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = MainMemory::new(100);
+        let mut b = [0xffu8; 8];
+        m.read(0xdead_beef, &mut b);
+        assert_eq!(b, [0; 8]);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = MainMemory::new(100);
+        m.write(0x1000, &[1, 2, 3, 4]);
+        let mut b = [0u8; 4];
+        m.read(0x1000, &mut b);
+        assert_eq!(b, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MainMemory::new(100);
+        let addr = (1 << PAGE_BITS) - 2; // straddles the first page boundary
+        m.write(addr, &[9, 8, 7, 6]);
+        let mut b = [0u8; 4];
+        m.read(addr, &mut b);
+        assert_eq!(b, [9, 8, 7, 6]);
+        assert_eq!(m.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn u32_helpers() {
+        let mut m = MainMemory::new(1);
+        m.write_u32(0x80, 0xdead_beef);
+        assert_eq!(m.read_u32(0x80), 0xdead_beef);
+    }
+}

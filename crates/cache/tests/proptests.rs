@@ -1,0 +1,248 @@
+//! Property-based tests of the cache substrate: a set-associative cache
+//! against a flat-memory oracle, PLRU victim validity under arbitrary
+//! masks, WayMask algebra vs a HashSet model, and SDU convergence.
+
+use std::collections::{HashMap, HashSet};
+
+use l15_cache::geometry::{Geometry, WayMask};
+use l15_cache::l15::{ControlRegs, L15Cache, L15Config, MaskLogic, Sdu};
+use l15_cache::plru::TreePlru;
+use l15_cache::sa::{AccessKind, SetAssocCache};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// SetAssocCache vs flat-memory oracle (write-back, write-allocate).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { addr: u64, value: u8 },
+    Read { addr: u64 },
+    Flush,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..512, any::<u8>()).prop_map(|(a, v)| Op::Write { addr: a, value: v }),
+        (0u64..512).prop_map(|a| Op::Read { addr: a }),
+        Just(Op::Flush),
+    ]
+}
+
+/// A one-level write-back cache in front of a byte-addressable memory,
+/// exercised against a plain HashMap oracle.
+struct Harness {
+    cache: SetAssocCache,
+    mem: HashMap<u64, u8>,
+    line: u64,
+}
+
+impl Harness {
+    fn new() -> Self {
+        // Tiny cache: 4 sets x 2 ways x 8-byte lines = 64 B covering a
+        // 512 B address space, so evictions are constant.
+        Harness {
+            cache: SetAssocCache::new(Geometry::new(8, 4, 2).unwrap(), 1, 2),
+            mem: HashMap::new(),
+            line: 8,
+        }
+    }
+
+    fn mem_line(&self, base: u64) -> Vec<u8> {
+        (0..self.line).map(|i| *self.mem.get(&(base + i)).unwrap_or(&0)).collect()
+    }
+
+    fn ensure_resident(&mut self, addr: u64) {
+        if self.cache.probe(addr).is_none() {
+            let base = addr & !(self.line - 1);
+            let data = self.mem_line(base);
+            if let Some(victim) = self.cache.fill(base, &data, None) {
+                for (i, b) in victim.data.iter().enumerate() {
+                    self.mem.insert(victim.addr + i as u64, *b);
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, addr: u64, value: u8) {
+        self.ensure_resident(addr);
+        self.cache.access(addr, AccessKind::Write);
+        assert!(self.cache.write_bytes(addr, &[value]));
+    }
+
+    fn read(&mut self, addr: u64) -> u8 {
+        self.ensure_resident(addr);
+        self.cache.access(addr, AccessKind::Read);
+        let mut b = [0u8];
+        assert!(self.cache.read_bytes(addr, &mut b));
+        b[0]
+    }
+
+    fn flush(&mut self) {
+        for line in self.cache.flush() {
+            for (i, b) in line.data.iter().enumerate() {
+                self.mem.insert(line.addr + i as u64, *b);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_never_returns_stale_data(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut h = Harness::new();
+        let mut oracle: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Write { addr, value } => {
+                    h.write(addr, value);
+                    oracle.insert(addr, value);
+                }
+                Op::Read { addr } => {
+                    let got = h.read(addr);
+                    let want = *oracle.get(&addr).unwrap_or(&0);
+                    prop_assert_eq!(got, want, "stale read at {:#x}", addr);
+                }
+                Op::Flush => h.flush(),
+            }
+        }
+        // After a final flush, memory equals the oracle.
+        h.flush();
+        for (addr, want) in &oracle {
+            let got = *h.mem.get(addr).unwrap_or(&0);
+            prop_assert_eq!(got, *want, "memory mismatch at {:#x}", addr);
+        }
+    }
+
+    #[test]
+    fn plru_victim_is_always_valid_and_masked(
+        ways in 1usize..=16,
+        touches in proptest::collection::vec(0usize..16, 0..64),
+        mask_bits in any::<u16>(),
+    ) {
+        let mut p = TreePlru::new(ways);
+        for t in touches {
+            p.touch(t % ways);
+        }
+        let mask = WayMask::from(mask_bits as u64);
+        match p.victim_in(mask) {
+            Some(v) => {
+                prop_assert!(v < ways);
+                prop_assert!(mask.contains(v));
+            }
+            None => {
+                // Only legitimate when the mask has no way in range.
+                prop_assert!(mask.intersect(WayMask::first_n(ways)).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn waymask_matches_hashset_model(a in any::<u64>(), b in any::<u64>()) {
+        let ma = WayMask::from(a);
+        let mb = WayMask::from(b);
+        let sa: HashSet<usize> = ma.iter().collect();
+        let sb: HashSet<usize> = mb.iter().collect();
+        let union: HashSet<usize> = ma.union(mb).iter().collect();
+        let inter: HashSet<usize> = ma.intersect(mb).iter().collect();
+        let diff: HashSet<usize> = ma.difference(mb).iter().collect();
+        prop_assert_eq!(union, sa.union(&sb).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(inter, sa.intersection(&sb).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(diff, sa.difference(&sb).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(ma.count(), sa.len());
+        prop_assert_eq!(ma.lowest(), sa.iter().min().copied());
+    }
+
+    #[test]
+    fn sdu_converges_to_feasible_demands(
+        demands in proptest::collection::vec((0usize..4, 0usize..=8), 1..12),
+    ) {
+        let ways = 16usize;
+        let mut regs = ControlRegs::new(4, ways);
+        let mut sdu = Sdu::new(4);
+        let mut want = [0usize; 4];
+        for (core, n) in demands {
+            sdu.demand(&regs, core, n).expect("within capacity");
+            want[core] = n;
+            // Give the Walloc plenty of cycles.
+            for _ in 0..64 {
+                if !sdu.pending() { break; }
+                sdu.tick(&mut regs);
+            }
+        }
+        let total: usize = want.iter().sum();
+        if total <= ways {
+            for core in 0..4 {
+                prop_assert_eq!(regs.ow(core).unwrap().count(), want[core]);
+                prop_assert_eq!(sdu.supply_of(core).unwrap(), want[core]);
+            }
+        }
+        // Ownership is always disjoint.
+        let mut seen = WayMask::EMPTY;
+        for core in 0..4 {
+            let ow = regs.ow(core).unwrap();
+            prop_assert!(seen.intersect(ow).is_empty(), "overlapping ownership");
+            seen = seen.union(ow);
+        }
+    }
+
+    #[test]
+    fn mask_logic_never_leaks_writes_into_shared_ways(
+        grants in proptest::collection::vec(0usize..4, 0..16),
+        gv_bits in any::<u16>(),
+    ) {
+        let mut regs = ControlRegs::new(4, 16);
+        for (way, &core) in grants.iter().enumerate() {
+            regs.grant(core, way).unwrap();
+        }
+        for core in 0..4 {
+            regs.set_gv(core, WayMask::from(gv_bits as u64)).unwrap();
+        }
+        let m = MaskLogic::new();
+        for core in 0..4 {
+            let wm = m.write_mask(&regs, core).unwrap();
+            let rm = m.read_mask(&regs, core).unwrap();
+            // Writes only to owned, unshared ways.
+            prop_assert!(wm.intersect(regs.gv(core).unwrap()).is_empty());
+            prop_assert!(wm.difference(regs.ow(core).unwrap()).is_empty());
+            // Write set is always a subset of the read set.
+            prop_assert!(wm.difference(rm).is_empty());
+        }
+    }
+
+    #[test]
+    fn l15_fill_read_roundtrip_under_random_ownership(
+        core_ways in proptest::collection::vec(0usize..4usize, 4),
+        addrs in proptest::collection::vec(0u64..4096, 1..16),
+    ) {
+        let mut cache = L15Cache::new(L15Config {
+            line_bytes: 64,
+            way_bytes: 256,
+            ways: 8,
+            cores: 4,
+            lat_min: 2,
+            lat_max: 8,
+        }).unwrap();
+        for (core, &n) in core_ways.iter().enumerate() {
+            cache.demand(core, n.min(2)).unwrap();
+        }
+        cache.settle();
+        for (i, &addr) in addrs.iter().enumerate() {
+            let core = i % 4;
+            let addr = addr & !63;
+            let line = vec![(i as u8).wrapping_add(1); 64];
+            let (way, _) = cache.fill(core, addr, addr, &line, false).unwrap();
+            let mut buf = [0u8; 1];
+            let out = cache.read(core, addr, addr, &mut buf).unwrap();
+            if way.is_some() {
+                prop_assert!(out.hit, "just-filled line must hit for its owner");
+                prop_assert_eq!(buf[0], (i as u8).wrapping_add(1));
+            } else {
+                // No writable way: fill rejected, read misses.
+                prop_assert!(!out.hit);
+            }
+        }
+    }
+}

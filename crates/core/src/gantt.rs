@@ -1,0 +1,127 @@
+//! Text Gantt charts of simulated schedules — quick visual inspection of
+//! what the list scheduler produced (core occupancy, idle gaps, the
+//! critical chain), à la the timelines real-time papers print.
+
+use l15_dag::DagTask;
+
+use crate::makespan::SimResult;
+
+/// Renders `result` as an ASCII Gantt chart with one row per core.
+///
+/// `width` is the number of character cells the makespan is scaled to.
+/// Nodes are labelled by index modulo 36 (`0-9a-z`); idle time is `.`.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or the result covers no cores.
+pub fn render(task: &DagTask, result: &SimResult, cores: usize, width: usize) -> String {
+    assert!(width > 0, "need at least one column");
+    assert!(cores > 0, "need at least one core");
+    let span = result.makespan.max(1e-12);
+    let scale = width as f64 / span;
+    let glyph = |v: usize| -> char {
+        let g = v % 36;
+        if g < 10 {
+            (b'0' + g as u8) as char
+        } else {
+            (b'a' + (g - 10) as u8) as char
+        }
+    };
+
+    let mut rows = vec![vec!['.'; width]; cores];
+    for v in task.graph().node_ids() {
+        let c = result.core[v.0];
+        if c >= cores {
+            continue;
+        }
+        let s = (result.start[v.0] * scale) as usize;
+        let f = ((result.finish[v.0] * scale) as usize).min(width);
+        let s = s.min(width.saturating_sub(1));
+        let f = f.max(s + 1).min(width);
+        for cell in &mut rows[c][s..f] {
+            *cell = glyph(v.0);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("makespan = {:.2}\n", result.makespan));
+    for (c, row) in rows.iter().enumerate() {
+        out.push_str(&format!("core {c:>2} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "         0{:>width$}\n",
+        format!("{:.1}", result.makespan),
+        width = width.saturating_sub(1)
+    ));
+    out
+}
+
+/// Utilisation summary per core: fraction of the makespan each core was
+/// busy.
+pub fn core_utilisation(task: &DagTask, result: &SimResult, cores: usize) -> Vec<f64> {
+    let mut busy = vec![0.0f64; cores];
+    for v in task.graph().node_ids() {
+        let c = result.core[v.0];
+        if c < cores {
+            busy[c] += result.finish[v.0] - result.start[v.0];
+        }
+    }
+    let span = result.makespan.max(1e-12);
+    busy.iter().map(|b| b / span).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::baseline_priorities;
+    use crate::makespan::simulate;
+    use l15_dag::topology::{fork_join, UniformPayload};
+
+    fn schedule() -> (DagTask, SimResult) {
+        let dag = fork_join(3, UniformPayload::default()).unwrap();
+        let task = DagTask::new(dag, 1e6, 1e6).unwrap();
+        let plan = baseline_priorities(&task);
+        let g = task.graph();
+        let r = simulate(&task, 3, &plan.priorities, |v| g.node(v).wcet, |_, _| 0.0);
+        (task, r)
+    }
+
+    #[test]
+    fn renders_all_cores_and_boundaries() {
+        let (task, r) = schedule();
+        let text = render(&task, &r, 3, 40);
+        assert!(text.contains("core  0 |"));
+        assert!(text.contains("core  2 |"));
+        assert!(text.starts_with("makespan = "));
+        // Every line between pipes is exactly `width` cells.
+        for line in text.lines().filter(|l| l.starts_with("core")) {
+            let inner = line.split('|').nth(1).unwrap();
+            assert_eq!(inner.chars().count(), 40);
+        }
+    }
+
+    #[test]
+    fn every_node_appears() {
+        let (task, r) = schedule();
+        let text = render(&task, &r, 3, 60);
+        for v in 0..task.graph().node_count() {
+            let g = if v < 10 {
+                (b'0' + v as u8) as char
+            } else {
+                (b'a' + (v - 10) as u8) as char
+            };
+            assert!(text.contains(g), "node {v} (glyph {g}) missing:\n{text}");
+        }
+    }
+
+    #[test]
+    fn utilisation_sums_to_work_over_span() {
+        let (task, r) = schedule();
+        let u = core_utilisation(&task, &r, 3);
+        let total_busy: f64 = u.iter().sum::<f64>() * r.makespan;
+        assert!((total_busy - task.graph().total_work()).abs() < 1e-9);
+        assert!(u.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+    }
+}

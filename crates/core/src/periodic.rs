@@ -1,0 +1,570 @@
+//! Periodic multi-DAG scheduling on a clustered multi-core — the engine
+//! behind the Sec. 5.2 case study (success ratios, Fig. 8(a)/(b)) and the
+//! Sec. 5.3 side-effects analysis (L1.5 utilisation and misconfiguration
+//! ratio φ, Fig. 8(c)).
+//!
+//! Each DAG task releases `releases` jobs at its period with an implicit
+//! deadline. Jobs across tasks share the cores under global non-preemptive
+//! fixed-priority scheduling: rate-monotonic between tasks, Alg. 1 (or the
+//! baseline longest-path-first rule) within a task.
+//!
+//! For the proposed system, every cluster owns a pool of `ζ` L1.5 ways.
+//! When a node is dispatched, its planned local ways are requested from the
+//! executing core's cluster pool (granted best-effort — exactly what the
+//! SDU does); the Walloc configures **one way per cycle**, so a grant of
+//! `g` ways leaves the first `g · way_config_time` of the node's execution
+//! running "with an unexpected setting" — the φ metric. Ways are held
+//! until every consumer of the node's data has started (the Alg. 1
+//! global-way lifecycle) and cross-**cluster** edges cannot use the L1.5 at
+//! all (the paper's sharing scope is one computing cluster).
+
+use rand::Rng;
+
+use l15_dag::{DagTask, NodeId};
+
+use crate::baseline::{SystemKind, SystemModel};
+use crate::plan::SchedulePlan;
+
+/// Parameters of the periodic simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicParams {
+    /// Total cores.
+    pub cores: usize,
+    /// Cores per cluster (the paper: 4).
+    pub cores_per_cluster: usize,
+    /// L1.5 ways per cluster `ζ`.
+    pub zeta: usize,
+    /// Jobs released per task.
+    pub releases: usize,
+    /// Model-time cost of configuring one way (the Walloc's one way per
+    /// cycle; with model units of ~1 ms at 1.2 GHz this is minuscule but
+    /// non-zero — the source of φ).
+    pub way_config_time: f64,
+}
+
+impl Default for PeriodicParams {
+    fn default() -> Self {
+        PeriodicParams {
+            cores: 8,
+            cores_per_cluster: 4,
+            zeta: 16,
+            releases: 5,
+            way_config_time: 0.0005,
+        }
+    }
+}
+
+/// Aggregate outcome of one simulated trial.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeriodicOutcome {
+    /// Total jobs simulated.
+    pub jobs: usize,
+    /// Jobs that missed their deadline.
+    pub misses: usize,
+    /// Time-weighted fraction of L1.5 ways *assigned* over the trial
+    /// horizon (ways are reclaimed lazily, so an assigned way counts until
+    /// another demand takes it) — the utilisation metric of Fig. 8(c).
+    /// Zero for baselines.
+    pub l15_utilisation: f64,
+    /// Mean per-job fraction of execution time spent with an unexpected
+    /// cache setting (φ). Zero for baselines.
+    pub phi_avg: f64,
+    /// Maximum per-job φ.
+    pub phi_max: f64,
+}
+
+impl PeriodicOutcome {
+    /// Whether the trial succeeded (no deadline miss).
+    pub fn success(&self) -> bool {
+        self.misses == 0
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    task: usize,
+    release: f64,
+    deadline: f64,
+    warm: f64,
+    contention: f64,
+    preds_left: Vec<usize>,
+    finish: Vec<f64>,
+    core: Vec<usize>,
+    granted: Vec<usize>,
+    consumers_left: Vec<usize>,
+    exec_total: f64,
+    misconfig: f64,
+    nodes_left: usize,
+}
+
+/// Simulates one trial of `tasks` under `model`.
+///
+/// # Panics
+///
+/// Panics if `params.cores == 0` or a task set is empty.
+pub fn simulate_taskset<R: Rng + ?Sized>(
+    tasks: &[DagTask],
+    model: &SystemModel,
+    params: &PeriodicParams,
+    rng: &mut R,
+) -> PeriodicOutcome {
+    assert!(params.cores > 0, "need at least one core");
+    assert!(!tasks.is_empty(), "need at least one task");
+    let n_clusters = params.cores.div_ceil(params.cores_per_cluster);
+    let proposed = model.kind == SystemKind::Proposed;
+
+    let plans: Vec<SchedulePlan> = tasks.iter().map(|t| model.plan(t)).collect();
+    // Rate-monotonic task priorities: shorter period = higher.
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by(|&a, &b| {
+        tasks[a]
+            .period()
+            .partial_cmp(&tasks[b].period())
+            .expect("finite periods")
+    });
+    let mut task_prio = vec![0u32; tasks.len()];
+    for (rank, &t) in order.iter().enumerate() {
+        task_prio[t] = (tasks.len() - rank) as u32;
+    }
+
+    // Materialise all jobs.
+    let mut jobs: Vec<Job> = Vec::new();
+    for (ti, t) in tasks.iter().enumerate() {
+        let g = t.graph();
+        for k in 0..params.releases {
+            let release = k as f64 * t.period();
+            let warm = model.warm(k);
+            let jitter: f64 = rng.gen_range(0.0..1.0);
+            jobs.push(Job {
+                task: ti,
+                release,
+                deadline: release + t.deadline(),
+                warm,
+                contention: jitter,
+                preds_left: g.node_ids().map(|v| g.in_degree(v)).collect(),
+                finish: vec![f64::NAN; g.node_count()],
+                core: vec![usize::MAX; g.node_count()],
+                granted: vec![0; g.node_count()],
+                consumers_left: g.node_ids().map(|v| g.out_degree(v)).collect(),
+                exec_total: 0.0,
+                misconfig: 0.0,
+                nodes_left: g.node_count(),
+            });
+        }
+    }
+
+    let mut core_busy = vec![false; params.cores];
+    let mut core_free = vec![0.0f64; params.cores];
+    // Never-assigned ways vs. assigned-but-reclaimable ways: the kernel
+    // reclaims lazily (an assigned way stays assigned until somebody else
+    // demands it), which is what the Fig. 8(c) utilisation metric counts.
+    let mut free_ways = vec![params.zeta; n_clusters];
+    let mut reclaimable = vec![0usize; n_clusters];
+    // Way-pool occupancy integration for the utilisation metric.
+    let mut occ_time = 0.0f64;
+    let mut occ_level = 0usize; // total ways currently held (all clusters)
+    let mut occ_last = 0.0f64;
+
+    let mut ready: Vec<(usize, NodeId)> = Vec::new();
+    let mut running: Vec<(f64, usize, NodeId, usize)> = Vec::new();
+    let mut pending: Vec<usize> = (0..jobs.len()).collect();
+    pending.sort_by(|&a, &b| {
+        jobs[b]
+            .release
+            .partial_cmp(&jobs[a].release)
+            .expect("finite releases")
+    }); // pop() yields earliest
+    let mut now = 0.0f64;
+    let mut misses = 0usize;
+    let mut done_jobs = 0usize;
+
+    let account = |occ_time: &mut f64, occ_last: &mut f64, level: usize, t: f64| {
+        *occ_time += level as f64 * (t - *occ_last);
+        *occ_last = t;
+    };
+
+    loop {
+        // Activate released jobs.
+        while let Some(&j) = pending.last() {
+            if jobs[j].release <= now + 1e-12 {
+                pending.pop();
+                ready.push((j, tasks[jobs[j].task].graph().source()));
+            } else {
+                break;
+            }
+        }
+
+        // Dispatch.
+        loop {
+            if ready.is_empty() || !core_busy.iter().any(|&b| !b) {
+                break;
+            }
+            // Highest (task priority, node priority, earliest deadline).
+            let (ri, &(j, v)) = ready
+                .iter()
+                .enumerate()
+                .max_by(|(_, &(ja, va)), (_, &(jb, vb))| {
+                    let ka = (
+                        task_prio[jobs[ja].task],
+                        plans[jobs[ja].task].priorities[va.0],
+                    );
+                    let kb = (
+                        task_prio[jobs[jb].task],
+                        plans[jobs[jb].task].priorities[vb.0],
+                    );
+                    ka.cmp(&kb).then(
+                        jobs[jb]
+                            .deadline
+                            .partial_cmp(&jobs[ja].deadline)
+                            .expect("finite deadlines"),
+                    )
+                })
+                .expect("ready non-empty");
+            let job = &jobs[j];
+            let task = &tasks[job.task];
+            let dag = task.graph();
+            let plan = &plans[job.task];
+
+            // Effective execution time under this system model.
+            let exec = model.exec_time(dag.node(v).wcet, job.warm, job.contention);
+
+            // Pick the idle core minimising the start time.
+            let mut best: Option<(f64, usize)> = None;
+            for c in 0..params.cores {
+                if core_busy[c] {
+                    continue;
+                }
+                let cl = c / params.cores_per_cluster;
+                let data_ready = dag
+                    .predecessors(v)
+                    .iter()
+                    .map(|&(e, p)| {
+                        let edge = dag.edge(e);
+                        let pcore = job.core[p.0];
+                        let same_core = pcore == c;
+                        let same_cluster =
+                            pcore != usize::MAX && pcore / params.cores_per_cluster == cl;
+                        let cost = model.comm_cost(
+                            edge.cost,
+                            edge.alpha,
+                            dag.node(p).data_bytes,
+                            job.granted[p.0],
+                            same_core,
+                            same_cluster,
+                            job.warm,
+                            job.contention,
+                        );
+                        job.finish[p.0] + cost
+                    })
+                    .fold(job.release, f64::max);
+                let s = now.max(core_free[c]).max(data_ready);
+                if best.map_or(true, |(bs, _)| s < bs - 1e-12) {
+                    best = Some((s, c));
+                }
+            }
+            let (s, c) = best.expect("idle core exists");
+            ready.swap_remove(ri);
+
+            // L1.5 way grant from the cluster pool (best effort): fresh
+            // ways first, then lazily-reclaimed ones (which cost the
+            // Walloc a revoke *and* a grant — two cycles per way).
+            let cl = c / params.cores_per_cluster;
+            let mut grant = 0usize;
+            let mut config_actions = 0usize;
+            if proposed {
+                let want = plan.local_ways[v.0];
+                grant = want.min(free_ways[cl] + reclaimable[cl]);
+                let from_free = grant.min(free_ways[cl]);
+                let from_reclaim = grant - from_free;
+                free_ways[cl] -= from_free;
+                reclaimable[cl] -= from_reclaim;
+                config_actions = from_free + 2 * from_reclaim;
+                account(&mut occ_time, &mut occ_last, occ_level, now);
+                occ_level += from_free; // reclaimed ways were already assigned
+            }
+
+            let job = &mut jobs[j];
+            let config_delay = config_actions as f64 * params.way_config_time;
+            let f = s + exec; // configuration overlaps execution
+            job.exec_total += exec;
+            job.misconfig += config_delay.min(exec);
+            job.granted[v.0] = grant;
+            job.core[v.0] = c;
+            job.finish[v.0] = f;
+            core_busy[c] = true;
+            core_free[c] = f;
+            running.push((f, j, v, c));
+        }
+
+        if running.is_empty() {
+            if let Some(&j) = pending.last() {
+                // Idle until the next release.
+                now = jobs[j].release;
+                continue;
+            }
+            break;
+        }
+
+        // Earliest completion.
+        let (idx, _) = running
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.0.partial_cmp(&b.0).expect("finite"))
+            .expect("running non-empty");
+        let (f, j, v, c) = running.swap_remove(idx);
+        now = f;
+        core_busy[c] = false;
+
+        let dag = tasks[jobs[j].task].graph();
+        // Successors become ready; each start consumes the producer's data.
+        let succs: Vec<NodeId> = dag.successors(v).iter().map(|&(_, s)| s).collect();
+        for s in succs {
+            jobs[j].preds_left[s.0] -= 1;
+            if jobs[j].preds_left[s.0] == 0 {
+                ready.push((j, s));
+            }
+        }
+        // Release producer ways whose consumers have all *finished* being
+        // dispatched; approximation: release when this node itself finishes
+        // consuming — i.e. decrement each predecessor's consumer count now.
+        if proposed {
+            let preds: Vec<NodeId> = dag.predecessors(v).iter().map(|&(_, p)| p).collect();
+            for p in preds {
+                jobs[j].consumers_left[p.0] -= 1;
+                if jobs[j].consumers_left[p.0] == 0 {
+                    let g = jobs[j].granted[p.0];
+                    if g > 0 {
+                        let pcl = jobs[j].core[p.0] / params.cores_per_cluster;
+                        reclaimable[pcl] += g; // stays assigned until re-demanded
+                    }
+                }
+            }
+            // The sink has no consumers: release its ways at its own finish.
+            if dag.out_degree(v) == 0 {
+                let g = jobs[j].granted[v.0];
+                if g > 0 {
+                    reclaimable[c / params.cores_per_cluster] += g;
+                }
+            }
+            // The SDU keeps serving outstanding demands: freed ways flow to
+            // running nodes whose grant fell short of the plan.
+            for &(_, rj, rv, rc) in &running {
+                let rcl = rc / params.cores_per_cluster;
+                if free_ways[rcl] + reclaimable[rcl] == 0 {
+                    continue;
+                }
+                let want = plans[jobs[rj].task].local_ways[rv.0];
+                let have = jobs[rj].granted[rv.0];
+                if want > have {
+                    let extra = (want - have).min(free_ways[rcl] + reclaimable[rcl]);
+                    let from_free = extra.min(free_ways[rcl]);
+                    free_ways[rcl] -= from_free;
+                    reclaimable[rcl] -= extra - from_free;
+                    jobs[rj].granted[rv.0] += extra;
+                    account(&mut occ_time, &mut occ_last, occ_level, now);
+                    occ_level += from_free;
+                }
+            }
+        }
+
+        jobs[j].nodes_left -= 1;
+        if jobs[j].nodes_left == 0 {
+            done_jobs += 1;
+            if f > jobs[j].deadline + 1e-9 {
+                misses += 1;
+            }
+        }
+    }
+
+    debug_assert_eq!(done_jobs, jobs.len(), "all jobs complete");
+    account(&mut occ_time, &mut occ_last, occ_level, now);
+
+    let horizon = now.max(1e-12);
+    let total_ways = (params.zeta * n_clusters) as f64;
+    let mut phi_sum = 0.0;
+    let mut phi_max = 0.0f64;
+    for job in &jobs {
+        let phi = if job.exec_total > 0.0 {
+            job.misconfig / job.exec_total
+        } else {
+            0.0
+        };
+        phi_sum += phi;
+        phi_max = phi_max.max(phi);
+    }
+
+    PeriodicOutcome {
+        jobs: jobs.len(),
+        misses,
+        l15_utilisation: if proposed {
+            occ_time / (total_ways * horizon)
+        } else {
+            0.0
+        },
+        phi_avg: phi_sum / jobs.len() as f64,
+        phi_max,
+    }
+}
+
+/// Runs `trials` independent trials at a given target utilisation and
+/// returns the success ratio (Fig. 8(a)/(b) metric).
+pub fn success_ratio<R: Rng + ?Sized, F>(
+    mut make_taskset: F,
+    model: &SystemModel,
+    params: &PeriodicParams,
+    trials: usize,
+    rng: &mut R,
+) -> f64
+where
+    F: FnMut(&mut R) -> Vec<DagTask>,
+{
+    let mut ok = 0usize;
+    for _ in 0..trials {
+        let tasks = make_taskset(rng);
+        if simulate_taskset(&tasks, model, params, rng).success() {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l15_dag::gen::DagGenParams;
+    use l15_dag::taskset::{generate_taskset, TaskSetParams};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn taskset(total_util: f64, seed: u64) -> Vec<DagTask> {
+        generate_taskset(
+            &TaskSetParams {
+                n_tasks: 4,
+                total_utilisation: total_util,
+                dag: DagGenParams {
+                    layers: (3, 5),
+                    max_width: 5,
+                    period_range: (50.0, 400.0),
+                    ..Default::default()
+                },
+            },
+            &mut SmallRng::seed_from_u64(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn low_utilisation_succeeds() {
+        let tasks = taskset(1.0, 1); // 12.5 % of 8 cores
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = simulate_taskset(
+            &tasks,
+            &SystemModel::proposed(),
+            &PeriodicParams::default(),
+            &mut rng,
+        );
+        assert_eq!(out.jobs, 4 * 5);
+        assert!(out.success(), "misses: {}", out.misses);
+    }
+
+    #[test]
+    fn overload_misses_deadlines() {
+        let tasks = taskset(24.0, 3); // 300 % of 8 cores
+        let mut rng = SmallRng::seed_from_u64(4);
+        let out = simulate_taskset(
+            &tasks,
+            &SystemModel::proposed(),
+            &PeriodicParams::default(),
+            &mut rng,
+        );
+        assert!(out.misses > 0, "an overloaded system must miss");
+    }
+
+    #[test]
+    fn phi_is_small_but_positive_for_proposed() {
+        let tasks = taskset(4.0, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let out = simulate_taskset(
+            &tasks,
+            &SystemModel::proposed(),
+            &PeriodicParams::default(),
+            &mut rng,
+        );
+        assert!(out.phi_avg > 0.0, "reconfiguration has a cost");
+        assert!(out.phi_max < 0.05, "φ stays far below 5 %: {}", out.phi_max);
+    }
+
+    #[test]
+    fn baselines_report_no_l15_metrics() {
+        let tasks = taskset(4.0, 7);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let out = simulate_taskset(
+            &tasks,
+            &SystemModel::cmp_l1(),
+            &PeriodicParams::default(),
+            &mut rng,
+        );
+        assert_eq!(out.l15_utilisation, 0.0);
+        assert_eq!(out.phi_avg, 0.0);
+    }
+
+    #[test]
+    fn utilisation_is_high_and_bounded_under_load() {
+        // With lazy reclamation the assigned fraction converges towards
+        // saturation on a busy system (Fig. 8(c): > 95 %).
+        let params = PeriodicParams::default();
+        let model = SystemModel::proposed();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let high = simulate_taskset(&taskset(6.4, 10), &model, &params, &mut rng);
+        assert!(
+            high.l15_utilisation > 0.5,
+            "busy system keeps ways assigned: {}",
+            high.l15_utilisation
+        );
+        assert!(high.l15_utilisation <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn success_ratio_declines_with_utilisation() {
+        let params = PeriodicParams::default();
+        let model = SystemModel::proposed();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seed = 100u64;
+        let mut ratio_at = |u: f64, rng: &mut SmallRng| {
+            success_ratio(
+                |_r| {
+                    seed += 1;
+                    taskset(u, seed)
+                },
+                &model,
+                &params,
+                20,
+                rng,
+            )
+        };
+        let lo = ratio_at(2.0, &mut rng);
+        let hi = ratio_at(12.0, &mut rng);
+        assert!(lo >= hi, "lo {lo} hi {hi}");
+        assert!(lo > 0.5);
+    }
+
+    #[test]
+    fn proposed_beats_cmp_on_success_ratio() {
+        // Identical task sets for both systems (fair comparison).
+        let params = PeriodicParams::default();
+        let run = |model: &SystemModel| {
+            let mut rng = SmallRng::seed_from_u64(13);
+            let mut ok = 0;
+            for trial in 0..30u64 {
+                let tasks = taskset(6.4, 500 + trial); // 80 % of 8 cores
+                if simulate_taskset(&tasks, model, &params, &mut rng).success() {
+                    ok += 1;
+                }
+            }
+            ok as f64 / 30.0
+        };
+        let prop = run(&SystemModel::proposed());
+        let cmp = run(&SystemModel::cmp_l2());
+        assert!(prop >= cmp, "proposed {prop} must not lose to CMP|L2 {cmp}");
+    }
+}

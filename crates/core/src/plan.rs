@@ -1,0 +1,71 @@
+//! Output of the scheduling algorithms: per-node priorities and L1.5 cache
+//! way assignments.
+
+use l15_dag::NodeId;
+
+/// The way-group attributes of Alg. 1's `ω_x`: a set of ways assigned to a
+/// node, either *local* (read/write by the owner, holding the data the node
+/// produces) or *global* (read-only, shared with the owner's successors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WayGroupKind {
+    /// Dedicated to the owner node (stores its dependent data).
+    Local,
+    /// Globally visible, read-only (exposes the predecessor's data).
+    Global,
+}
+
+/// One `ω_x` as tracked while Alg. 1 runs (exposed for tests/inspection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayGroup {
+    /// Number of ways in the group (`ω_x.size`).
+    pub size: usize,
+    /// Local or global (`ω_x.type`).
+    pub kind: WayGroupKind,
+    /// Owning node (`ω_x.owner`).
+    pub owner: NodeId,
+}
+
+/// The complete plan produced by a scheduling algorithm for one DAG task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulePlan {
+    /// Per-node priority `P_j`; **larger value = higher priority** (Alg. 1
+    /// assigns `|V|` downwards, so earlier-examined/longer-path nodes get
+    /// larger values).
+    pub priorities: Vec<u32>,
+    /// Per-node count of *local* L1.5 ways allocated for the node's output
+    /// data (zero for baselines or when capacity ran out).
+    pub local_ways: Vec<usize>,
+    /// The examination rounds (`Q` per iteration), in order — useful for
+    /// tests and for the runtime's reconfiguration sequencing.
+    pub rounds: Vec<Vec<NodeId>>,
+}
+
+impl SchedulePlan {
+    /// Priority of `v` (larger = higher).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn priority(&self, v: NodeId) -> u32 {
+        self.priorities[v.0]
+    }
+
+    /// Local ways allocated to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn ways(&self, v: NodeId) -> usize {
+        self.local_ways[v.0]
+    }
+
+    /// Number of nodes covered by the plan.
+    pub fn len(&self) -> usize {
+        self.priorities.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.priorities.is_empty()
+    }
+}

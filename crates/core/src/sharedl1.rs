@@ -1,0 +1,181 @@
+//! The CMP|Shared-L1 comparator's capacity allocator (ref. \[10\],
+//! "Hopscotch: a hardware-software co-design for efficient cache resizing
+//! on multi-core SoCs").
+//!
+//! The baseline system of Sec. 5 uses "a shared L1 cache, using a
+//! heuristic for capacity allocation". We reproduce the heuristic as
+//! *water-filling with a floor*: every core first receives a minimum
+//! guarantee (so no core starves), then the remaining capacity is poured
+//! into the cores with the largest unmet demand until either the demand or
+//! the capacity is exhausted. The resulting per-core *effectiveness*
+//! (granted/demanded) modulates how much of an edge's cache speed-up the
+//! shared L1 can realise — the mechanism behind the `same_core_alpha`
+//! constant of [`SystemModel::cmp_shared_l1`].
+//!
+//! [`SystemModel::cmp_shared_l1`]: crate::baseline::SystemModel::cmp_shared_l1
+
+/// Water-filling capacity allocator for one shared L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedL1Allocator {
+    capacity: u64,
+    floor: u64,
+}
+
+impl SharedL1Allocator {
+    /// Creates an allocator over `capacity` bytes with a per-core minimum
+    /// guarantee of `floor` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u64, floor: u64) -> Self {
+        assert!(capacity > 0, "allocator needs capacity");
+        SharedL1Allocator { capacity, floor }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Allocates the capacity across `demands` (bytes per core).
+    ///
+    /// Properties (tested below):
+    /// * Σ granted ≤ capacity;
+    /// * granted_i ≤ demand_i (no waste);
+    /// * every core with positive demand gets
+    ///   `min(demand, floor-share)` at least, where the floor shrinks
+    ///   proportionally when `n·floor > capacity`;
+    /// * leftover capacity goes to the largest unmet demands first
+    ///   (water-filling), so allocation is demand-monotone.
+    pub fn allocate(&self, demands: &[u64]) -> Vec<u64> {
+        let n = demands.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let floor = self.floor.min(self.capacity / n as u64);
+        let mut granted: Vec<u64> = demands.iter().map(|&d| d.min(floor)).collect();
+        let mut remaining = self.capacity - granted.iter().sum::<u64>();
+
+        // Water-filling over the unmet demands.
+        loop {
+            let mut unmet: Vec<usize> = (0..n).filter(|&i| granted[i] < demands[i]).collect();
+            if unmet.is_empty() || remaining == 0 {
+                break;
+            }
+            // Raise the lowest-granted unmet cores first (classic
+            // water-filling): sort by current grant ascending.
+            unmet.sort_by_key(|&i| granted[i]);
+            let share = (remaining / unmet.len() as u64).max(1);
+            let mut poured = 0u64;
+            for &i in &unmet {
+                let want = demands[i] - granted[i];
+                let give = want.min(share).min(remaining - poured);
+                granted[i] += give;
+                poured += give;
+                if poured == remaining {
+                    break;
+                }
+            }
+            if poured == 0 {
+                break;
+            }
+            remaining -= poured;
+        }
+        granted
+    }
+
+    /// Per-core effectiveness `granted/demand ∈ [0, 1]` (1 when the demand
+    /// is zero — nothing was needed).
+    pub fn effectiveness(&self, demands: &[u64]) -> Vec<f64> {
+        self.allocate(demands)
+            .iter()
+            .zip(demands)
+            .map(|(&g, &d)| if d == 0 { 1.0 } else { g as f64 / d as f64 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> SharedL1Allocator {
+        // A 32 KiB shared L1, 2 KiB floor — the Sec. 5 cluster budget.
+        SharedL1Allocator::new(32 * 1024, 2 * 1024)
+    }
+
+    #[test]
+    fn never_overcommits() {
+        let a = alloc();
+        let g = a.allocate(&[64 * 1024, 64 * 1024, 64 * 1024, 64 * 1024]);
+        assert!(g.iter().sum::<u64>() <= a.capacity());
+    }
+
+    #[test]
+    fn never_wastes() {
+        let a = alloc();
+        let demands = [1024u64, 2048, 512, 0];
+        let g = a.allocate(&demands);
+        for (gi, di) in g.iter().zip(&demands) {
+            assert!(gi <= di);
+        }
+        // Small total demand: everyone fully served.
+        assert_eq!(g, demands.to_vec());
+    }
+
+    #[test]
+    fn floor_guarantees_under_pressure() {
+        let a = alloc();
+        // One elephant and three mice.
+        let g = a.allocate(&[1024 * 1024, 4096, 4096, 4096]);
+        for &gi in &g[1..] {
+            assert!(gi >= 2 * 1024, "mice keep their floor: {g:?}");
+        }
+        assert!(g[0] > g[1], "the elephant still gets the lion's share");
+    }
+
+    #[test]
+    fn floor_shrinks_when_infeasible() {
+        let a = SharedL1Allocator::new(4 * 1024, 2 * 1024);
+        // 8 cores × 2 KiB floor > 4 KiB capacity: floor becomes 512 B.
+        let g = a.allocate(&[4096; 8]);
+        assert!(g.iter().sum::<u64>() <= 4 * 1024);
+        assert!(g.iter().all(|&x| x >= 512));
+    }
+
+    #[test]
+    fn water_filling_equalises() {
+        let a = SharedL1Allocator::new(30 * 1024, 0);
+        let g = a.allocate(&[100 * 1024, 100 * 1024, 100 * 1024]);
+        // Equal demands, equal grants (±1 rounding).
+        let min = *g.iter().min().unwrap();
+        let max = *g.iter().max().unwrap();
+        assert!(max - min <= 1, "{g:?}");
+    }
+
+    #[test]
+    fn effectiveness_in_unit_range() {
+        let a = alloc();
+        for e in a.effectiveness(&[0, 512, 64 * 1024, 16 * 1024]) {
+            assert!((0.0..=1.0).contains(&e));
+        }
+        assert_eq!(a.effectiveness(&[0])[0], 1.0);
+    }
+
+    #[test]
+    fn monotone_in_demand() {
+        // A core demanding more never receives less than a core demanding
+        // less (in the same allocation round).
+        let a = alloc();
+        let g = a.allocate(&[8 * 1024, 16 * 1024, 24 * 1024, 32 * 1024]);
+        for w in g.windows(2) {
+            assert!(w[0] <= w[1], "{g:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(alloc().allocate(&[]).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the periodic multi-DAG engine: outcome sanity,
+//! conservation of jobs, and dominance between the proposed system and
+//! the comparators on identical task sets.
+
+use l15_core::baseline::SystemModel;
+use l15_core::casestudy::{generate_case_study, CaseStudyParams};
+use l15_core::periodic::{simulate_taskset, PeriodicParams};
+use l15_dag::gen::DagGenParams;
+use l15_dag::taskset::{generate_taskset, TaskSetParams};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn params() -> PeriodicParams {
+    PeriodicParams {
+        cores: 8,
+        cores_per_cluster: 4,
+        zeta: 16,
+        releases: 3,
+        way_config_time: 0.0005,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn outcome_fields_are_sane(seed in 0u64..2000, util in 0.5f64..8.0, n_tasks in 1usize..6) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tasks = generate_taskset(
+            &TaskSetParams {
+                n_tasks,
+                total_utilisation: util,
+                dag: DagGenParams { layers: (2, 4), max_width: 4, ..Default::default() },
+            },
+            &mut rng,
+        ).expect("valid task-set parameters");
+        for model in [SystemModel::proposed(), SystemModel::cmp_l1()] {
+            let mut sim_rng = SmallRng::seed_from_u64(seed ^ 0xdead);
+            let out = simulate_taskset(&tasks, &model, &params(), &mut sim_rng);
+            prop_assert_eq!(out.jobs, n_tasks * 3, "every release becomes a job");
+            prop_assert!(out.misses <= out.jobs);
+            prop_assert!(out.l15_utilisation >= 0.0 && out.l15_utilisation <= 1.0 + 1e-9);
+            prop_assert!(out.phi_avg >= 0.0 && out.phi_avg <= 1.0);
+            prop_assert!(out.phi_max >= out.phi_avg - 1e-12);
+        }
+    }
+
+    #[test]
+    fn proposed_never_misses_more_than_worst_comparator(seed in 0u64..500) {
+        let cs = CaseStudyParams::default();
+        let mut set_rng = SmallRng::seed_from_u64(seed);
+        let tasks = generate_case_study(4, 4.8, &cs, &mut set_rng)
+            .expect("valid case-study parameters");
+        let p = params();
+        let run = |m: &SystemModel| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xbeef);
+            simulate_taskset(&tasks, m, &p, &mut rng).misses
+        };
+        let prop_misses = run(&SystemModel::proposed());
+        let worst_cmp = [
+            run(&SystemModel::cmp_l1()),
+            run(&SystemModel::cmp_l2()),
+            run(&SystemModel::cmp_shared_l1()),
+        ]
+        .into_iter()
+        .max()
+        .expect("non-empty");
+        prop_assert!(
+            prop_misses <= worst_cmp,
+            "proposed {prop_misses} vs worst comparator {worst_cmp}"
+        );
+    }
+
+    #[test]
+    fn baselines_report_no_l15_metrics(seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tasks = generate_taskset(
+            &TaskSetParams {
+                n_tasks: 3,
+                total_utilisation: 2.0,
+                dag: DagGenParams { layers: (2, 3), max_width: 3, ..Default::default() },
+            },
+            &mut rng,
+        ).expect("valid parameters");
+        let mut sim_rng = SmallRng::seed_from_u64(seed);
+        let out = simulate_taskset(&tasks, &SystemModel::cmp_l2(), &params(), &mut sim_rng);
+        prop_assert_eq!(out.l15_utilisation, 0.0);
+        prop_assert_eq!(out.phi_avg, 0.0);
+        prop_assert_eq!(out.phi_max, 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the scheduling layer: Alg. 1 invariants, list
+//! scheduler feasibility, and dominance relations between the systems.
+
+use l15_core::alg1::{schedule_with_l15, schedule_with_l15_with, Alg1Options, AllocationPolicy};
+use l15_core::baseline::{baseline_priorities, SystemModel};
+use l15_core::makespan::simulate;
+use l15_dag::analysis;
+use l15_dag::gen::{DagGenParams, DagGenerator};
+use l15_dag::{DagTask, ExecutionTimeModel};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_task() -> impl Strategy<Value = DagTask> {
+    (0u64..5000, 2usize..=12, 0.1f64..=0.9).prop_map(|(seed, p, cpr)| {
+        DagGenerator::new(DagGenParams {
+            layers: (3, 6),
+            max_width: p,
+            cpr,
+            ..Default::default()
+        })
+        .generate(&mut SmallRng::seed_from_u64(seed))
+        .expect("valid parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn alg1_invariants(task in arb_task(), zeta in 1usize..=32) {
+        let etm = ExecutionTimeModel::new(2048).unwrap();
+        let plan = schedule_with_l15(&task, zeta, &etm);
+        let g = task.graph();
+        let n = g.node_count();
+
+        // Priorities form the permutation 1..=n.
+        let mut p = plan.priorities.clone();
+        p.sort_unstable();
+        prop_assert_eq!(p, (1..=n as u32).collect::<Vec<_>>());
+
+        // Precedence-monotone priorities.
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            prop_assert!(plan.priorities[edge.from.0] > plan.priorities[edge.to.0]);
+        }
+
+        // Never more ways than the data demands; never more than ζ at once
+        // across two consecutive rounds (local + flipped-global window).
+        for v in g.node_ids() {
+            prop_assert!(plan.ways(v) <= etm.ways_required(g.node(v).data_bytes));
+            prop_assert!(plan.ways(v) <= zeta);
+        }
+        for w in plan.rounds.windows(2) {
+            let live: usize = w[0].iter().chain(w[1].iter()).map(|&v| plan.ways(v)).sum();
+            prop_assert!(live <= zeta);
+        }
+
+        // Rounds partition the node set.
+        let total: usize = plan.rounds.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn ablation_variants_keep_invariants(task in arb_task()) {
+        let etm = ExecutionTimeModel::new(2048).unwrap();
+        for opts in [
+            Alg1Options { update_lambda: false, ..Default::default() },
+            Alg1Options { allocation: AllocationPolicy::ProportionalShare, ..Default::default() },
+        ] {
+            let plan = schedule_with_l15_with(&task, 16, &etm, opts);
+            let mut p = plan.priorities.clone();
+            p.sort_unstable();
+            prop_assert_eq!(p, (1..=task.graph().node_count() as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn simulated_schedule_is_feasible(task in arb_task(), cores in 1usize..=16) {
+        let plan = baseline_priorities(&task);
+        let g = task.graph();
+        let r = simulate(&task, cores, &plan.priorities,
+            |v| g.node(v).wcet,
+            |e, same| if same { 0.0 } else { g.edge(e).cost });
+
+        // Precedence holds in time.
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            prop_assert!(r.start[edge.to.0] >= r.finish[edge.from.0] - 1e-9);
+        }
+        // Cores never overlap.
+        for c in 0..cores {
+            let mut iv: Vec<(f64, f64)> = g.node_ids()
+                .filter(|v| r.core[v.0] == c)
+                .map(|v| (r.start[v.0], r.finish[v.0]))
+                .collect();
+            iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in iv.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-9);
+            }
+        }
+        // Makespan between the computation critical path and the serial sum.
+        let lo = analysis::lambda_with(g, |_| 0.0).critical_path_length();
+        let hi = analysis::makespan_upper_bound(g);
+        prop_assert!(r.makespan >= lo - 1e-9);
+        prop_assert!(r.makespan <= hi + 1e-9);
+    }
+
+    #[test]
+    fn more_cores_never_hurt_much(task in arb_task()) {
+        // Work-conserving list scheduling has no strict monotonicity
+        // guarantee (Graham anomalies), but going from 1 core to many must
+        // not increase the makespan: 1-core runs everything serially.
+        let plan = baseline_priorities(&task);
+        let g = task.graph();
+        let exec = |v| g.node(v).wcet;
+        let comm = |_, _| 0.0;
+        let serial = simulate(&task, 1, &plan.priorities, exec, comm).makespan;
+        let parallel = simulate(&task, 8, &plan.priorities, exec, comm).makespan;
+        prop_assert!(parallel <= serial + 1e-9);
+    }
+
+    #[test]
+    fn proposed_worst_case_never_loses_to_cmp(task in arb_task(), seed in 0u64..100) {
+        // The headline dominance of Tab. 2, as a hard property: with equal
+        // node times and interference-free deterministic comm, the
+        // proposed worst case is never (meaningfully) above CMP|L1's.
+        let prop_m = SystemModel::proposed();
+        let cmp_m = SystemModel::cmp_l1();
+        let mut r1 = SmallRng::seed_from_u64(seed);
+        let mut r2 = SmallRng::seed_from_u64(seed);
+        let wc = |m: &SystemModel, r: &mut SmallRng| {
+            m.evaluate(&task, 8, 5, r).into_iter().fold(f64::MIN, f64::max)
+        };
+        let wp = wc(&prop_m, &mut r1);
+        let wb = wc(&cmp_m, &mut r2);
+        prop_assert!(wp <= wb * 1.05, "proposed wc {wp} vs CMP wc {wb}");
+    }
+}

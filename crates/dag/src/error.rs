@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::model::NodeId;
+
+/// Errors arising when constructing or generating DAG tasks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DagError {
+    /// The edge set contains a cycle, so the graph is not a DAG.
+    Cycle,
+    /// An edge refers to a node index that does not exist.
+    UnknownNode(NodeId),
+    /// An edge connects a node to itself.
+    SelfLoop(NodeId),
+    /// The same ordered pair of nodes is connected by more than one edge.
+    DuplicateEdge(NodeId, NodeId),
+    /// The graph has no nodes at all.
+    Empty,
+    /// The graph has more than one source node (the paper assumes exactly one).
+    MultipleSources(Vec<NodeId>),
+    /// The graph has more than one sink node (the paper assumes exactly one).
+    MultipleSinks(Vec<NodeId>),
+    /// A generation or model parameter is outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Cycle => write!(f, "edge set contains a cycle"),
+            DagError::UnknownNode(id) => write!(f, "edge refers to unknown node {id}"),
+            DagError::SelfLoop(id) => write!(f, "self-loop on node {id}"),
+            DagError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            DagError::Empty => write!(f, "graph has no nodes"),
+            DagError::MultipleSources(s) => write!(f, "expected a single source, found {s:?}"),
+            DagError::MultipleSinks(s) => write!(f, "expected a single sink, found {s:?}"),
+            DagError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DagError {}

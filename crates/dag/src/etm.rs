@@ -1,0 +1,166 @@
+//! The Execution Time Model (ETM) of ref. \[15\] (Zhao et al., RTNS'23).
+//!
+//! For a dedicated cache without inter-core interference the communication
+//! cost of edge `e_{j,k}` given `n` L1.5 cache ways shrinks to
+//!
+//! ```text
+//! ET(e_{j,k}, n) = μ_{j,k} · (1 − α_{j,k} · n / ⌈δ_j/κ⌉)
+//! ```
+//!
+//! where `⌈δ_j/κ⌉` is the number of ways required to hold the dependent data
+//! produced by `v_j` and `α_{j,k}` is the per-edge speed-up ratio (drawn in
+//! `(0, 0.7]` in the paper's evaluation, i.e. up to 70 % speed-up).
+
+use crate::model::{Dag, EdgeId};
+use crate::DagError;
+
+/// Closed-form ETM parameterised by the way size `κ`.
+///
+/// # Example
+///
+/// ```
+/// use l15_dag::ExecutionTimeModel;
+///
+/// let etm = ExecutionTimeModel::new(2048)?; // κ = 2 KiB ways, as in the paper
+/// // An edge with μ = 10, α = 0.7 whose producer emits 4 KiB (2 ways):
+/// let full = etm.edge_cost(10.0, 0.7, 4096, 0);
+/// let half = etm.edge_cost(10.0, 0.7, 4096, 1);
+/// let all = etm.edge_cost(10.0, 0.7, 4096, 2);
+/// assert_eq!(full, 10.0);
+/// assert!((half - 6.5).abs() < 1e-12);
+/// assert!((all - 3.0).abs() < 1e-12);
+/// # Ok::<(), l15_dag::DagError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionTimeModel {
+    way_bytes: u64,
+}
+
+impl ExecutionTimeModel {
+    /// Creates an ETM for ways of `way_bytes` bytes (`κ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::InvalidParameter`] when `way_bytes == 0`.
+    pub fn new(way_bytes: u64) -> Result<Self, DagError> {
+        if way_bytes == 0 {
+            return Err(DagError::InvalidParameter {
+                name: "way_bytes",
+                reason: "way size κ must be positive".to_owned(),
+            });
+        }
+        Ok(ExecutionTimeModel { way_bytes })
+    }
+
+    /// Way size `κ` in bytes.
+    pub fn way_bytes(&self) -> u64 {
+        self.way_bytes
+    }
+
+    /// Number of ways `⌈δ/κ⌉` required to hold `data_bytes` of dependent data.
+    ///
+    /// A node producing no data needs no ways.
+    pub fn ways_required(&self, data_bytes: u64) -> usize {
+        (data_bytes.div_ceil(self.way_bytes)) as usize
+    }
+
+    /// `ET(e, n)`: the communication cost of an edge with full cost `mu` and
+    /// ratio `alpha` whose producer emits `data_bytes`, given `n` allocated
+    /// ways.
+    ///
+    /// `n` is clamped to `⌈δ/κ⌉`, so over-allocating ways can never drive the
+    /// cost below `μ · (1 − α)` — matching the model's domain in \[15\].
+    pub fn edge_cost(&self, mu: f64, alpha: f64, data_bytes: u64, n: usize) -> f64 {
+        let required = self.ways_required(data_bytes);
+        if required == 0 {
+            // No dependent data: nothing to accelerate; treat the full cost
+            // as fixed overhead (for δ = 0 the paper's formula is undefined).
+            return mu;
+        }
+        let n = n.min(required);
+        mu * (1.0 - alpha * n as f64 / required as f64)
+    }
+
+    /// Convenience wrapper: evaluates [`edge_cost`](Self::edge_cost) for edge
+    /// `e` of `dag` given `n` ways allocated to the *producer* of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds for `dag`.
+    pub fn edge_cost_in(&self, dag: &Dag, e: EdgeId, n: usize) -> f64 {
+        let edge = dag.edge(e);
+        let producer = dag.node(edge.from);
+        self.edge_cost(edge.cost, edge.alpha, producer.data_bytes, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DagBuilder, Node};
+
+    #[test]
+    fn rejects_zero_way_size() {
+        assert!(ExecutionTimeModel::new(0).is_err());
+    }
+
+    #[test]
+    fn ways_required_rounds_up() {
+        let etm = ExecutionTimeModel::new(2048).unwrap();
+        assert_eq!(etm.ways_required(0), 0);
+        assert_eq!(etm.ways_required(1), 1);
+        assert_eq!(etm.ways_required(2048), 1);
+        assert_eq!(etm.ways_required(2049), 2);
+        assert_eq!(etm.ways_required(16 * 1024), 8);
+    }
+
+    #[test]
+    fn zero_ways_keeps_full_cost() {
+        let etm = ExecutionTimeModel::new(2048).unwrap();
+        assert_eq!(etm.edge_cost(12.0, 0.7, 8192, 0), 12.0);
+    }
+
+    #[test]
+    fn full_allocation_gives_max_speedup() {
+        let etm = ExecutionTimeModel::new(2048).unwrap();
+        let c = etm.edge_cost(10.0, 0.7, 8192, 4);
+        assert!((c - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_allocation_is_clamped() {
+        let etm = ExecutionTimeModel::new(2048).unwrap();
+        let exact = etm.edge_cost(10.0, 0.7, 8192, 4);
+        let over = etm.edge_cost(10.0, 0.7, 8192, 100);
+        assert_eq!(exact, over);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_ways() {
+        let etm = ExecutionTimeModel::new(1024).unwrap();
+        let mut prev = f64::INFINITY;
+        for n in 0..10 {
+            let c = etm.edge_cost(20.0, 0.5, 9000, n);
+            assert!(c <= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn zero_data_means_no_speedup() {
+        let etm = ExecutionTimeModel::new(1024).unwrap();
+        assert_eq!(etm.edge_cost(5.0, 0.7, 0, 3), 5.0);
+    }
+
+    #[test]
+    fn edge_cost_in_uses_producer_data() {
+        let mut b = DagBuilder::new();
+        let v0 = b.add_node(Node::new(1.0, 4096));
+        let v1 = b.add_node(Node::new(1.0, 0));
+        let e = b.add_edge(v0, v1, 8.0, 0.5).unwrap();
+        let dag = b.build().unwrap();
+        let etm = ExecutionTimeModel::new(2048).unwrap();
+        // 2 ways required; 1 allocated -> 8 * (1 - 0.5 * 1/2) = 6
+        assert!((etm.edge_cost_in(&dag, e, 1) - 6.0).abs() < 1e-12);
+    }
+}

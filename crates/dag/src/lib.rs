@@ -1,0 +1,56 @@
+//! # l15-dag — DAG real-time task model and synthetic workload generation
+//!
+//! This crate implements the task model of Sec. 4.1 of the paper
+//! *"A Cache/Algorithm Co-design for Parallel Real-Time Systems with Data
+//! Dependency on Multi/Many-core System-on-Chips"* (DAC 2024):
+//!
+//! * [`Dag`] / [`DagTask`] — a recurrent DAG task `τ_i = {V_i, E_i, T_i, D_i}`
+//!   with per-node worst-case computation times `C_j`, produced-data volumes
+//!   `δ_j`, and per-edge communication costs `μ_{j,k}` and speed-up ratios
+//!   `α_{j,k}`.
+//! * [`analysis`] — topological orders, longest-path lengths `λ_j`, critical
+//!   paths and makespan bounds, including the dynamic-programming `λ` update
+//!   used by Alg. 1 (line 20).
+//! * [`etm`] — the Execution Time Model of Zhao et al. (RTNS'23, ref. \[15\]),
+//!   `ET(e_{j,k}, n) = μ_{j,k} · (1 − α_{j,k} · n / ⌈δ_j/κ⌉)`, which maps a
+//!   number of allocated L1.5 cache ways to a reduced communication cost.
+//! * [`gen`] — the synthetic DAG generator of Sec. 5.1 (layered topology,
+//!   utilisation-driven workload, critical-path-ratio control).
+//! * [`taskset`] — multi-DAG task-set generation (UUniFast) for the Sec. 5.2
+//!   case study.
+//! * [`topology`] — canonical shapes (chains, fork/join, series-parallel,
+//!   layered meshes) for tests and ablations.
+//! * [`dot`] — Graphviz export, optionally annotated with a schedule plan
+//!   (the Fig. 6 look).
+//!
+//! # Example
+//!
+//! ```
+//! use l15_dag::gen::{DagGenerator, DagGenParams};
+//! use l15_dag::analysis;
+//! use rand::SeedableRng;
+//!
+//! let params = DagGenParams::default();
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let task = DagGenerator::new(params).generate(&mut rng)?;
+//! let order = analysis::topological_order(task.graph());
+//! assert_eq!(order.len(), task.graph().node_count());
+//! # Ok::<(), l15_dag::DagError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dot;
+mod error;
+pub mod etm;
+pub mod gen;
+pub mod model;
+pub mod taskset;
+pub mod textio;
+pub mod topology;
+
+pub use error::DagError;
+pub use etm::ExecutionTimeModel;
+pub use model::{Dag, DagBuilder, DagTask, Edge, EdgeId, Node, NodeId};

@@ -1,0 +1,132 @@
+//! Multi-DAG task-set generation for the Sec. 5.2 case study.
+//!
+//! The case study executes several recurrent DAG tasks with a *target system
+//! utilisation*; we split the target across tasks with the classic UUniFast
+//! algorithm (Bini & Buttazzo, 2005) and generate each task with the layered
+//! generator of [`crate::gen`].
+
+use rand::Rng;
+
+use crate::gen::{DagGenParams, DagGenerator};
+use crate::model::DagTask;
+use crate::DagError;
+
+/// Splits `total` utilisation across `n` tasks uniformly at random
+/// (UUniFast). Every share is strictly positive and they sum to `total`.
+///
+/// # Errors
+///
+/// Returns [`DagError::InvalidParameter`] if `n == 0` or `total <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+/// let shares = l15_dag::taskset::uunifast(4, 2.0, &mut rng)?;
+/// assert_eq!(shares.len(), 4);
+/// assert!((shares.iter().sum::<f64>() - 2.0).abs() < 1e-9);
+/// # Ok::<(), l15_dag::DagError>(())
+/// ```
+pub fn uunifast<R: Rng + ?Sized>(
+    n: usize,
+    total: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, DagError> {
+    if n == 0 {
+        return Err(DagError::InvalidParameter {
+            name: "n",
+            reason: "need at least one task".to_owned(),
+        });
+    }
+    if !(total > 0.0 && total.is_finite()) {
+        return Err(DagError::InvalidParameter {
+            name: "total",
+            reason: format!("must be finite and > 0, got {total}"),
+        });
+    }
+    let mut shares = Vec::with_capacity(n);
+    let mut remaining = total;
+    for i in 1..n {
+        let next = remaining * rng.gen_range(0.0f64..1.0).powf(1.0 / (n - i) as f64);
+        shares.push(remaining - next);
+        remaining = next;
+    }
+    shares.push(remaining);
+    Ok(shares)
+}
+
+/// Parameters for a multi-DAG task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSetParams {
+    /// Number of DAG tasks in the set.
+    pub n_tasks: usize,
+    /// Target total utilisation (e.g. `0.4 · m … 0.9 · m` for `m` cores).
+    pub total_utilisation: f64,
+    /// Per-task generator parameters; each task's `utilisation` field is
+    /// overwritten with its UUniFast share.
+    pub dag: DagGenParams,
+}
+
+/// Generates a task set whose utilisations sum to the target.
+///
+/// # Errors
+///
+/// Propagates parameter-validation errors from [`uunifast`] and the DAG
+/// generator.
+pub fn generate_taskset<R: Rng + ?Sized>(
+    params: &TaskSetParams,
+    rng: &mut R,
+) -> Result<Vec<DagTask>, DagError> {
+    let shares = uunifast(params.n_tasks, params.total_utilisation, rng)?;
+    shares
+        .into_iter()
+        .map(|u| {
+            let gen = DagGenerator::new(DagGenParams {
+                utilisation: u,
+                ..params.dag.clone()
+            });
+            gen.generate(rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for n in [1usize, 2, 5, 20] {
+            let shares = uunifast(n, 3.2, &mut rng).unwrap();
+            assert_eq!(shares.len(), n);
+            assert!((shares.iter().sum::<f64>() - 3.2).abs() < 1e-9);
+            assert!(shares.iter().all(|&s| s > 0.0));
+        }
+    }
+
+    #[test]
+    fn uunifast_rejects_bad_input() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(uunifast(0, 1.0, &mut rng).is_err());
+        assert!(uunifast(3, 0.0, &mut rng).is_err());
+        assert!(uunifast(3, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn taskset_utilisations_sum_to_target() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let params = TaskSetParams {
+            n_tasks: 6,
+            total_utilisation: 4.8, // 60 % of an 8-core system
+            dag: DagGenParams::default(),
+        };
+        let set = generate_taskset(&params, &mut rng).unwrap();
+        assert_eq!(set.len(), 6);
+        let total: f64 = set.iter().map(DagTask::utilisation).sum();
+        assert!((total - 4.8).abs() < 1e-6, "total {total}");
+    }
+}

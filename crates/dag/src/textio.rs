@@ -1,0 +1,251 @@
+//! A small line-oriented text format for DAG tasks, so experiment corpora
+//! can be stored, diffed and replayed:
+//!
+//! ```text
+//! # any comment
+//! task period=120 deadline=120
+//! node 0 wcet=1.5 data=4096
+//! node 1 wcet=2 data=0
+//! edge 0 1 cost=1.2 alpha=0.5
+//! ```
+//!
+//! Writing uses Rust's shortest round-trip float formatting, so
+//! `parse(write(t)) == t` exactly.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::model::{DagBuilder, DagTask, Node, NodeId};
+use crate::DagError;
+
+/// Errors from parsing the `.dag` text format.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseDagError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The `task` header is missing.
+    MissingHeader,
+    /// The graph violated a model invariant.
+    Model(DagError),
+}
+
+impl fmt::Display for ParseDagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDagError::Syntax { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseDagError::MissingHeader => write!(f, "missing `task` header line"),
+            ParseDagError::Model(e) => write!(f, "invalid task: {e}"),
+        }
+    }
+}
+
+impl Error for ParseDagError {}
+
+impl From<DagError> for ParseDagError {
+    fn from(e: DagError) -> Self {
+        ParseDagError::Model(e)
+    }
+}
+
+/// Serialises `task` to the text format.
+pub fn write_task(task: &DagTask) -> String {
+    let dag = task.graph();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "task period={} deadline={}\n",
+        task.period(),
+        task.deadline()
+    ));
+    for v in dag.node_ids() {
+        let n = dag.node(v);
+        out.push_str(&format!("node {} wcet={} data={}\n", v.0, n.wcet, n.data_bytes));
+    }
+    for e in dag.edge_ids() {
+        let edge = dag.edge(e);
+        out.push_str(&format!(
+            "edge {} {} cost={} alpha={}\n",
+            edge.from.0, edge.to.0, edge.cost, edge.alpha
+        ));
+    }
+    out
+}
+
+fn kv<'a>(token: &'a str, key: &str, line: usize) -> Result<&'a str, ParseDagError> {
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| ParseDagError::Syntax {
+            line,
+            reason: format!("expected `{key}=<value>`, got `{token}`"),
+        })
+}
+
+fn num<T: std::str::FromStr>(text: &str, line: usize) -> Result<T, ParseDagError> {
+    text.parse().map_err(|_| ParseDagError::Syntax {
+        line,
+        reason: format!("cannot parse number `{text}`"),
+    })
+}
+
+/// Parses a task from the text format.
+///
+/// Nodes must be declared with consecutive indices starting at 0, before
+/// any edge that references them.
+///
+/// # Errors
+///
+/// Returns [`ParseDagError`] describing the offending line, or the model
+/// violation (cycle, multiple sources, …).
+pub fn parse_task(text: &str) -> Result<DagTask, ParseDagError> {
+    let mut period: Option<(f64, f64)> = None;
+    let mut b = DagBuilder::new();
+
+    for (ix, raw) in text.lines().enumerate() {
+        let line = ix + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut tok = trimmed.split_whitespace();
+        match tok.next() {
+            Some("task") => {
+                let p: f64 = num(kv(tok.next().unwrap_or(""), "period", line)?, line)?;
+                let d: f64 = num(kv(tok.next().unwrap_or(""), "deadline", line)?, line)?;
+                period = Some((p, d));
+            }
+            Some("node") => {
+                let ix: usize = num(tok.next().unwrap_or(""), line)?;
+                if ix != b.node_count() {
+                    return Err(ParseDagError::Syntax {
+                        line,
+                        reason: format!("node indices must be consecutive; expected {}", b.node_count()),
+                    });
+                }
+                let wcet: f64 = num(kv(tok.next().unwrap_or(""), "wcet", line)?, line)?;
+                let data: u64 = num(kv(tok.next().unwrap_or(""), "data", line)?, line)?;
+                if !(wcet.is_finite() && wcet >= 0.0) {
+                    return Err(ParseDagError::Syntax {
+                        line,
+                        reason: format!("wcet must be finite and >= 0, got {wcet}"),
+                    });
+                }
+                b.add_node(Node::new(wcet, data));
+            }
+            Some("edge") => {
+                let from: usize = num(tok.next().unwrap_or(""), line)?;
+                let to: usize = num(tok.next().unwrap_or(""), line)?;
+                let cost: f64 = num(kv(tok.next().unwrap_or(""), "cost", line)?, line)?;
+                let alpha: f64 = num(kv(tok.next().unwrap_or(""), "alpha", line)?, line)?;
+                b.add_edge(NodeId(from), NodeId(to), cost, alpha)?;
+            }
+            Some(other) => {
+                return Err(ParseDagError::Syntax {
+                    line,
+                    reason: format!("unknown directive `{other}`"),
+                })
+            }
+            None => unreachable!("blank lines were skipped"),
+        }
+    }
+
+    let (p, d) = period.ok_or(ParseDagError::MissingHeader)?;
+    Ok(DagTask::new(b.build()?, p, d)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{DagGenParams, DagGenerator};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const SAMPLE: &str = "\
+# a diamond
+task period=100 deadline=90
+node 0 wcet=1 data=2048
+node 1 wcet=2 data=2048
+node 2 wcet=3 data=2048
+node 3 wcet=1 data=0
+edge 0 1 cost=1.5 alpha=0.5
+edge 0 2 cost=1.5 alpha=0.5
+edge 1 3 cost=1 alpha=0.6
+edge 2 3 cost=1 alpha=0.6
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let t = parse_task(SAMPLE).unwrap();
+        assert_eq!(t.graph().node_count(), 4);
+        assert_eq!(t.graph().edge_count(), 4);
+        assert_eq!(t.period(), 100.0);
+        assert_eq!(t.deadline(), 90.0);
+        assert_eq!(t.graph().node(NodeId(2)).wcet, 3.0);
+    }
+
+    #[test]
+    fn roundtrips_exactly() {
+        let t = parse_task(SAMPLE).unwrap();
+        let text = write_task(&t);
+        let t2 = parse_task(&text).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn roundtrips_generated_tasks_bit_exactly() {
+        let gen = DagGenerator::new(DagGenParams::default());
+        for seed in 0..5 {
+            let t = gen.generate(&mut SmallRng::seed_from_u64(seed)).unwrap();
+            let t2 = parse_task(&write_task(&t)).unwrap();
+            assert_eq!(t, t2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let bad = "task period=10 deadline=10\nnode 0 wcet=1 data=0\nbogus here\n";
+        match parse_task(bad).unwrap_err() {
+            ParseDagError::Syntax { line, .. } => assert_eq!(line, 3),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_consecutive_nodes() {
+        let bad = "task period=10 deadline=10\nnode 1 wcet=1 data=0\n";
+        assert!(matches!(
+            parse_task(bad).unwrap_err(),
+            ParseDagError::Syntax { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_header_detected() {
+        assert_eq!(
+            parse_task("node 0 wcet=1 data=0\n").unwrap_err(),
+            ParseDagError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn model_errors_propagate() {
+        let cyclic = "\
+task period=10 deadline=10
+node 0 wcet=1 data=0
+node 1 wcet=1 data=0
+edge 0 1 cost=1 alpha=0.5
+edge 1 0 cost=1 alpha=0.5
+";
+        assert!(matches!(
+            parse_task(cyclic).unwrap_err(),
+            ParseDagError::Model(DagError::Cycle)
+        ));
+    }
+}

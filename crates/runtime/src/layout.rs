@@ -1,0 +1,106 @@
+//! Physical memory layout for DAG-task images: one program region and one
+//! output buffer per node, plus a scratch/raw-data region.
+//!
+//! The case study's convention (Sec. 5.2): "Before runtime, the raw data
+//! used by the tasks was generated and stored in the memory. At run-time,
+//! the cores fetched the raw data, executed the tasks, and then sent the
+//! calculated results back to the memory." Output buffers double as the
+//! dependent-data channels between nodes.
+
+use l15_dag::{Dag, NodeId};
+
+/// Address map of one DAG task image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskLayout {
+    code_base: u32,
+    code_stride: u32,
+    data_base: u32,
+    data_stride: u32,
+    n_nodes: usize,
+}
+
+impl TaskLayout {
+    /// Default code region base.
+    pub const CODE_BASE: u32 = 0x0001_0000;
+    /// Default data region base.
+    pub const DATA_BASE: u32 = 0x0100_0000;
+
+    /// Builds a layout for `dag` with the default bases: 4 KiB of code per
+    /// node, 64 KiB of data per node.
+    pub fn new(dag: &Dag) -> Self {
+        TaskLayout {
+            code_base: Self::CODE_BASE,
+            code_stride: 0x1000,
+            data_base: Self::DATA_BASE,
+            data_stride: 0x1_0000,
+            n_nodes: dag.node_count(),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Entry point of node `v`'s program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn code_of(&self, v: NodeId) -> u32 {
+        assert!(v.0 < self.n_nodes, "node {v} out of range");
+        self.code_base + (v.0 as u32) * self.code_stride
+    }
+
+    /// Base address of node `v`'s output (dependent-data) buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn output_of(&self, v: NodeId) -> u32 {
+        assert!(v.0 < self.n_nodes, "node {v} out of range");
+        self.data_base + (v.0 as u32) * self.data_stride
+    }
+
+    /// Maximum code bytes available per node.
+    pub fn code_capacity(&self) -> u32 {
+        self.code_stride
+    }
+
+    /// Maximum data bytes available per node.
+    pub fn data_capacity(&self) -> u32 {
+        self.data_stride
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l15_dag::{DagBuilder, Node};
+
+    fn two_node_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(Node::new(1.0, 4096));
+        let c = b.add_node(Node::new(1.0, 0));
+        b.add_edge(a, c, 1.0, 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let dag = two_node_dag();
+        let l = TaskLayout::new(&dag);
+        assert_eq!(l.code_of(NodeId(0)), 0x0001_0000);
+        assert_eq!(l.code_of(NodeId(1)), 0x0001_1000);
+        assert_eq!(l.output_of(NodeId(0)), 0x0100_0000);
+        assert_eq!(l.output_of(NodeId(1)), 0x0101_0000);
+        assert!(l.output_of(NodeId(0)) - l.code_of(NodeId(1)) >= l.code_capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let dag = two_node_dag();
+        TaskLayout::new(&dag).code_of(NodeId(5));
+    }
+}

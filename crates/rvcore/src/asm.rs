@@ -1,0 +1,493 @@
+//! A tiny programmatic assembler for building test and runtime programs,
+//! including the five L1.5 instructions of Tab. 1.
+//!
+//! Instructions are appended through builder methods; forward branch/jump
+//! targets are named labels resolved at [`Assembler::finish`].
+//!
+//! # Example
+//!
+//! ```
+//! use l15_rvcore::asm::Assembler;
+//!
+//! let mut a = Assembler::new();
+//! a.li(1, 5);
+//! a.label("loop");
+//! a.addi(1, 1, -1);
+//! a.bne(1, 0, "loop");
+//! a.ebreak();
+//! let words = a.finish()?;
+//! assert_eq!(words.len(), 4);
+//! # Ok::<(), l15_rvcore::asm::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{
+    encode, AluOp, BranchOp, CsrOp, Instr, L15Op, LoadOp, MulOp, Reg, StoreOp,
+};
+
+/// Errors detected at assembly time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A branch or jump refers to a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is out of the ±4 KiB B-type range.
+    BranchOutOfRange {
+        /// The label that is unreachable.
+        label: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range (offset {offset})")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Word(u32),
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, label: String },
+    Jal { rd: Reg, label: String },
+}
+
+/// Incremental program builder.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction count (also the index of the next instruction).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no instruction has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Emits a raw pre-encoded word.
+    pub fn raw(&mut self, word: u32) -> &mut Self {
+        self.items.push(Item::Word(word));
+        self
+    }
+
+    /// Emits an [`Instr`].
+    pub fn instr(&mut self, i: Instr) -> &mut Self {
+        self.raw(encode(i))
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate definition (programming error in the caller).
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let prev = self.labels.insert(name.to_owned(), self.items.len());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+        self
+    }
+
+    // --- pseudo-instructions -------------------------------------------
+
+    /// Loads a 32-bit immediate (expands to `lui`+`addi` when needed).
+    pub fn li(&mut self, rd: Reg, imm: i32) -> &mut Self {
+        if (-2048..=2047).contains(&imm) {
+            self.addi(rd, 0, imm)
+        } else {
+            let hi = (imm as u32).wrapping_add(0x800) & 0xffff_f000;
+            let lo = imm.wrapping_sub(hi as i32);
+            self.instr(Instr::Lui { rd, imm: hi as i32 });
+            if lo != 0 {
+                self.addi(rd, rd, lo);
+            }
+            self
+        }
+    }
+
+    /// Register move.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.addi(0, 0, 0)
+    }
+
+    /// Unconditional jump to a label.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.items.push(Item::Jal { rd: 0, label: label.to_owned() });
+        self
+    }
+
+    /// Call (jal ra, label).
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.items.push(Item::Jal { rd: 1, label: label.to_owned() });
+        self
+    }
+
+    /// Return (`jalr x0, x1, 0`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.instr(Instr::Jalr { rd: 0, rs1: 1, imm: 0 })
+    }
+
+    // --- ALU ---------------------------------------------------------------
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::OpImm { op: AluOp::Add, rd, rs1, imm })
+    }
+
+    /// `andi rd, rs1, imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::OpImm { op: AluOp::And, rd, rs1, imm })
+    }
+
+    /// `ori rd, rs1, imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::OpImm { op: AluOp::Or, rd, rs1, imm })
+    }
+
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.instr(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt })
+    }
+
+    /// `srli rd, rs1, shamt`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.instr(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt })
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.instr(Instr::Op { op: AluOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.instr(Instr::Op { op: AluOp::Sub, rd, rs1, rs2 })
+    }
+
+    /// `and rd, rs1, rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.instr(Instr::Op { op: AluOp::And, rd, rs1, rs2 })
+    }
+
+    /// `or rd, rs1, rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.instr(Instr::Op { op: AluOp::Or, rd, rs1, rs2 })
+    }
+
+    /// `xor rd, rs1, rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.instr(Instr::Op { op: AluOp::Xor, rd, rs1, rs2 })
+    }
+
+    /// `sltu rd, rs1, rs2`
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.instr(Instr::Op { op: AluOp::Sltu, rd, rs1, rs2 })
+    }
+
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.instr(Instr::MulDiv { op: MulOp::Mul, rd, rs1, rs2 })
+    }
+
+    /// `div rd, rs1, rs2`
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.instr(Instr::MulDiv { op: MulOp::Div, rd, rs1, rs2 })
+    }
+
+    /// `rem rd, rs1, rs2`
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.instr(Instr::MulDiv { op: MulOp::Rem, rd, rs1, rs2 })
+    }
+
+    // --- memory ---------------------------------------------------------
+
+    /// `lw rd, imm(rs1)`
+    pub fn lw(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::Load { op: LoadOp::Word, rd, rs1, imm })
+    }
+
+    /// `lb rd, imm(rs1)`
+    pub fn lb(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::Load { op: LoadOp::Byte, rd, rs1, imm })
+    }
+
+    /// `lbu rd, imm(rs1)`
+    pub fn lbu(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::Load { op: LoadOp::ByteU, rd, rs1, imm })
+    }
+
+    /// `lh rd, imm(rs1)`
+    pub fn lh(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::Load { op: LoadOp::Half, rd, rs1, imm })
+    }
+
+    /// `sw rs2, imm(rs1)` — note operand order `(base, src, offset)`.
+    pub fn sw(&mut self, rs1: Reg, rs2: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::Store { op: StoreOp::Word, rs1, rs2, imm })
+    }
+
+    /// `sb rs2, imm(rs1)`
+    pub fn sb(&mut self, rs1: Reg, rs2: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::Store { op: StoreOp::Byte, rs1, rs2, imm })
+    }
+
+    /// `sh rs2, imm(rs1)`
+    pub fn sh(&mut self, rs1: Reg, rs2: Reg, imm: i32) -> &mut Self {
+        self.instr(Instr::Store { op: StoreOp::Half, rs1, rs2, imm })
+    }
+
+    // --- control flow ----------------------------------------------------
+
+    /// `beq rs1, rs2, label`
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch { op: BranchOp::Eq, rs1, rs2, label: label.to_owned() });
+        self
+    }
+
+    /// `bne rs1, rs2, label`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch { op: BranchOp::Ne, rs1, rs2, label: label.to_owned() });
+        self
+    }
+
+    /// `blt rs1, rs2, label`
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch { op: BranchOp::Lt, rs1, rs2, label: label.to_owned() });
+        self
+    }
+
+    /// `bge rs1, rs2, label`
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch { op: BranchOp::Ge, rs1, rs2, label: label.to_owned() });
+        self
+    }
+
+    /// `bltu rs1, rs2, label`
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch { op: BranchOp::Ltu, rs1, rs2, label: label.to_owned() });
+        self
+    }
+
+    // --- system -----------------------------------------------------------
+
+    /// `ecall`
+    pub fn ecall(&mut self) -> &mut Self {
+        self.instr(Instr::Ecall)
+    }
+
+    /// `ebreak`
+    pub fn ebreak(&mut self) -> &mut Self {
+        self.instr(Instr::Ebreak)
+    }
+
+    /// `mret`
+    pub fn mret(&mut self) -> &mut Self {
+        self.instr(Instr::Mret)
+    }
+
+    /// `wfi`
+    pub fn wfi(&mut self) -> &mut Self {
+        self.instr(Instr::Wfi)
+    }
+
+    /// `csrr rd, csr` (read)
+    pub fn csrr(&mut self, rd: Reg, csr: u16) -> &mut Self {
+        self.instr(Instr::Csr { op: CsrOp::ReadSet, rd, src: 0, csr, imm_form: false })
+    }
+
+    /// `csrw csr, scratch, imm`: loads `imm` into `scratch` then writes it
+    /// to `csr`.
+    pub fn csrw(&mut self, csr: u16, scratch: Reg, imm: i32) -> &mut Self {
+        self.li(scratch, imm);
+        self.csrw_reg(csr, scratch)
+    }
+
+    /// `csrw csr, rs` (write from register)
+    pub fn csrw_reg(&mut self, csr: u16, rs: Reg) -> &mut Self {
+        self.instr(Instr::Csr { op: CsrOp::ReadWrite, rd: 0, src: rs, csr, imm_form: false })
+    }
+
+    // --- L1.5 ISA (Tab. 1) -----------------------------------------------
+
+    /// `demand rs1` — apply `rs1` ways from the L1.5 cache (privileged).
+    pub fn demand(&mut self, rs1: Reg) -> &mut Self {
+        self.instr(Instr::L15 { op: L15Op::Demand, rd: 0, rs1 })
+    }
+
+    /// `supply rd` — returns the assigned-way bitmap in `rd`.
+    pub fn supply(&mut self, rd: Reg) -> &mut Self {
+        self.instr(Instr::L15 { op: L15Op::Supply, rd, rs1: 0 })
+    }
+
+    /// `gv_set rs1` — set owned ways' global visibility from a bitmap.
+    pub fn gv_set(&mut self, rs1: Reg) -> &mut Self {
+        self.instr(Instr::L15 { op: L15Op::GvSet, rd: 0, rs1 })
+    }
+
+    /// `gv_get rd` — return owned ways' global visibility.
+    pub fn gv_get(&mut self, rd: Reg) -> &mut Self {
+        self.instr(Instr::L15 { op: L15Op::GvGet, rd, rs1: 0 })
+    }
+
+    /// `ip_set rs1` — set the inclusion policy of all owned ways.
+    pub fn ip_set(&mut self, rs1: Reg) -> &mut Self {
+        self.instr(Instr::L15 { op: L15Op::IpSet, rd: 0, rs1 })
+    }
+
+    /// Resolves labels and returns the encoded words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] on undefined labels or out-of-range branches.
+    pub fn finish(self) -> Result<Vec<u32>, AsmError> {
+        let mut words = Vec::with_capacity(self.items.len());
+        for (ix, item) in self.items.iter().enumerate() {
+            let word = match item {
+                Item::Word(w) => *w,
+                Item::Branch { op, rs1, rs2, label } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                    let offset = (target as i64 - ix as i64) * 4;
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
+                    }
+                    encode(Instr::Branch { op: *op, rs1: *rs1, rs2: *rs2, imm: offset as i32 })
+                }
+                Item::Jal { rd, label } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                    let offset = (target as i64 - ix as i64) * 4;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
+                    }
+                    encode(Instr::Jal { rd: *rd, imm: offset as i32 })
+                }
+            };
+            words.push(word);
+        }
+        Ok(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::decode;
+
+    #[test]
+    fn li_small_and_large() {
+        let mut a = Assembler::new();
+        a.li(1, 42);
+        a.li(2, 0x12345678);
+        a.li(3, -1);
+        let words = a.finish().unwrap();
+        // 42 -> addi; 0x12345678 -> lui+addi; -1 -> addi
+        assert_eq!(words.len(), 4);
+        assert!(matches!(decode(words[0]).unwrap(), Instr::OpImm { .. }));
+        assert!(matches!(decode(words[1]).unwrap(), Instr::Lui { .. }));
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Assembler::new();
+        a.label("start");
+        a.beq(0, 0, "end"); // forward
+        a.j("start"); // backward
+        a.label("end");
+        a.ebreak();
+        let words = a.finish().unwrap();
+        match decode(words[0]).unwrap() {
+            Instr::Branch { imm, .. } => assert_eq!(imm, 8),
+            other => panic!("{other:?}"),
+        }
+        match decode(words[1]).unwrap() {
+            Instr::Jal { imm, .. } => assert_eq!(imm, -4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Assembler::new();
+        a.beq(0, 0, "nowhere");
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".to_owned())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn l15_instructions_encode() {
+        let mut a = Assembler::new();
+        a.demand(10);
+        a.supply(11);
+        a.gv_set(12);
+        a.gv_get(13);
+        a.ip_set(14);
+        let words = a.finish().unwrap();
+        assert_eq!(decode(words[0]).unwrap(), Instr::L15 { op: L15Op::Demand, rd: 0, rs1: 10 });
+        assert_eq!(decode(words[1]).unwrap(), Instr::L15 { op: L15Op::Supply, rd: 11, rs1: 0 });
+        assert_eq!(decode(words[4]).unwrap(), Instr::L15 { op: L15Op::IpSet, rd: 0, rs1: 14 });
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let mut a = Assembler::new();
+        a.beq(0, 0, "far");
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.label("far");
+        a.ebreak();
+        assert!(matches!(
+            a.finish().unwrap_err(),
+            AsmError::BranchOutOfRange { .. }
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! The core ↔ memory-system interface.
+//!
+//! A [`SystemBus`] is what the SoC composition layer (`l15-soc`) plugs into
+//! each core: instruction fetches and data accesses flow through it into the
+//! L1 / L1.5 / L2 / DRAM hierarchy, and the five L1.5 control operations —
+//! separated from loads/stores by the Mini-Decoder at the MA stage (Fig. 3
+//! ⓑ) — hit its dedicated control-port methods.
+//!
+//! Addresses arrive **pre-translated**: the core passes both the virtual
+//! address (for the L1.5's virtual index) and the physical address (for
+//! tags), mirroring how the IPU combines the virtual index with the TLB's
+//! physical tag (Fig. 3 ⓐ).
+
+use crate::isa::L15Op;
+
+/// Result of a fetch or load through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// The loaded value (zero-extended to 32 bits).
+    pub value: u32,
+    /// Cycles the access occupied the memory pipeline.
+    pub cycles: u32,
+    /// Whether the data was served by the L1.5 (enables the EX-stage
+    /// forwarding channel of Fig. 3 ⓓ).
+    pub from_l15: bool,
+}
+
+/// Result of an L1.5 control operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlAccess {
+    /// Value returned to `rd` (for `supply`/`gv_get`; 0 otherwise).
+    pub value: u32,
+    /// Cycles the control port was occupied.
+    pub cycles: u32,
+}
+
+/// The memory system as seen by one core.
+pub trait SystemBus {
+    /// Fetches the 32-bit instruction at `paddr` (virtual `vaddr`).
+    fn fetch(&mut self, core: usize, vaddr: u32, paddr: u32) -> MemAccess;
+
+    /// Loads `size` bytes (1, 2 or 4) at `paddr`, zero-extended.
+    fn load(&mut self, core: usize, vaddr: u32, paddr: u32, size: u32) -> MemAccess;
+
+    /// Stores the low `size` bytes of `value` at `paddr`. Returns the cycle
+    /// cost.
+    fn store(&mut self, core: usize, vaddr: u32, paddr: u32, size: u32, value: u32) -> u32;
+
+    /// Executes one L1.5 control operation (`demand`/`supply`/`gv_set`/
+    /// `gv_get`/`ip_set`) for `core` with operand `arg` (a way count for
+    /// `demand`, a bitmap for `gv_set`, a policy selector for `ip_set`).
+    fn l15_ctrl(&mut self, core: usize, op: L15Op, arg: u32) -> CtrlAccess;
+}
+
+/// A flat, fixed-latency bus for unit tests and bare-metal program tests:
+/// one memory array, no caches, L1.5 control ops are accepted but inert.
+#[derive(Debug, Clone)]
+pub struct FlatBus {
+    mem: Vec<u8>,
+    latency: u32,
+}
+
+impl FlatBus {
+    /// Creates a flat bus backed by `size` bytes of zeroed memory.
+    pub fn new(size: usize, latency: u32) -> Self {
+        FlatBus { mem: vec![0; size], latency }
+    }
+
+    /// Loads a program (32-bit words) at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit.
+    pub fn load_program(&mut self, addr: u32, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            let a = addr as usize + i * 4;
+            self.mem[a..a + 4].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Reads a 32-bit word (test inspection).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_le_bytes(self.mem[a..a + 4].try_into().expect("in range"))
+    }
+
+    /// Writes a 32-bit word (test setup).
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let a = addr as usize;
+        self.mem[a..a + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    fn read_bytes(&self, addr: u32, size: u32) -> u32 {
+        let mut v = 0u32;
+        for i in 0..size {
+            v |= (self.mem[(addr + i) as usize] as u32) << (8 * i);
+        }
+        v
+    }
+}
+
+impl SystemBus for FlatBus {
+    fn fetch(&mut self, _core: usize, _vaddr: u32, paddr: u32) -> MemAccess {
+        MemAccess {
+            value: self.read_bytes(paddr, 4),
+            cycles: self.latency,
+            from_l15: false,
+        }
+    }
+
+    fn load(&mut self, _core: usize, _vaddr: u32, paddr: u32, size: u32) -> MemAccess {
+        MemAccess {
+            value: self.read_bytes(paddr, size),
+            cycles: self.latency,
+            from_l15: false,
+        }
+    }
+
+    fn store(&mut self, _core: usize, _vaddr: u32, paddr: u32, size: u32, value: u32) -> u32 {
+        for i in 0..size {
+            self.mem[(paddr + i) as usize] = (value >> (8 * i)) as u8;
+        }
+        self.latency
+    }
+
+    fn l15_ctrl(&mut self, _core: usize, _op: L15Op, _arg: u32) -> CtrlAccess {
+        CtrlAccess { value: 0, cycles: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatbus_roundtrip() {
+        let mut b = FlatBus::new(1024, 1);
+        b.write_u32(0x10, 0xdead_beef);
+        assert_eq!(b.read_u32(0x10), 0xdead_beef);
+        let a = b.load(0, 0x10, 0x10, 4);
+        assert_eq!(a.value, 0xdead_beef);
+        assert!(!a.from_l15);
+        let a = b.load(0, 0x10, 0x10, 2);
+        assert_eq!(a.value, 0xbeef);
+    }
+
+    #[test]
+    fn flatbus_store_sizes() {
+        let mut b = FlatBus::new(64, 1);
+        b.store(0, 0, 0, 4, 0x1122_3344);
+        b.store(0, 0, 0, 1, 0xff);
+        assert_eq!(b.read_u32(0), 0x1122_33ff);
+    }
+
+    #[test]
+    fn program_loading() {
+        let mut b = FlatBus::new(64, 1);
+        b.load_program(0, &[1, 2, 3]);
+        assert_eq!(b.read_u32(4), 2);
+        assert_eq!(b.fetch(0, 8, 8).value, 3);
+    }
+}

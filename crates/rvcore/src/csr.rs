@@ -1,0 +1,204 @@
+//! Control and status registers (the subset the simulator needs):
+//! machine-mode trap handling (`mstatus`, `mtvec`, `mepc`, `mcause`),
+//! cycle/instret counters, and an `sasid` register naming the active
+//! address space (stand-in for `satp.ASID`).
+
+/// CSR addresses used by the simulator.
+pub mod addr {
+    /// Machine status.
+    pub const MSTATUS: u16 = 0x300;
+    /// Machine trap vector.
+    pub const MTVEC: u16 = 0x305;
+    /// Machine exception PC.
+    pub const MEPC: u16 = 0x341;
+    /// Machine trap cause.
+    pub const MCAUSE: u16 = 0x342;
+    /// Machine trap value (faulting address).
+    pub const MTVAL: u16 = 0x343;
+    /// Machine scratch.
+    pub const MSCRATCH: u16 = 0x340;
+    /// Active address-space id (simplified stand-in for `satp`).
+    pub const SASID: u16 = 0x180;
+    /// Cycle counter (read-only low word).
+    pub const CYCLE: u16 = 0xC00;
+    /// Retired-instruction counter (read-only low word).
+    pub const INSTRET: u16 = 0xC02;
+    /// Hart id.
+    pub const MHARTID: u16 = 0xF14;
+}
+
+/// Privilege levels (the paper's `Priv` column: 1 = kernel, 0 = user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PrivLevel {
+    /// User mode.
+    User = 0,
+    /// Machine (kernel) mode.
+    #[default]
+    Machine = 1,
+}
+
+/// The CSR file of one hart.
+#[derive(Debug, Clone, Default)]
+pub struct CsrFile {
+    /// `mstatus.MPP`-style saved privilege for `mret`.
+    pub mpp: PrivLevel,
+    /// `mstatus.MIE` (unused by the simulator but kept for completeness).
+    pub mie: bool,
+    mtvec: u32,
+    mepc: u32,
+    mcause: u32,
+    mtval: u32,
+    mscratch: u32,
+    sasid: u32,
+    /// Cycle counter, advanced by the pipeline model.
+    pub cycle: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    hartid: u32,
+}
+
+impl CsrFile {
+    /// Creates the CSR file for hart `hartid`.
+    pub fn new(hartid: u32) -> Self {
+        CsrFile { hartid, ..Default::default() }
+    }
+
+    /// Active ASID (drives the MMU and the L1.5 TID protector).
+    pub fn asid(&self) -> u16 {
+        self.sasid as u16
+    }
+
+    /// Trap vector base.
+    pub fn mtvec(&self) -> u32 {
+        self.mtvec
+    }
+
+    /// Saved exception PC.
+    pub fn mepc(&self) -> u32 {
+        self.mepc
+    }
+
+    /// Trap cause code.
+    pub fn mcause(&self) -> u32 {
+        self.mcause
+    }
+
+    /// Records trap state (cause, faulting PC, trap value, saved privilege).
+    pub fn enter_trap(&mut self, cause: u32, epc: u32, tval: u32, prev: PrivLevel) {
+        self.mcause = cause;
+        self.mepc = epc;
+        self.mtval = tval;
+        self.mpp = prev;
+    }
+
+    /// Reads a CSR. Unknown CSRs read as zero (permissive, as many cores do
+    /// for hint CSRs); privilege checking happens in the core.
+    pub fn read(&self, csr: u16) -> u32 {
+        match csr {
+            addr::MSTATUS => ((self.mpp as u32) << 11) | ((self.mie as u32) << 3),
+            addr::MTVEC => self.mtvec,
+            addr::MEPC => self.mepc,
+            addr::MCAUSE => self.mcause,
+            addr::MTVAL => self.mtval,
+            addr::MSCRATCH => self.mscratch,
+            addr::SASID => self.sasid,
+            addr::CYCLE => self.cycle as u32,
+            addr::INSTRET => self.instret as u32,
+            addr::MHARTID => self.hartid,
+            _ => 0,
+        }
+    }
+
+    /// Writes a CSR. Read-only counters and unknown CSRs ignore writes.
+    pub fn write(&mut self, csr: u16, value: u32) {
+        match csr {
+            addr::MSTATUS => {
+                self.mpp = if (value >> 11) & 0b11 != 0 {
+                    PrivLevel::Machine
+                } else {
+                    PrivLevel::User
+                };
+                self.mie = (value >> 3) & 1 == 1;
+            }
+            addr::MTVEC => self.mtvec = value & !0b11,
+            addr::MEPC => self.mepc = value & !0b1,
+            addr::MCAUSE => self.mcause = value,
+            addr::MTVAL => self.mtval = value,
+            addr::MSCRATCH => self.mscratch = value,
+            addr::SASID => self.sasid = value & 0xffff,
+            _ => {}
+        }
+    }
+}
+
+/// Standard RISC-V trap cause codes used by the simulator.
+pub mod cause {
+    /// Illegal instruction.
+    pub const ILLEGAL_INSTRUCTION: u32 = 2;
+    /// Breakpoint (`ebreak`).
+    pub const BREAKPOINT: u32 = 3;
+    /// Load page fault.
+    pub const LOAD_PAGE_FAULT: u32 = 13;
+    /// Store page fault.
+    pub const STORE_PAGE_FAULT: u32 = 15;
+    /// Instruction page fault.
+    pub const INSTRUCTION_PAGE_FAULT: u32 = 12;
+    /// Environment call from U-mode.
+    pub const ECALL_FROM_U: u32 = 8;
+    /// Environment call from M-mode.
+    pub const ECALL_FROM_M: u32 = 11;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_roundtrip() {
+        let mut f = CsrFile::new(3);
+        f.write(addr::MTVEC, 0x8000_0101); // low bits cleared
+        assert_eq!(f.read(addr::MTVEC), 0x8000_0100);
+        f.write(addr::MSCRATCH, 42);
+        assert_eq!(f.read(addr::MSCRATCH), 42);
+        assert_eq!(f.read(addr::MHARTID), 3);
+    }
+
+    #[test]
+    fn counters_read_low_word() {
+        let mut f = CsrFile::new(0);
+        f.cycle = 0x1_0000_0005;
+        f.instret = 7;
+        assert_eq!(f.read(addr::CYCLE), 5);
+        assert_eq!(f.read(addr::INSTRET), 7);
+        // Writes to counters are ignored.
+        f.write(addr::CYCLE, 99);
+        assert_eq!(f.read(addr::CYCLE), 5);
+    }
+
+    #[test]
+    fn asid_is_16_bit() {
+        let mut f = CsrFile::new(0);
+        f.write(addr::SASID, 0xdead_beef);
+        assert_eq!(f.asid(), 0xbeef);
+    }
+
+    #[test]
+    fn trap_state_saved() {
+        let mut f = CsrFile::new(0);
+        f.enter_trap(cause::ECALL_FROM_U, 0x100, 0, PrivLevel::User);
+        assert_eq!(f.mcause(), cause::ECALL_FROM_U);
+        assert_eq!(f.mepc(), 0x100);
+        assert_eq!(f.mpp, PrivLevel::User);
+    }
+
+    #[test]
+    fn mstatus_encodes_mpp_and_mie() {
+        let mut f = CsrFile::new(0);
+        f.write(addr::MSTATUS, (0b11 << 11) | (1 << 3));
+        assert_eq!(f.mpp, PrivLevel::Machine);
+        assert!(f.mie);
+        f.write(addr::MSTATUS, 0);
+        assert_eq!(f.mpp, PrivLevel::User);
+        assert!(!f.mie);
+    }
+}

@@ -1,0 +1,255 @@
+//! Disassembly: renders decoded instructions in standard RISC-V assembly
+//! syntax (plus the five L1.5 mnemonics of Tab. 1), used by trace dumps
+//! and debugging output.
+
+use std::fmt;
+
+use crate::isa::{AluOp, BranchOp, CsrOp, Instr, L15Op, LoadOp, MulOp, StoreOp};
+
+/// ABI register names (`x0` → `zero`, …).
+pub const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+    "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+];
+
+fn r(reg: u8) -> &'static str {
+    ABI_NAMES[reg as usize & 31]
+}
+
+/// Wrapper whose `Display` renders the instruction as assembly text.
+///
+/// # Example
+///
+/// ```
+/// use l15_rvcore::disasm::Disasm;
+/// use l15_rvcore::isa::decode;
+///
+/// let word = 0x00a28293; // addi t0, t0, 10
+/// let text = format!("{}", Disasm(decode(word)?));
+/// assert_eq!(text, "addi t0, t0, 10");
+/// # Ok::<(), l15_rvcore::isa::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disasm(pub Instr);
+
+impl fmt::Display for Disasm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Instr::Lui { rd, imm } => write!(f, "lui {}, {:#x}", r(rd), (imm as u32) >> 12),
+            Instr::Auipc { rd, imm } => {
+                write!(f, "auipc {}, {:#x}", r(rd), (imm as u32) >> 12)
+            }
+            Instr::Jal { rd, imm } => {
+                if rd == 0 {
+                    write!(f, "j {imm}")
+                } else {
+                    write!(f, "jal {}, {imm}", r(rd))
+                }
+            }
+            Instr::Jalr { rd, rs1, imm } => {
+                if rd == 0 && imm == 0 && rs1 == 1 {
+                    write!(f, "ret")
+                } else {
+                    write!(f, "jalr {}, {}({})", r(rd), imm, r(rs1))
+                }
+            }
+            Instr::Branch { op, rs1, rs2, imm } => {
+                let m = match op {
+                    BranchOp::Eq => "beq",
+                    BranchOp::Ne => "bne",
+                    BranchOp::Lt => "blt",
+                    BranchOp::Ge => "bge",
+                    BranchOp::Ltu => "bltu",
+                    BranchOp::Geu => "bgeu",
+                };
+                write!(f, "{m} {}, {}, {imm}", r(rs1), r(rs2))
+            }
+            Instr::Load { op, rd, rs1, imm } => {
+                let m = match op {
+                    LoadOp::Byte => "lb",
+                    LoadOp::Half => "lh",
+                    LoadOp::Word => "lw",
+                    LoadOp::ByteU => "lbu",
+                    LoadOp::HalfU => "lhu",
+                };
+                write!(f, "{m} {}, {imm}({})", r(rd), r(rs1))
+            }
+            Instr::Store { op, rs1, rs2, imm } => {
+                let m = match op {
+                    StoreOp::Byte => "sb",
+                    StoreOp::Half => "sh",
+                    StoreOp::Word => "sw",
+                };
+                write!(f, "{m} {}, {imm}({})", r(rs2), r(rs1))
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                if op == AluOp::Add && rd == 0 && rs1 == 0 && imm == 0 {
+                    return write!(f, "nop");
+                }
+                if op == AluOp::Add && rs1 == 0 {
+                    return write!(f, "li {}, {imm}", r(rd));
+                }
+                if op == AluOp::Add && imm == 0 {
+                    return write!(f, "mv {}, {}", r(rd), r(rs1));
+                }
+                let m = match op {
+                    AluOp::Add => "addi",
+                    AluOp::Sll => "slli",
+                    AluOp::Slt => "slti",
+                    AluOp::Sltu => "sltiu",
+                    AluOp::Xor => "xori",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    AluOp::Or => "ori",
+                    AluOp::And => "andi",
+                    AluOp::Sub => "addi", // encoded as addi with negative imm
+                };
+                write!(f, "{m} {}, {}, {imm}", r(rd), r(rs1))
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                };
+                write!(f, "{m} {}, {}, {}", r(rd), r(rs1), r(rs2))
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    MulOp::Mul => "mul",
+                    MulOp::Mulh => "mulh",
+                    MulOp::Mulhsu => "mulhsu",
+                    MulOp::Mulhu => "mulhu",
+                    MulOp::Div => "div",
+                    MulOp::Divu => "divu",
+                    MulOp::Rem => "rem",
+                    MulOp::Remu => "remu",
+                };
+                write!(f, "{m} {}, {}, {}", r(rd), r(rs1), r(rs2))
+            }
+            Instr::Fence => write!(f, "fence"),
+            Instr::Ecall => write!(f, "ecall"),
+            Instr::Ebreak => write!(f, "ebreak"),
+            Instr::Mret => write!(f, "mret"),
+            Instr::Wfi => write!(f, "wfi"),
+            Instr::Csr { op, rd, src, csr, imm_form } => {
+                let m = match (op, imm_form) {
+                    (CsrOp::ReadWrite, false) => "csrrw",
+                    (CsrOp::ReadSet, false) => "csrrs",
+                    (CsrOp::ReadClear, false) => "csrrc",
+                    (CsrOp::ReadWrite, true) => "csrrwi",
+                    (CsrOp::ReadSet, true) => "csrrsi",
+                    (CsrOp::ReadClear, true) => "csrrci",
+                };
+                if imm_form {
+                    write!(f, "{m} {}, {csr:#x}, {src}", r(rd))
+                } else {
+                    write!(f, "{m} {}, {csr:#x}, {}", r(rd), r(src))
+                }
+            }
+            Instr::L15 { op, rd, rs1 } => match op {
+                L15Op::Demand => write!(f, "demand {}", r(rs1)),
+                L15Op::Supply => write!(f, "supply {}", r(rd)),
+                L15Op::GvSet => write!(f, "gv_set {}", r(rs1)),
+                L15Op::GvGet => write!(f, "gv_get {}", r(rd)),
+                L15Op::IpSet => write!(f, "ip_set {}", r(rs1)),
+            },
+        }
+    }
+}
+
+/// Disassembles a raw word, or renders it as `.word` when undecodable.
+pub fn disassemble(word: u32) -> String {
+    match crate::isa::decode(word) {
+        Ok(i) => format!("{}", Disasm(i)),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+/// Disassembles a program listing with addresses.
+pub fn listing(base: u32, words: &[u32]) -> String {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| format!("{:#010x}:  {}", base + 4 * i as u32, disassemble(w)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::isa::encode;
+
+    #[test]
+    fn common_mnemonics() {
+        let cases = [
+            (Instr::OpImm { op: AluOp::Add, rd: 5, rs1: 5, imm: 10 }, "addi t0, t0, 10"),
+            (Instr::OpImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 7 }, "li a0, 7"),
+            (Instr::OpImm { op: AluOp::Add, rd: 0, rs1: 0, imm: 0 }, "nop"),
+            (Instr::OpImm { op: AluOp::Add, rd: 3, rs1: 4, imm: 0 }, "mv gp, tp"),
+            (Instr::Op { op: AluOp::Sub, rd: 1, rs1: 2, rs2: 3 }, "sub ra, sp, gp"),
+            (Instr::Load { op: LoadOp::Word, rd: 10, rs1: 2, imm: -4 }, "lw a0, -4(sp)"),
+            (Instr::Store { op: StoreOp::Word, rs1: 2, rs2: 10, imm: 8 }, "sw a0, 8(sp)"),
+            (Instr::Jal { rd: 0, imm: -8 }, "j -8"),
+            (Instr::Jalr { rd: 0, rs1: 1, imm: 0 }, "ret"),
+            (Instr::Ebreak, "ebreak"),
+            (Instr::L15 { op: L15Op::Demand, rd: 0, rs1: 10 }, "demand a0"),
+            (Instr::L15 { op: L15Op::Supply, rd: 11, rs1: 0 }, "supply a1"),
+            (Instr::L15 { op: L15Op::GvSet, rd: 0, rs1: 12 }, "gv_set a2"),
+        ];
+        for (instr, text) in cases {
+            assert_eq!(format!("{}", Disasm(instr)), text);
+        }
+    }
+
+    #[test]
+    fn doc_example_word() {
+        assert_eq!(disassemble(0x00a28293), "addi t0, t0, 10");
+    }
+
+    #[test]
+    fn garbage_renders_as_word() {
+        assert_eq!(disassemble(0xffff_ffff), ".word 0xffffffff");
+    }
+
+    #[test]
+    fn listing_includes_addresses() {
+        let mut a = Assembler::new();
+        a.li(1, 1);
+        a.ebreak();
+        let words = a.finish().unwrap();
+        let text = listing(0x100, &words);
+        assert!(text.starts_with("0x00000100:  li ra, 1"));
+        assert!(text.contains("0x00000104:  ebreak"));
+    }
+
+    #[test]
+    fn every_encodable_instruction_disassembles() {
+        // Smoke: every round-trippable instruction produces non-empty text.
+        let samples = [
+            Instr::Lui { rd: 1, imm: 0x1000 },
+            Instr::Auipc { rd: 1, imm: 0x2000 },
+            Instr::Branch { op: BranchOp::Geu, rs1: 1, rs2: 2, imm: 16 },
+            Instr::MulDiv { op: MulOp::Remu, rd: 1, rs1: 2, rs2: 3 },
+            Instr::Csr { op: CsrOp::ReadWrite, rd: 1, src: 2, csr: 0x300, imm_form: false },
+            Instr::Csr { op: CsrOp::ReadSet, rd: 1, src: 5, csr: 0x300, imm_form: true },
+            Instr::Fence,
+            Instr::Mret,
+            Instr::Wfi,
+        ];
+        for i in samples {
+            let text = disassemble(encode(i));
+            assert!(!text.is_empty() && !text.starts_with(".word"), "{i:?} -> {text}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Address translation: segment-based mapping plus a TLB.
+//!
+//! The paper assumes the core "incorporates a TLB and supports the full
+//! privilege levels stipulated by RISC-V, meaning that user applications
+//! always use virtual addresses" (Sec. 2). We model translation with
+//! per-ASID segment windows (base + limit), which keeps virtual ≠ physical —
+//! the property the VIPT L1.5 addressing depends on — without simulating
+//! full Sv32 page-table walks. A small fully-associative TLB caches
+//! translations per page; a miss costs a configurable walk penalty.
+
+use std::error::Error;
+use std::fmt;
+
+/// Page size used by the TLB (4 KiB, as RISC-V Sv32).
+pub const PAGE_BITS: u32 = 12;
+
+/// A fault raised during translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslateFault {
+    /// The virtual address that faulted.
+    pub vaddr: u32,
+    /// ASID active at the time.
+    pub asid: u16,
+}
+
+impl fmt::Display for TranslateFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page fault at {:#010x} (asid {})", self.vaddr, self.asid)
+    }
+}
+
+impl Error for TranslateFault {}
+
+/// One segment window: virtual `[vbase, vbase+len)` maps to physical
+/// `[pbase, pbase+len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Virtual base (page-aligned).
+    pub vbase: u32,
+    /// Physical base (page-aligned).
+    pub pbase: u32,
+    /// Window length in bytes (page-aligned).
+    pub len: u32,
+}
+
+impl Segment {
+    fn translate(&self, vaddr: u32) -> Option<u32> {
+        if vaddr >= self.vbase && vaddr - self.vbase < self.len {
+            Some(self.pbase + (vaddr - self.vbase))
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TlbEntry {
+    asid: u16,
+    vpn: u32,
+    ppn: u32,
+}
+
+/// Segment-table MMU with a fully-associative FIFO TLB.
+#[derive(Debug, Clone)]
+pub struct Mmu {
+    /// `(asid, segment)` mappings; an empty table means identity mapping
+    /// (machine-mode-style bare translation).
+    segments: Vec<(u16, Segment)>,
+    tlb: Vec<TlbEntry>,
+    tlb_capacity: usize,
+    tlb_fifo: usize,
+    walk_penalty: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl Mmu {
+    /// Creates an MMU with a TLB of `tlb_capacity` entries and a table-walk
+    /// penalty of `walk_penalty` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tlb_capacity == 0`.
+    pub fn new(tlb_capacity: usize, walk_penalty: u32) -> Self {
+        assert!(tlb_capacity > 0, "TLB needs at least one entry");
+        Mmu {
+            segments: Vec::new(),
+            tlb: Vec::new(),
+            tlb_capacity,
+            tlb_fifo: 0,
+            walk_penalty,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Installs a segment mapping for `asid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is not page-aligned.
+    pub fn map(&mut self, asid: u16, segment: Segment) {
+        let mask = (1u32 << PAGE_BITS) - 1;
+        assert_eq!(segment.vbase & mask, 0, "vbase must be page-aligned");
+        assert_eq!(segment.pbase & mask, 0, "pbase must be page-aligned");
+        assert_eq!(segment.len & mask, 0, "len must be page-aligned");
+        self.segments.push((asid, segment));
+    }
+
+    /// Flushes the TLB (e.g. on a context switch to a new address space).
+    pub fn flush_tlb(&mut self) {
+        self.tlb.clear();
+        self.tlb_fifo = 0;
+    }
+
+    /// TLB hit count.
+    pub fn tlb_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// TLB miss count.
+    pub fn tlb_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Translates `vaddr` under `asid`, returning `(paddr, extra_cycles)`.
+    ///
+    /// With no segments installed the MMU is *bare*: identity translation,
+    /// zero cost (machine mode before the OS configures address spaces).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateFault`] when no segment of `asid` covers `vaddr`.
+    pub fn translate(&mut self, asid: u16, vaddr: u32) -> Result<(u32, u32), TranslateFault> {
+        if self.segments.is_empty() {
+            return Ok((vaddr, 0));
+        }
+        let vpn = vaddr >> PAGE_BITS;
+        let off = vaddr & ((1 << PAGE_BITS) - 1);
+        if let Some(e) = self.tlb.iter().find(|e| e.asid == asid && e.vpn == vpn) {
+            self.hits += 1;
+            return Ok(((e.ppn << PAGE_BITS) | off, 0));
+        }
+        // Walk the segment table.
+        let paddr = self
+            .segments
+            .iter()
+            .filter(|(a, _)| *a == asid)
+            .find_map(|(_, s)| s.translate(vaddr))
+            .ok_or(TranslateFault { vaddr, asid })?;
+        self.misses += 1;
+        let entry = TlbEntry { asid, vpn, ppn: paddr >> PAGE_BITS };
+        if self.tlb.len() < self.tlb_capacity {
+            self.tlb.push(entry);
+        } else {
+            self.tlb[self.tlb_fifo] = entry;
+            self.tlb_fifo = (self.tlb_fifo + 1) % self.tlb_capacity;
+        }
+        Ok((paddr, self.walk_penalty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_mmu_is_identity_and_free() {
+        let mut m = Mmu::new(8, 20);
+        assert_eq!(m.translate(0, 0x8000_1234).unwrap(), (0x8000_1234, 0));
+    }
+
+    #[test]
+    fn segment_translation() {
+        let mut m = Mmu::new(8, 20);
+        m.map(1, Segment { vbase: 0x0001_0000, pbase: 0x8000_0000, len: 0x1_0000 });
+        let (p, cost) = m.translate(1, 0x0001_2345).unwrap();
+        assert_eq!(p, 0x8000_2345);
+        assert_eq!(cost, 20, "first access walks the table");
+        let (p2, cost2) = m.translate(1, 0x0001_2345).unwrap();
+        assert_eq!(p2, p);
+        assert_eq!(cost2, 0, "second access hits the TLB");
+        assert_eq!(m.tlb_hits(), 1);
+        assert_eq!(m.tlb_misses(), 1);
+    }
+
+    #[test]
+    fn fault_outside_segments() {
+        let mut m = Mmu::new(8, 20);
+        m.map(1, Segment { vbase: 0, pbase: 0x8000_0000, len: 0x1000 });
+        assert!(m.translate(1, 0x2000).is_err());
+        assert!(m.translate(2, 0x0).is_err(), "other asid has no mapping");
+    }
+
+    #[test]
+    fn asids_are_isolated() {
+        let mut m = Mmu::new(8, 10);
+        m.map(1, Segment { vbase: 0, pbase: 0x1000_0000, len: 0x1000 });
+        m.map(2, Segment { vbase: 0, pbase: 0x2000_0000, len: 0x1000 });
+        assert_eq!(m.translate(1, 0x10).unwrap().0, 0x1000_0010);
+        assert_eq!(m.translate(2, 0x10).unwrap().0, 0x2000_0010);
+        // TLB entries do not leak across ASIDs.
+        assert_eq!(m.tlb_misses(), 2);
+    }
+
+    #[test]
+    fn tlb_evicts_fifo_when_full() {
+        let mut m = Mmu::new(2, 5);
+        m.map(0, Segment { vbase: 0, pbase: 0x8000_0000, len: 0x10_0000 });
+        m.translate(0, 0x0000).unwrap(); // page 0: miss
+        m.translate(0, 0x1000).unwrap(); // page 1: miss
+        m.translate(0, 0x2000).unwrap(); // page 2: miss, evicts page 0
+        assert_eq!(m.tlb_misses(), 3);
+        let (_, cost) = m.translate(0, 0x0000).unwrap(); // page 0 again
+        assert_eq!(cost, 5, "page 0 was evicted");
+    }
+
+    #[test]
+    fn flush_clears_entries() {
+        let mut m = Mmu::new(4, 5);
+        m.map(0, Segment { vbase: 0, pbase: 0x8000_0000, len: 0x1000 });
+        m.translate(0, 0x0).unwrap();
+        m.flush_tlb();
+        let (_, cost) = m.translate(0, 0x0).unwrap();
+        assert_eq!(cost, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn unaligned_segment_panics() {
+        let mut m = Mmu::new(4, 5);
+        m.map(0, Segment { vbase: 0x10, pbase: 0, len: 0x1000 });
+    }
+}

@@ -1,0 +1,185 @@
+//! SoC configuration mirroring the paper's experimental platform (Sec. 5):
+//! 8/16-core SoCs organised as clusters of four cores, each core with 4 KiB
+//! L1 I/D caches (1–2 cycles), one L1.5 per cluster (16 × 2 KiB ways, 2–8
+//! cycles), a shared 512 KiB L2 (15–25 cycles) and external memory.
+
+use l15_cache::l15::L15Config;
+
+/// Geometry + latency of one conventional cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelConfig {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Minimum hit latency (cycles).
+    pub lat_min: u32,
+    /// Maximum hit latency (cycles).
+    pub lat_max: u32,
+}
+
+/// Full SoC configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocConfig {
+    /// Number of computing clusters (2 → 8 cores, 4 → 16 cores).
+    pub clusters: usize,
+    /// Cores per cluster (the paper: 4).
+    pub cores_per_cluster: usize,
+    /// Per-core L1 instruction cache.
+    pub l1i: LevelConfig,
+    /// Per-core L1 data cache.
+    pub l1d: LevelConfig,
+    /// The L1.5 cache per cluster; `None` builds a legacy system without it
+    /// (the CMP baselines).
+    pub l15: Option<L15Config>,
+    /// Shared L2.
+    pub l2: LevelConfig,
+    /// External memory latency (cycles per line).
+    pub mem_latency: u32,
+}
+
+impl SocConfig {
+    /// The paper's proposed 8-core system (2 clusters × 4 cores, with L1.5).
+    pub fn proposed_8core() -> Self {
+        SocConfig {
+            clusters: 2,
+            cores_per_cluster: 4,
+            l1i: LevelConfig {
+                capacity: 4 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                lat_min: 1,
+                lat_max: 2,
+            },
+            l1d: LevelConfig {
+                capacity: 4 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                lat_min: 1,
+                lat_max: 2,
+            },
+            l15: Some(L15Config::default()),
+            l2: LevelConfig {
+                capacity: 512 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                lat_min: 15,
+                lat_max: 25,
+            },
+            mem_latency: 100,
+        }
+    }
+
+    /// The paper's proposed 16-core system (4 clusters × 4 cores).
+    pub fn proposed_16core() -> Self {
+        SocConfig {
+            clusters: 4,
+            ..Self::proposed_8core()
+        }
+    }
+
+    /// A legacy CMP|L1-style system: no L1.5; the L1 capacity is increased
+    /// so the total cache size matches the proposed system (paper Sec. 5:
+    /// "the L1 and L2 capacity was increased to ensure that the total cache
+    /// size was equivalent").
+    pub fn cmp_l1_8core() -> Self {
+        let mut cfg = Self::proposed_8core();
+        cfg.l15 = None;
+        // 32 KiB of L1.5 per 4-core cluster = +8 KiB L1D per core.
+        cfg.l1d.capacity += 8 * 1024;
+        cfg.l1d.ways = 6;
+        cfg
+    }
+
+    /// A legacy CMP|L2-style system: no L1.5; the L2 grows instead
+    /// (576 KiB = 9 ways × 1024 sets × 64 B for two clusters' worth of
+    /// L1.5 capacity).
+    pub fn cmp_l2_8core() -> Self {
+        let mut cfg = Self::proposed_8core();
+        let clusters = cfg.clusters as u64;
+        cfg.l15 = None;
+        cfg.l2.capacity += clusters * 32 * 1024;
+        // Keep the set count a power of two by absorbing the extra
+        // capacity into associativity.
+        cfg.l2.ways = (cfg.l2.capacity / (cfg.l2.line_bytes * 1024)) as usize;
+        cfg
+    }
+
+    /// CMP|L1 at 16 cores (capacity-equalised).
+    pub fn cmp_l1_16core() -> Self {
+        SocConfig { clusters: 4, ..Self::cmp_l1_8core() }
+    }
+
+    /// CMP|L2 at 16 cores: four clusters' worth of L1.5 capacity folded
+    /// into the L2 (640 KiB = 10 ways x 1024 sets x 64 B).
+    pub fn cmp_l2_16core() -> Self {
+        let mut cfg = Self::proposed_16core();
+        let clusters = cfg.clusters as u64;
+        cfg.l15 = None;
+        cfg.l2.capacity += clusters * 32 * 1024;
+        cfg.l2.ways = (cfg.l2.capacity / (cfg.l2.line_bytes * 1024)) as usize;
+        cfg
+    }
+
+    /// Total number of cores.
+    pub fn total_cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+
+    /// Total cache capacity (all levels, all cores) in bytes — used to check
+    /// the capacity-equalisation constraint between compared systems.
+    pub fn total_cache_bytes(&self) -> u64 {
+        let cores = self.total_cores() as u64;
+        let l15 = self
+            .l15
+            .map(|c| c.way_bytes * c.ways as u64 * self.clusters as u64)
+            .unwrap_or(0);
+        cores * (self.l1i.capacity + self.l1d.capacity) + l15 + self.l2.capacity
+    }
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        Self::proposed_8core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposed_configs() {
+        let c8 = SocConfig::proposed_8core();
+        assert_eq!(c8.total_cores(), 8);
+        let c16 = SocConfig::proposed_16core();
+        assert_eq!(c16.total_cores(), 16);
+        assert!(c16.l15.is_some());
+    }
+
+    #[test]
+    fn capacity_equalisation_holds_at_16_cores() {
+        let prop = SocConfig::proposed_16core();
+        let l1 = SocConfig::cmp_l1_16core();
+        let l2 = SocConfig::cmp_l2_16core();
+        assert_eq!(prop.total_cores(), 16);
+        assert_eq!(l1.total_cores(), 16);
+        assert_eq!(prop.total_cache_bytes(), l1.total_cache_bytes());
+        assert_eq!(prop.total_cache_bytes(), l2.total_cache_bytes());
+        // Geometries must build.
+        let _ = crate::uncore::Uncore::new(l1);
+        let _ = crate::uncore::Uncore::new(l2);
+    }
+
+    #[test]
+    fn capacity_equalisation_holds() {
+        let prop = SocConfig::proposed_8core();
+        let cmp_l1 = SocConfig::cmp_l1_8core();
+        let cmp_l2 = SocConfig::cmp_l2_8core();
+        assert_eq!(prop.total_cache_bytes(), cmp_l1.total_cache_bytes());
+        assert_eq!(prop.total_cache_bytes(), cmp_l2.total_cache_bytes());
+        assert!(cmp_l1.l15.is_none() && cmp_l2.l15.is_none());
+    }
+}

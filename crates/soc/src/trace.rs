@@ -1,0 +1,275 @@
+//! The cycle-accurate monitor (Sec. 5.3: "We deployed a cycle-accurate
+//! monitor to trace the cores and L1.5 Cache").
+//!
+//! A bounded ring buffer of timestamped events plus always-on aggregate
+//! counters. Tracing is **off by default** (a single branch per event when
+//! disabled); the side-effects experiments enable it to derive way
+//! utilisation and configuration latencies, and tests use it to assert
+//! microarchitectural event sequences.
+
+use std::collections::VecDeque;
+
+use l15_cache::geometry::WayMask;
+use l15_rvcore::isa::L15Op;
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// Private L1 hit.
+    L1,
+    /// L1.5 hit.
+    L15,
+    /// Shared L2 hit.
+    L2,
+    /// External memory.
+    Memory,
+}
+
+/// One monitor event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Instruction fetch served at a level.
+    Fetch {
+        /// Requesting core.
+        core: usize,
+        /// Serving level.
+        served: ServedBy,
+    },
+    /// Data load served at a level.
+    Load {
+        /// Requesting core.
+        core: usize,
+        /// Serving level.
+        served: ServedBy,
+    },
+    /// Data store; `via_l15` marks the inclusive write-through route.
+    Store {
+        /// Requesting core.
+        core: usize,
+        /// Whether the IPU routed it into the L1.5.
+        via_l15: bool,
+    },
+    /// An L1.5 control instruction executed.
+    Ctrl {
+        /// Requesting core.
+        core: usize,
+        /// The operation.
+        op: L15Op,
+        /// Its operand (way count or bitmap).
+        arg: u32,
+    },
+    /// The Walloc granted a way.
+    WayGrant {
+        /// Cluster.
+        cluster: usize,
+        /// Receiving core lane.
+        lane: usize,
+        /// Way index.
+        way: usize,
+    },
+    /// The Walloc (or the kernel) revoked a way.
+    WayRevoke {
+        /// Cluster.
+        cluster: usize,
+        /// Way index.
+        way: usize,
+    },
+    /// A gv_set changed the globally-visible set.
+    GvUpdate {
+        /// Cluster.
+        cluster: usize,
+        /// Core lane.
+        lane: usize,
+        /// Effective mask.
+        mask: WayMask,
+    },
+}
+
+/// Timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global cycle at which the event was recorded.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Aggregate counters, maintained even when event recording is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCounters {
+    /// Loads served by each level: `[L1, L1.5, L2, memory]`.
+    pub loads: [u64; 4],
+    /// Fetches served by each level.
+    pub fetches: [u64; 4],
+    /// Stores routed into the L1.5.
+    pub stores_via_l15: u64,
+    /// Stores on the conventional path.
+    pub stores_conventional: u64,
+    /// Control-port operations.
+    pub ctrl_ops: u64,
+    /// Way grants.
+    pub grants: u64,
+    /// Way revocations.
+    pub revokes: u64,
+}
+
+impl TraceCounters {
+    fn level_ix(s: ServedBy) -> usize {
+        match s {
+            ServedBy::L1 => 0,
+            ServedBy::L15 => 1,
+            ServedBy::L2 => 2,
+            ServedBy::Memory => 3,
+        }
+    }
+}
+
+/// The monitor: counters + optional bounded event ring.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    enabled: bool,
+    now: u64,
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    counters: TraceCounters,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(4096)
+    }
+}
+
+impl Trace {
+    /// Creates a disabled monitor with an event ring of `capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            enabled: false,
+            now: 0,
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            counters: TraceCounters::default(),
+            dropped: 0,
+        }
+    }
+
+    /// Enables event recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disables event recording (counters keep counting).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether event recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Stamps the current global cycle (called by the simulation loop).
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> &TraceCounters {
+        &self.counters
+    }
+
+    /// Events currently buffered (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears buffered events and counters.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.counters = TraceCounters::default();
+        self.dropped = 0;
+    }
+
+    /// Records one event (counter always; ring only when enabled).
+    pub fn record(&mut self, kind: TraceEventKind) {
+        match kind {
+            TraceEventKind::Fetch { served, .. } => {
+                self.counters.fetches[TraceCounters::level_ix(served)] += 1;
+            }
+            TraceEventKind::Load { served, .. } => {
+                self.counters.loads[TraceCounters::level_ix(served)] += 1;
+            }
+            TraceEventKind::Store { via_l15, .. } => {
+                if via_l15 {
+                    self.counters.stores_via_l15 += 1;
+                } else {
+                    self.counters.stores_conventional += 1;
+                }
+            }
+            TraceEventKind::Ctrl { .. } => self.counters.ctrl_ops += 1,
+            TraceEventKind::WayGrant { .. } => self.counters.grants += 1,
+            TraceEventKind::WayRevoke { .. } => self.counters.revokes += 1,
+            TraceEventKind::GvUpdate { .. } => {}
+        }
+        if self.enabled {
+            if self.ring.len() >= self.capacity {
+                self.ring.pop_front();
+                self.dropped += 1;
+            }
+            self.ring.push_back(TraceEvent { cycle: self.now, kind });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_without_recording() {
+        let mut t = Trace::new(4);
+        t.record(TraceEventKind::Load { core: 0, served: ServedBy::L15 });
+        t.record(TraceEventKind::Store { core: 0, via_l15: true });
+        assert_eq!(t.counters().loads[1], 1);
+        assert_eq!(t.counters().stores_via_l15, 1);
+        assert_eq!(t.events().count(), 0, "ring stays empty when disabled");
+    }
+
+    #[test]
+    fn ring_keeps_newest_events() {
+        let mut t = Trace::new(2);
+        t.enable();
+        for i in 0..4 {
+            t.set_now(i);
+            t.record(TraceEventKind::Ctrl { core: 0, op: L15Op::Supply, arg: i as u32 });
+        }
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = Trace::new(4);
+        t.enable();
+        t.record(TraceEventKind::WayGrant { cluster: 0, lane: 1, way: 2 });
+        t.clear();
+        assert_eq!(t.counters().grants, 0);
+        assert_eq!(t.events().count(), 0);
+    }
+
+    #[test]
+    fn grant_revoke_counters() {
+        let mut t = Trace::new(4);
+        t.record(TraceEventKind::WayGrant { cluster: 0, lane: 0, way: 0 });
+        t.record(TraceEventKind::WayRevoke { cluster: 0, way: 0 });
+        assert_eq!(t.counters().grants, 1);
+        assert_eq!(t.counters().revokes, 1);
+    }
+}

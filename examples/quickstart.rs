@@ -1,0 +1,61 @@
+//! Quickstart: generate a synthetic DAG task (Sec. 5.1 parameters), run
+//! Alg. 1 to co-assign priorities and L1.5 cache ways, and compare the
+//! simulated makespan against the conventional-cache baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use l15::core::alg1::schedule_with_l15;
+use l15::core::baseline::SystemModel;
+use l15::dag::gen::{DagGenParams, DagGenerator};
+use l15::dag::{analysis, ExecutionTimeModel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate one DAG task with the paper's default parameters
+    //    (5-10 layers, up to 15 nodes per layer, U_i = 0.6, cpr = 0.3).
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let task = DagGenerator::new(DagGenParams::default()).generate(&mut rng)?;
+    let dag = task.graph();
+    println!(
+        "Generated DAG: {} nodes, {} edges, period {:.1}, workload {:.1}",
+        dag.node_count(),
+        dag.edge_count(),
+        task.period(),
+        dag.total_work()
+    );
+
+    // 2. Plan with Alg. 1: 16 L1.5 ways of 2 KiB (the paper's cluster).
+    let etm = ExecutionTimeModel::new(2048)?;
+    let plan = schedule_with_l15(&task, 16, &etm);
+    println!("\nAlg. 1 cache configuration (first 3 rounds):");
+    for (i, round) in plan.rounds.iter().take(3).enumerate() {
+        print!("  round {i}:");
+        for &v in round {
+            print!(" {v}(P={}, {} ways)", plan.priority(v), plan.ways(v));
+        }
+        println!();
+    }
+
+    // 3. Simulate the first release on 8 cores: proposed vs CMP|L1.
+    let proposed = SystemModel::proposed();
+    let cmp = SystemModel::cmp_l1();
+    let res_p = proposed.simulate_instance(&task, 8, &plan, 0, &mut rng);
+    let plan_b = cmp.plan(&task);
+    let res_b = cmp.simulate_instance(&task, 8, &plan_b, 0, &mut rng);
+    let lower = analysis::makespan_lower_bound(dag, 8);
+    println!("\nMakespan on 8 cores (first release, cold caches):");
+    println!("  critical path (full comm costs, no L1.5): {lower:.2}");
+    println!("  proposed (L1.5):           {:.2}", res_p.makespan);
+    println!("  CMP|L1 baseline:           {:.2}", res_b.makespan);
+    println!(
+        "  improvement:               {:.1}%",
+        (1.0 - res_p.makespan / res_b.makespan) * 100.0
+    );
+
+    // A peek at the first 8 cores' timelines under the proposed schedule.
+    println!("\n{}", l15::core::gantt::render(&task, &res_p, 8, 64));
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Design-space exploration around the paper's `ζ = 16, κ = 2 KiB`
+//! configuration: how does the makespan (simulated and analytically
+//! bounded) respond to the number of L1.5 ways — and what does the extra
+//! hardware cost? Also emits an annotated Graphviz DOT of one plan, the
+//! Fig. 6 visual.
+//!
+//! ```sh
+//! cargo run --release --example way_sensitivity
+//! ```
+
+use l15::area::L15Geometry;
+use l15::core::alg1::schedule_with_l15;
+use l15::core::baseline::SystemModel;
+use l15::core::rta;
+use l15::dag::dot::{to_dot, DotAnnotations};
+use l15::dag::gen::{DagGenParams, DagGenerator};
+use l15::dag::ExecutionTimeModel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let gen = DagGenerator::new(DagGenParams::default());
+    let tasks: Vec<_> = (0..40)
+        .map(|_| gen.generate(&mut rng))
+        .collect::<Result<_, _>>()?;
+    let etm = ExecutionTimeModel::new(2048)?;
+    let cores = 8;
+
+    println!("Makespan and hardware cost vs L1.5 way count (κ = 2 KiB, 40 DAGs):");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>12}",
+        "ζ", "sim makespan", "RTA bound", "bound tight?", "fabric mm²"
+    );
+    let mut base = 0.0;
+    for zeta in [1usize, 2, 4, 8, 16, 32] {
+        let mut sim_sum = 0.0;
+        let mut bound_sum = 0.0;
+        for t in &tasks {
+            let plan = schedule_with_l15(t, zeta, &etm);
+            let model = SystemModel { zeta, ..SystemModel::proposed() };
+            let mut r = SmallRng::seed_from_u64(1);
+            sim_sum += model.simulate_instance(t, cores, &plan, 0, &mut r).makespan;
+            let g = t.graph();
+            bound_sum += rta::makespan_bound(t, cores, |v| g.node(v).wcet, |e| {
+                let from = g.edge(e).from;
+                etm.edge_cost_in(g, e, plan.local_ways[from.0])
+            })
+            .bound;
+        }
+        let sim = sim_sum / tasks.len() as f64;
+        let bound = bound_sum / tasks.len() as f64;
+        if zeta == 1 {
+            base = sim;
+        }
+        let fabric = L15Geometry { ways: zeta, ..Default::default() }.logic_mm2();
+        println!(
+            "{zeta:>6} {sim:>14.2} {bound:>14.2} {:>13.2}x {fabric:>12.4}",
+            bound / sim
+        );
+        if zeta == 16 {
+            println!(
+                "         ^ paper configuration: {:.1}% faster than ζ=1",
+                (1.0 - sim / base) * 100.0
+            );
+        }
+    }
+
+    // Fig. 6-style annotated DOT of one small plan.
+    let small = DagGenerator::new(DagGenParams {
+        layers: (2, 3),
+        max_width: 3,
+        ..Default::default()
+    })
+    .generate(&mut rng)?;
+    let plan = schedule_with_l15(&small, 16, &etm);
+    let dot = to_dot(
+        small.graph(),
+        "fig6_style_plan",
+        &DotAnnotations {
+            priorities: Some(plan.priorities.clone()),
+            ways: Some(plan.local_ways.clone()),
+        },
+    );
+    let path = std::env::temp_dir().join("l15_plan.dot");
+    std::fs::write(&path, &dot)?;
+    println!("\nAnnotated plan written to {} ({} bytes);", path.display(), dot.len());
+    println!("render with: dot -Tpng {} -o plan.png", path.display());
+    Ok(())
+}

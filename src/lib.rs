@@ -1,0 +1,26 @@
+//! # l15 — Cache/algorithm co-design for parallel real-time systems
+//!
+//! Facade crate for the DAC'24 reproduction: re-exports every subsystem so
+//! examples and downstream users need a single dependency.
+//!
+//! * [`dag`] — DAG task model, synthetic generation, path analysis, ETM.
+//! * [`cache`] — L1/L2 hierarchy and the L1.5 (VIPT, SINE) cache.
+//! * [`rvcore`] — RV32I core simulator with the L1.5 ISA extension.
+//! * [`soc`] — cluster/SoC composition and cycle engine.
+//! * [`core`] — the paper's contribution: Alg. 1 scheduling, baselines,
+//!   makespan and success-ratio simulators.
+//! * [`runtime`] — the programming model (dispatch-time reconfiguration).
+//! * [`area`] — the Sec. 5.4 area model.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use l15_area as area;
+pub use l15_cache as cache;
+pub use l15_core as core;
+pub use l15_dag as dag;
+pub use l15_runtime as runtime;
+pub use l15_rvcore as rvcore;
+pub use l15_soc as soc;

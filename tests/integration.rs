@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: the complete co-design pipeline from the
+//! planner (`l15-core`) through the programming model (`l15-runtime`) down
+//! to ISA-level execution on the simulated SoC (`l15-soc` / `l15-rvcore` /
+//! `l15-cache`), plus consistency between the analytic experiments and the
+//! full-stack measurements.
+
+use l15::core::alg1::schedule_with_l15;
+use l15::core::baseline::{baseline_priorities, SystemModel};
+use l15::core::casestudy::{generate_case_study, CaseStudyParams};
+use l15::core::periodic::{simulate_taskset, PeriodicParams};
+use l15::dag::gen::{DagGenParams, DagGenerator};
+use l15::dag::{DagBuilder, DagTask, ExecutionTimeModel, Node};
+use l15::runtime::kernel::{run_task, KernelConfig};
+use l15::rvcore::core::TimingConfig;
+use l15::soc::{Soc, SocConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn small_dag(data_bytes: u64) -> DagTask {
+    let mut b = DagBuilder::new();
+    let s = b.add_node(Node::new(1.0, data_bytes));
+    let x = b.add_node(Node::new(1.0, data_bytes));
+    let y = b.add_node(Node::new(1.0, data_bytes));
+    let z = b.add_node(Node::new(1.0, data_bytes));
+    let t = b.add_node(Node::new(1.0, 0));
+    b.add_edge(s, x, 1.0, 0.6).unwrap();
+    b.add_edge(s, y, 1.0, 0.6).unwrap();
+    b.add_edge(s, z, 1.0, 0.6).unwrap();
+    b.add_edge(x, t, 1.0, 0.6).unwrap();
+    b.add_edge(y, t, 1.0, 0.6).unwrap();
+    b.add_edge(z, t, 1.0, 0.6).unwrap();
+    DagTask::new(b.build().unwrap(), 1e6, 1e6).unwrap()
+}
+
+#[test]
+fn plan_to_silicon_pipeline_runs_end_to_end() {
+    let task = small_dag(4096);
+    let etm = ExecutionTimeModel::new(2048).unwrap();
+    let plan = schedule_with_l15(&task, 16, &etm);
+
+    let mut soc = Soc::new(SocConfig::proposed_8core(), 0);
+    let report = run_task(&mut soc, &task, &plan, &KernelConfig::default()).unwrap();
+
+    assert!(report.dataflow_ok, "dependent data must flow end to end");
+    assert!(report.l15_hits > 0, "consumers hit the L1.5");
+    assert!(report.phi < 0.05, "φ stays small: {}", report.phi);
+    // Plan rounds and measured completion order agree on precedence.
+    let g = task.graph();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        assert!(report.node_finish[edge.from.0] <= report.node_finish[edge.to.0]);
+    }
+}
+
+#[test]
+fn full_stack_confirms_the_analytic_ranking() {
+    // The analytic model says Proposed < CMP on makespan. Check the
+    // full-stack cycle counts agree for a data-heavy DAG.
+    let task = small_dag(8192);
+    let etm = ExecutionTimeModel::new(2048).unwrap();
+
+    let plan_p = schedule_with_l15(&task, 16, &etm);
+    let mut soc_p = Soc::new(SocConfig::proposed_8core(), 0);
+    let rep_p = run_task(&mut soc_p, &task, &plan_p, &KernelConfig::default()).unwrap();
+
+    let plan_b = baseline_priorities(&task);
+    let mut soc_b = Soc::new(SocConfig::cmp_l2_8core(), 0);
+    let cfg_b = KernelConfig { use_l15: false, ..Default::default() };
+    let rep_b = run_task(&mut soc_b, &task, &plan_b, &cfg_b).unwrap();
+
+    assert!(rep_p.dataflow_ok && rep_b.dataflow_ok);
+    assert!(
+        rep_p.makespan_cycles <= rep_b.makespan_cycles,
+        "proposed {} cycles vs legacy {} cycles",
+        rep_p.makespan_cycles,
+        rep_b.makespan_cycles
+    );
+}
+
+#[test]
+fn forwarding_channel_never_slows_execution() {
+    let task = small_dag(4096);
+    let etm = ExecutionTimeModel::new(2048).unwrap();
+    let plan = schedule_with_l15(&task, 16, &etm);
+
+    let run_with = |forwarding: bool| {
+        let timing = TimingConfig { l15_forwarding: forwarding, ..Default::default() };
+        let mut soc = Soc::with_timing(SocConfig::proposed_8core(), 0, timing);
+        run_task(&mut soc, &task, &plan, &KernelConfig::default())
+            .unwrap()
+            .makespan_cycles
+    };
+    let with = run_with(true);
+    let without = run_with(false);
+    assert!(
+        with <= without,
+        "the Fig. 3 ⓓ channel must not hurt: with={with} without={without}"
+    );
+}
+
+#[test]
+fn generated_workloads_run_on_the_simulated_soc() {
+    // A small generated DAG (not hand-built) executes correctly through
+    // the whole stack.
+    let gen = DagGenerator::new(DagGenParams {
+        layers: (2, 3),
+        max_width: 3,
+        data_bytes_range: (2048, 4096),
+        period_range: (50.0, 100.0),
+        ..Default::default()
+    });
+    let mut rng = SmallRng::seed_from_u64(5);
+    let task = gen.generate(&mut rng).unwrap();
+    let etm = ExecutionTimeModel::new(2048).unwrap();
+    let plan = schedule_with_l15(&task, 16, &etm);
+    let mut soc = Soc::new(SocConfig::proposed_8core(), 0);
+    let cfg = KernelConfig {
+        scale: l15::runtime::WorkScale { compute_iters: 8 },
+        ..Default::default()
+    };
+    let report = run_task(&mut soc, &task, &plan, &cfg).unwrap();
+    assert!(report.dataflow_ok);
+    assert_eq!(
+        report.node_finish.len(),
+        task.graph().node_count(),
+        "every node completed"
+    );
+}
+
+#[test]
+fn case_study_pipeline_is_consistent_across_systems() {
+    // The same task sets, simulated under all four systems: the proposed
+    // one must miss no more deadlines than the worst comparator, and all
+    // outcome metrics must stay in range.
+    let params = PeriodicParams::default();
+    let cs = CaseStudyParams::default();
+    let systems = [
+        SystemModel::proposed(),
+        SystemModel::cmp_l1(),
+        SystemModel::cmp_l2(),
+        SystemModel::cmp_shared_l1(),
+    ];
+    let mut total_misses = [0usize; 4];
+    for trial in 0..10u64 {
+        let mut set_rng = SmallRng::seed_from_u64(trial);
+        let tasks = generate_case_study(4, 5.6, &cs, &mut set_rng).unwrap(); // 70 %
+        for (i, m) in systems.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(trial + 100);
+            let out = simulate_taskset(&tasks, m, &params, &mut rng);
+            total_misses[i] += out.misses;
+            assert!(out.jobs > 0);
+            assert!(out.phi_max <= 1.0);
+            assert!(out.l15_utilisation <= 1.0 + 1e-9);
+        }
+    }
+    let worst_cmp = total_misses[1..].iter().copied().max().unwrap();
+    assert!(
+        total_misses[0] <= worst_cmp,
+        "proposed misses {} vs worst comparator {}",
+        total_misses[0],
+        worst_cmp
+    );
+}
+
+#[test]
+fn capacity_equalisation_between_socs() {
+    // The three hardware configurations expose equal total cache capacity
+    // (the paper's fairness requirement).
+    let prop = SocConfig::proposed_8core();
+    let l1 = SocConfig::cmp_l1_8core();
+    let l2 = SocConfig::cmp_l2_8core();
+    assert_eq!(prop.total_cache_bytes(), l1.total_cache_bytes());
+    assert_eq!(prop.total_cache_bytes(), l2.total_cache_bytes());
+}
