@@ -187,13 +187,7 @@ pub fn area_of(spec: &SocAreaSpec) -> AreaBreakdown {
         ),
         None => (0.0, 0.0),
     };
-    AreaBreakdown {
-        cores_mm2,
-        l1_mm2,
-        l15_sram_mm2,
-        l15_logic_mm2,
-        uncore_mm2: UNCORE_MM2,
-    }
+    AreaBreakdown { cores_mm2, l1_mm2, l15_sram_mm2, l15_logic_mm2, uncore_mm2: UNCORE_MM2 }
 }
 
 /// Relative overhead of `a` over `b` (paper metric: `Δ / legacy_total`).

@@ -25,11 +25,7 @@ fn main() {
         prop.total() - legacy.total(),
         overhead_percent(&prop, &legacy)
     );
-    println!(
-        "{:>26} {:>11.3}mm2 (paper: 0.574mm2)",
-        "per cluster",
-        prop.per_cluster(4)
-    );
+    println!("{:>26} {:>11.3}mm2 (paper: 0.574mm2)", "per cluster", prop.per_cluster(4));
 
     println!("\nAblation: management-fabric area vs way count (4 cores/cluster)");
     println!("{:>6} {:>12} {:>12}", "ways", "gates", "logic mm2");

@@ -1,22 +1,22 @@
 //! Ablation benchmarks for the design decisions DESIGN.md calls out:
 //!
 //! 1. **λ re-update** (Alg. 1 line 20) vs a one-shot λ: quality measured
-//!    as the resulting makespan (lower is better — reported via a
-//!    throughput-style metric of the full plan+simulate pipeline so both
-//!    cost and benefit show up in the report).
+//!    as the resulting makespan (lower is better) of the full
+//!    plan+simulate pipeline, so both cost and benefit show up.
 //! 2. **Way-allocation function `F`**: the paper's longest-path-greedy vs
 //!    a proportional-share split.
 //!
 //! Besides timing, each variant prints its mean makespan once at startup
 //! so the quality delta is visible alongside the performance numbers.
+//!
+//! `--quick` runs each routine once (CI smoke).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use l15_core::alg1::{schedule_with_l15_with, Alg1Options, AllocationPolicy};
 use l15_core::baseline::SystemModel;
 use l15_dag::gen::{DagGenParams, DagGenerator};
 use l15_dag::{DagTask, ExecutionTimeModel};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::bench::{black_box, Bench};
+use l15_testkit::rng::SmallRng;
 
 fn tasks(n: usize) -> Vec<DagTask> {
     let gen = DagGenerator::new(DagGenParams::default());
@@ -36,20 +36,15 @@ fn mean_makespan(tasks: &[DagTask], opts: Alg1Options) -> f64 {
     total / tasks.len() as f64
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_args("alg1_ablation");
     let set = tasks(20);
     let variants = [
         ("paper", Alg1Options::default()),
-        (
-            "no_lambda_update",
-            Alg1Options { update_lambda: false, ..Default::default() },
-        ),
+        ("no_lambda_update", Alg1Options { update_lambda: false, ..Default::default() }),
         (
             "proportional_share",
-            Alg1Options {
-                allocation: AllocationPolicy::ProportionalShare,
-                ..Default::default()
-            },
+            Alg1Options { allocation: AllocationPolicy::ProportionalShare, ..Default::default() },
         ),
     ];
     println!("\nAblation quality (mean makespan over 20 DAGs, lower is better):");
@@ -57,14 +52,9 @@ fn bench_ablation(c: &mut Criterion) {
         println!("  {name:<20} {:.2}", mean_makespan(&set, opts));
     }
 
-    let mut group = c.benchmark_group("alg1_ablation");
     for (name, opts) in variants {
-        group.bench_function(name, |b| {
-            b.iter(|| mean_makespan(std::hint::black_box(&set[..4]), opts))
+        bench.run(name, || {
+            black_box(mean_makespan(black_box(&set[..4]), opts));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the L1.5 data/control paths: masked read/write
+//! lookups, fills, SDU reconfiguration and `gv_set` latency.
+//!
+//! `--quick` runs each routine once (CI smoke).
+
+use l15_cache::l15::{L15Cache, L15Config, PendingReq, RequestBuffer};
+use l15_cache::WayMask;
+use l15_testkit::bench::{black_box, Bench};
+
+fn fresh_cache() -> L15Cache {
+    let mut c = L15Cache::new(L15Config::default()).expect("paper config is valid");
+    c.demand(0, 8).expect("within zeta");
+    c.demand(1, 8).expect("within zeta");
+    c.settle();
+    c
+}
+
+fn main() {
+    let bench = Bench::from_args("l15");
+
+    {
+        let mut cache = fresh_cache();
+        cache.fill(0, 0x1000, 0x1000, &vec![7u8; 64], false).expect("core 0 owns ways");
+        let mut buf = [0u8; 8];
+        bench.run("read_hit", || {
+            let out = cache.read(0, black_box(0x1000), 0x1000, &mut buf).expect("core in range");
+            black_box(out.hit);
+        });
+    }
+
+    {
+        let mut cache = fresh_cache();
+        let mut buf = [0u8; 8];
+        bench.run("read_miss", || {
+            let out = cache.read(0, black_box(0x9000), 0x9000, &mut buf).expect("core in range");
+            black_box(out.hit);
+        });
+    }
+
+    {
+        let mut cache = fresh_cache();
+        let line = vec![3u8; 64];
+        let mut addr = 0u64;
+        bench.run("fill", || {
+            addr = addr.wrapping_add(64);
+            black_box(cache.fill(0, addr, addr, black_box(&line), false).expect("core in range"));
+        });
+    }
+
+    {
+        let mut cache = fresh_cache();
+        let mask = cache.supply(0).expect("core in range");
+        bench.run("gv_set", || {
+            cache.gv_set(0, black_box(mask)).expect("owned");
+        });
+    }
+
+    bench.run("sdu_reconfigure_8_ways", || {
+        let mut cache = L15Cache::new(L15Config::default()).expect("valid");
+        cache.demand(0, 8).expect("within zeta");
+        let (events, _, cycles) = cache.settle();
+        black_box((events.len(), cycles));
+    });
+
+    {
+        // The Sec. 3.3 in-flight buffer: sustained push + dual-port issue.
+        let mut buf = RequestBuffer::new(16, 2);
+        let mut i = 0u64;
+        bench.run("reqbuf_push_issue", || {
+            i += 1;
+            buf.push(PendingReq {
+                core: (i % 4) as usize,
+                vaddr: i * 64,
+                paddr: i * 64,
+                is_store: i % 3 == 0,
+                priority: (i % 4) as u8,
+                age: 0,
+            });
+            black_box(buf.issue().len());
+        });
+    }
+
+    {
+        let a = WayMask::from(0xAAAAu64);
+        let m = WayMask::from(0x0F0Fu64);
+        bench.run("waymask_ops", || {
+            let u = black_box(a).union(m);
+            let i = u.intersect(a);
+            black_box(i.count());
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! Benchmarks of the makespan and periodic simulators — the engines
+//! behind Fig. 7 / Tab. 2 and Fig. 8 respectively.
+//!
+//! `--quick` runs each routine once (CI smoke).
+
+use l15_core::baseline::SystemModel;
+use l15_core::casestudy::{generate_case_study, CaseStudyParams};
+use l15_core::periodic::{simulate_taskset, PeriodicParams};
+use l15_dag::gen::{DagGenParams, DagGenerator};
+use l15_testkit::bench::{black_box, Bench};
+use l15_testkit::rng::SmallRng;
+
+fn main() {
+    let bench = Bench::from_args("makespan");
+
+    for (name, model) in [("proposed", SystemModel::proposed()), ("cmp_l1", SystemModel::cmp_l1())]
+    {
+        let gen = DagGenerator::new(DagGenParams::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let task = gen.generate(&mut rng).expect("valid params");
+        let plan = model.plan(&task);
+        let mut r = SmallRng::seed_from_u64(5);
+        bench.run(&format!("instance/{name}/8c"), || {
+            black_box(model.simulate_instance(black_box(&task), 8, &plan, 1, &mut r));
+        });
+    }
+
+    {
+        let model = SystemModel::proposed();
+        let params = PeriodicParams::default();
+        let cs = CaseStudyParams::default();
+        let mut set_rng = SmallRng::seed_from_u64(11);
+        let tasks = generate_case_study(4, 6.4, &cs, &mut set_rng).expect("valid params");
+        let mut rng = SmallRng::seed_from_u64(13);
+        bench.run("periodic_trial_8c_80pct", || {
+            black_box(simulate_taskset(black_box(&tasks), &model, &params, &mut rng));
+        });
+    }
+}

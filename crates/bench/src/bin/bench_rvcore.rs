@@ -1,9 +1,10 @@
-//! Criterion benchmarks of the full-stack substrate: RV32 instruction
-//! throughput on the flat bus and through the complete SoC hierarchy, and
-//! the L1.5 → EX forwarding-channel ablation (Fig. 3 ⓓ) measured on a
+//! Benchmarks of the full-stack substrate: RV32 instruction throughput
+//! on the flat bus and through the complete SoC hierarchy, and the
+//! L1.5 → EX forwarding-channel ablation (Fig. 3 ⓓ) measured on a
 //! producer/consumer kernel run.
+//!
+//! `--quick` runs each routine once (CI smoke).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use l15_core::alg1::schedule_with_l15;
 use l15_dag::{DagBuilder, DagTask, ExecutionTimeModel, Node};
 use l15_runtime::kernel::{run_task, KernelConfig};
@@ -12,6 +13,7 @@ use l15_rvcore::bus::FlatBus;
 use l15_rvcore::core::{Core, TimingConfig};
 use l15_rvcore::superscalar::{capture_trace, estimate_cycles, SuperscalarConfig};
 use l15_soc::{Soc, SocConfig};
+use l15_testkit::bench::{black_box, Bench};
 
 fn spin_program() -> Vec<u32> {
     let mut a = Assembler::new();
@@ -36,25 +38,27 @@ fn diamond() -> DagTask {
     DagTask::new(b.build().expect("valid dag"), 1e6, 1e6).expect("valid timing")
 }
 
-fn bench_rvcore(c: &mut Criterion) {
-    c.bench_function("rv32_spin_1000_flatbus", |b| {
+fn main() {
+    let bench = Bench::from_args("rvcore");
+
+    {
         let words = spin_program();
-        b.iter(|| {
+        bench.run("rv32_spin_1000_flatbus", || {
             let mut bus = FlatBus::new(4096, 1);
             bus.load_program(0, &words);
             let mut core = Core::new(0, 0);
-            std::hint::black_box(core.run(&mut bus, 10_000))
-        })
-    });
+            black_box(core.run(&mut bus, 10_000));
+        });
+    }
 
-    c.bench_function("rv32_spin_1000_full_soc", |b| {
+    {
         let words = spin_program();
-        b.iter(|| {
+        bench.run("rv32_spin_1000_full_soc", || {
             let mut soc = Soc::new(SocConfig::proposed_8core(), 0x100);
             soc.uncore_mut().load_program(0x100, &words);
-            std::hint::black_box(soc.run_core(0, 10_000))
-        })
-    });
+            black_box(soc.run_core(0, 10_000));
+        });
+    }
 
     // Forwarding-channel ablation: identical diamond run with and without
     // the L1.5 → EX channel; the with-channel run must not be slower.
@@ -79,24 +83,21 @@ fn bench_rvcore(c: &mut Criterion) {
          without = {cycles_without} cycles"
     );
 
-    c.bench_function("superscalar_estimate", |b| {
+    {
         let words = spin_program();
         let mut bus = FlatBus::new(4096, 1);
         bus.load_program(0, &words);
         let mut core = Core::new(0, 0);
         let trace = capture_trace(&mut core, &mut bus, 100_000);
-        b.iter(|| estimate_cycles(std::hint::black_box(&trace), SuperscalarConfig::default()))
-    });
+        bench.run("superscalar_estimate", || {
+            black_box(estimate_cycles(black_box(&trace), SuperscalarConfig::default()));
+        });
+    }
 
-    c.bench_function("kernel_diamond_l15", |b| {
-        b.iter(|| {
-            let mut soc = Soc::new(SocConfig::proposed_8core(), 0);
-            let rep = run_task(&mut soc, &task, &plan, &KernelConfig::default())
-                .expect("kernel run succeeds");
-            std::hint::black_box(rep.makespan_cycles)
-        })
+    bench.run("kernel_diamond_l15", || {
+        let mut soc = Soc::new(SocConfig::proposed_8core(), 0);
+        let rep = run_task(&mut soc, &task, &plan, &KernelConfig::default())
+            .expect("kernel run succeeds");
+        black_box(rep.makespan_cycles);
     });
 }
-
-criterion_group!(benches, bench_rvcore);
-criterion_main!(benches);

@@ -17,8 +17,7 @@ use l15_bench::env_seed;
 use l15_core::baseline::SystemModel;
 use l15_dag::gen::{DagGenParams, DagGenerator};
 use l15_dag::textio;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::rng::SmallRng;
 
 fn generate(dir: &Path, count: usize, seed: u64) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
@@ -85,14 +84,18 @@ fn evaluate(dir: &Path) -> std::io::Result<()> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage: corpus gen <dir> <count> | corpus eval <dir>";
+    let usage = "usage: corpus gen <dir> <count> | corpus eval <dir> | corpus --quick";
     let result = match args.get(1).map(String::as_str) {
+        // CI smoke: round-trip a tiny corpus through a temp dir.
+        Some("--quick") => {
+            let dir = std::env::temp_dir().join(format!("l15-corpus-quick-{}", std::process::id()));
+            let r = generate(&dir, 3, env_seed()).and_then(|()| evaluate(&dir));
+            let _ = fs::remove_dir_all(&dir);
+            r
+        }
         Some("gen") => {
             let dir = Path::new(args.get(2).map(String::as_str).unwrap_or("./corpus"));
-            let count = args
-                .get(3)
-                .and_then(|c| c.parse().ok())
-                .unwrap_or(20usize);
+            let count = args.get(3).and_then(|c| c.parse().ok()).unwrap_or(20usize);
             generate(dir, count, env_seed())
         }
         Some("eval") => {

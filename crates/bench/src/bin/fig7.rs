@@ -5,19 +5,15 @@
 //! Paper setup: 500 synthetic DAGs, first 10 instances each, series
 //! normalised by the highest value observed. Scale with `L15_DAGS`.
 
-use l15_bench::{env_seed, env_usize, makespan_sweep, normalise, Sweep};
+use l15_bench::{env_seed, env_usize, makespan_sweep, normalise, scaled, Sweep};
 use l15_core::baseline::SystemModel;
 
 fn main() {
-    let n_dags = env_usize("L15_DAGS", 500);
-    let instances = env_usize("L15_INSTANCES", 10);
+    let n_dags = env_usize("L15_DAGS", scaled(500, 8));
+    let instances = env_usize("L15_INSTANCES", scaled(10, 3));
     let cores = env_usize("L15_CORES", 8);
     let seed = env_seed();
-    let systems = [
-        SystemModel::proposed(),
-        SystemModel::cmp_l1(),
-        SystemModel::cmp_l2(),
-    ];
+    let systems = [SystemModel::proposed(), SystemModel::cmp_l1(), SystemModel::cmp_l2()];
     let names = ["Prop.", "CMP|L1", "CMP|L2"];
 
     println!("Fig. 7 — average normalised makespan ({n_dags} DAGs x {instances} instances, {cores} cores)");

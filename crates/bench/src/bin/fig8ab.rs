@@ -7,11 +7,11 @@
 //! in a trial (the paper: "we ensured the dependent data and timing
 //! parameters in each trial were identical").
 
-use l15_bench::{env_seed, env_usize, success_at};
+use l15_bench::{env_seed, env_usize, scaled, success_at};
 use l15_core::baseline::SystemModel;
 
 fn main() {
-    let trials = env_usize("L15_TRIALS", 200);
+    let trials = env_usize("L15_TRIALS", scaled(200, 3));
     let seed = env_seed();
     let systems = [
         ("Prop.", SystemModel::proposed()),

@@ -6,10 +6,10 @@
 //! load, and φ consistently below 1 % (rising slightly with load, caused
 //! by the Walloc's one-way-per-cycle constraint).
 
-use l15_bench::{env_seed, env_usize, side_effects_at};
+use l15_bench::{env_seed, env_usize, scaled, side_effects_at};
 
 fn main() {
-    let trials = env_usize("L15_TRIALS", 200);
+    let trials = env_usize("L15_TRIALS", scaled(200, 2));
     let seed = env_seed();
     println!("Fig. 8(c) — L1.5 side effects ({trials} trials/point)");
     println!(

@@ -8,7 +8,7 @@
 //! Also reports the Sec. 3.3 superscalar estimate for a producer kernel
 //! with single vs dual memory ports towards the L1.5.
 
-use l15_bench::env_usize;
+use l15_bench::{env_usize, scaled};
 use l15_core::alg1::schedule_with_l15;
 use l15_core::baseline::baseline_priorities;
 use l15_dag::topology::{fork_join, layered_mesh, UniformPayload};
@@ -21,10 +21,7 @@ use l15_soc::{Soc, SocConfig};
 fn workloads(data: u64) -> Vec<(&'static str, DagTask)> {
     let p = UniformPayload { wcet: 1.0, data_bytes: data, edge_cost: 1.0, alpha: 0.6 };
     vec![
-        (
-            "fork_join(3)",
-            DagTask::new(fork_join(3, p).expect("valid"), 1e9, 1e9).expect("valid"),
-        ),
+        ("fork_join(3)", DagTask::new(fork_join(3, p).expect("valid"), 1e9, 1e9).expect("valid")),
         (
             "mesh(2x3)",
             DagTask::new(layered_mesh(2, 3, p).expect("valid"), 1e9, 1e9).expect("valid"),
@@ -33,14 +30,15 @@ fn workloads(data: u64) -> Vec<(&'static str, DagTask)> {
 }
 
 fn main() {
-    let compute = env_usize("L15_COMPUTE_ITERS", 32) as u32;
+    let compute = env_usize("L15_COMPUTE_ITERS", scaled(32, 4)) as u32;
     let etm = ExecutionTimeModel::new(2048).expect("valid way size");
     println!("Full-stack cycle counts (compute_iters = {compute}):");
     println!(
         "{:>14} {:>8} {:>14} {:>14} {:>9} {:>10}",
         "workload", "data", "proposed", "legacy(L2)", "speedup", "L1.5 hits"
     );
-    for data in [4096u64, 8192, 16384] {
+    let data_points: &[u64] = if l15_bench::quick() { &[4096] } else { &[4096, 8192, 16384] };
+    for &data in data_points {
         for (name, task) in workloads(data) {
             let scale = WorkScale { compute_iters: compute };
 
@@ -79,14 +77,8 @@ fn main() {
     let mut core = l15_rvcore::core::Core::new(0, 0);
     let trace = capture_trace(&mut core, &mut bus, 10_000);
     for ports in [1usize, 2, 4] {
-        let est = estimate_cycles(
-            &trace,
-            SuperscalarConfig { mem_ports: ports, ..Default::default() },
-        );
-        println!(
-            "  {ports} memory port(s): {:>6} cycles, IPC {:.2}",
-            est.cycles,
-            est.ipc()
-        );
+        let est =
+            estimate_cycles(&trace, SuperscalarConfig { mem_ports: ports, ..Default::default() });
+        println!("  {ports} memory port(s): {:>6} cycles, IPC {:.2}", est.cycles, est.ipc());
     }
 }

@@ -1,10 +1,9 @@
 use l15_core::baseline::SystemModel;
 use l15_dag::gen::{DagGenParams, DagGenerator};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::rng::SmallRng;
 
 fn main() {
-    let n_dags = 100;
+    let n_dags = l15_bench::scaled(100, 5);
     let instances = 10;
     let cores = 8;
     for u in [0.2, 0.4, 0.6, 0.8, 1.0] {
@@ -13,12 +12,15 @@ fn main() {
         let tasks: Vec<_> = (0..n_dags).map(|_| gen.generate(&mut rng).unwrap()).collect();
         let eval = |m: &SystemModel| {
             let mut r = SmallRng::seed_from_u64(2);
-            let mut avg = 0.0; let mut wc: f64 = 0.0; let mut wcs = 0.0;
+            let mut avg = 0.0;
+            let mut wc: f64 = 0.0;
+            let mut wcs = 0.0;
             for t in &tasks {
                 let spans = m.evaluate(t, cores, instances, &mut r);
                 avg += spans.iter().sum::<f64>() / spans.len() as f64;
                 let w = spans.iter().cloned().fold(f64::MIN, f64::max);
-                wcs += w; wc = wc.max(w);
+                wcs += w;
+                wc = wc.max(w);
             }
             (avg / n_dags as f64, wcs / n_dags as f64)
         };

@@ -8,12 +8,12 @@
 //! are normalised per panel family by the highest worst case observed
 //! across the three sweeps, as in the paper's joint table.
 
-use l15_bench::{env_seed, env_usize, makespan_sweep, Sweep};
+use l15_bench::{env_seed, env_usize, makespan_sweep, scaled, Sweep};
 use l15_core::baseline::SystemModel;
 
 fn main() {
-    let n_dags = env_usize("L15_DAGS", 500);
-    let instances = env_usize("L15_INSTANCES", 10);
+    let n_dags = env_usize("L15_DAGS", scaled(500, 8));
+    let instances = env_usize("L15_INSTANCES", scaled(10, 3));
     let cores = env_usize("L15_CORES", 8);
     let seed = env_seed();
     let systems = [SystemModel::cmp_l1(), SystemModel::proposed()];
@@ -58,11 +58,9 @@ fn main() {
     }
     // Headline: average worst-case improvement per sweep.
     for (k, sweep) in sweeps.iter().enumerate() {
-        let gain: f64 = sweep
-            .iter()
-            .map(|p| 1.0 - p.stats[1].worst_case / p.stats[0].worst_case)
-            .sum::<f64>()
-            / sweep.len() as f64;
+        let gain: f64 =
+            sweep.iter().map(|p| 1.0 - p.stats[1].worst_case / p.stats[0].worst_case).sum::<f64>()
+                / sweep.len() as f64;
         println!(
             "  varied {}: Prop. outperforms CMP by {:.1}% on average (paper: 26.3/22.1/19.9%)",
             kinds[k],

@@ -12,13 +12,15 @@
 //!
 //! Scale knobs come from the environment: `L15_DAGS` (default 500, the
 //! paper's count), `L15_TRIALS` (default 200), `L15_SEED` (default 1).
-//! Criterion micro-benches live in `benches/`.
+//! Every binary also accepts `--quick`, shrinking its workload to a
+//! seconds-scale smoke run (used by `scripts/ci.sh`). Timing
+//! micro-benches are the `bench_*` binaries, built on
+//! [`l15_testkit::bench`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::rng::SmallRng;
 
 use l15_core::baseline::SystemModel;
 use l15_core::casestudy::{generate_case_study, CaseStudyParams};
@@ -28,15 +30,28 @@ use l15_dag::DagTask;
 
 /// Reads an environment scale knob.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Reads the experiment seed (`L15_SEED`).
 pub fn env_seed() -> u64 {
     env_usize("L15_SEED", 1) as u64
+}
+
+/// True when `--quick` is on the command line: binaries shrink their
+/// workload to a seconds-scale smoke run (CI bit-rot protection).
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// `full` normally, `quick` under [`quick`] — the standard pattern for
+/// scale knobs in the figure binaries.
+pub fn scaled(full: usize, quick_value: usize) -> usize {
+    if quick() {
+        quick_value
+    } else {
+        full
+    }
 }
 
 /// The swept generator parameter of Fig. 7 / Tab. 2.
@@ -73,18 +88,11 @@ impl Sweep {
     /// The paper's five sweep points for each parameter.
     pub fn paper_points(kind: &str) -> Vec<Sweep> {
         match kind {
-            "utilisation" => [0.2, 0.4, 0.6, 0.8, 1.0]
-                .iter()
-                .map(|&u| Sweep::Utilisation(u))
-                .collect(),
-            "p" => [9usize, 12, 15, 18, 21]
-                .iter()
-                .map(|&p| Sweep::MaxWidth(p))
-                .collect(),
-            "cpr" => [0.1, 0.2, 0.3, 0.4, 0.5]
-                .iter()
-                .map(|&c| Sweep::Cpr(c))
-                .collect(),
+            "utilisation" => {
+                [0.2, 0.4, 0.6, 0.8, 1.0].iter().map(|&u| Sweep::Utilisation(u)).collect()
+            }
+            "p" => [9usize, 12, 15, 18, 21].iter().map(|&p| Sweep::MaxWidth(p)).collect(),
+            "cpr" => [0.1, 0.2, 0.3, 0.4, 0.5].iter().map(|&c| Sweep::Cpr(c)).collect(),
             other => panic!("unknown sweep kind `{other}`"),
         }
     }
@@ -140,10 +148,7 @@ pub fn makespan_sweep(
                         avg += spans.iter().sum::<f64>() / spans.len() as f64;
                         wc += spans.iter().cloned().fold(f64::MIN, f64::max);
                     }
-                    MakespanStat {
-                        average: avg / n_dags as f64,
-                        worst_case: wc / n_dags as f64,
-                    }
+                    MakespanStat { average: avg / n_dags as f64, worst_case: wc / n_dags as f64 }
                 })
                 .collect();
             SweepPoint { x: pt.x(), stats }
@@ -154,11 +159,7 @@ pub fn makespan_sweep(
 /// Normalises a family of series by the maximum value observed anywhere in
 /// it (the paper's "normalised by the highest value observed").
 pub fn normalise(series: &mut [Vec<f64>]) {
-    let max = series
-        .iter()
-        .flat_map(|s| s.iter())
-        .cloned()
-        .fold(f64::MIN, f64::max);
+    let max = series.iter().flat_map(|s| s.iter()).cloned().fold(f64::MIN, f64::max);
     if max > 0.0 {
         for s in series.iter_mut() {
             for v in s.iter_mut() {

@@ -179,7 +179,11 @@ impl Geometry {
     /// Returns [`CacheError::BadGeometry`] if the capacity is not an exact
     /// multiple of `ways · line_bytes` or the derived set count is not a
     /// power of two.
-    pub fn from_capacity(total_bytes: u64, line_bytes: u64, ways: usize) -> Result<Self, CacheError> {
+    pub fn from_capacity(
+        total_bytes: u64,
+        line_bytes: u64,
+        ways: usize,
+    ) -> Result<Self, CacheError> {
         if ways == 0 || line_bytes == 0 || total_bytes % (ways as u64 * line_bytes) != 0 {
             return Err(CacheError::BadGeometry {
                 name: "total_bytes",

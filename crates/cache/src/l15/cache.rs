@@ -146,21 +146,13 @@ impl L15Cache {
         }
         let sets = cfg.way_bytes / cfg.line_bytes;
         let geo = Geometry::new(cfg.line_bytes, sets, cfg.ways)?;
-        let line = |_| Line {
-            valid: false,
-            dirty: false,
-            tag: 0,
-            data: vec![0; cfg.line_bytes as usize],
-        };
+        let line =
+            |_| Line { valid: false, dirty: false, tag: 0, data: vec![0; cfg.line_bytes as usize] };
         Ok(L15Cache {
             geo,
             cfg,
-            lines: (0..sets as usize)
-                .map(|_| (0..cfg.ways).map(line).collect())
-                .collect(),
-            plru: (0..sets as usize)
-                .map(|_| crate::plru::TreePlru::new(cfg.ways))
-                .collect(),
+            lines: (0..sets as usize).map(|_| (0..cfg.ways).map(line).collect()).collect(),
+            plru: (0..sets as usize).map(|_| crate::plru::TreePlru::new(cfg.ways)).collect(),
             regs: ControlRegs::new(cfg.cores, cfg.ways),
             mask: MaskLogic::new(),
             sdu: Sdu::new(cfg.cores),
@@ -196,9 +188,7 @@ impl L15Cache {
     ///
     /// Returns [`CacheError::UnknownCore`] for an out-of-range core.
     pub fn core_stats(&self, core: usize) -> Result<&CacheStats, CacheError> {
-        self.per_core_stats
-            .get(core)
-            .ok_or(CacheError::UnknownCore(core))
+        self.per_core_stats.get(core).ok_or(CacheError::UnknownCore(core))
     }
 
     // --- New-ISA control port (Tab. 1) ---------------------------------
@@ -264,10 +254,7 @@ impl L15Cache {
     ///
     /// Returns [`CacheError::UnknownWay`] for an out-of-range way.
     pub fn ip_of(&self, way: usize) -> Result<InclusionPolicy, CacheError> {
-        self.ip
-            .get(way)
-            .copied()
-            .ok_or(CacheError::UnknownWay(way))
+        self.ip.get(way).copied().ok_or(CacheError::UnknownWay(way))
     }
 
     /// Whether `core` currently owns at least one way configured inclusive
@@ -279,9 +266,7 @@ impl L15Cache {
     /// Returns [`CacheError::UnknownCore`] for an out-of-range core.
     pub fn routes_stores(&self, core: usize) -> Result<bool, CacheError> {
         let writable = self.mask.write_mask(&self.regs, core)?;
-        Ok(writable
-            .iter()
-            .any(|w| self.ip[w] == InclusionPolicy::Inclusive))
+        Ok(writable.iter().any(|w| self.ip[w] == InclusionPolicy::Inclusive))
     }
 
     /// Registers the task ID of the application running on `core`
@@ -373,15 +358,9 @@ impl L15Cache {
     /// state and are flushed on restore where ownership changes.
     pub fn snapshot(&self) -> L15ConfigState {
         L15ConfigState {
-            tid: (0..self.cfg.cores)
-                .map(|c| self.regs.tid(c).expect("core in range"))
-                .collect(),
-            ow: (0..self.cfg.cores)
-                .map(|c| self.regs.ow(c).expect("core in range"))
-                .collect(),
-            gv: (0..self.cfg.cores)
-                .map(|c| self.regs.gv(c).expect("core in range"))
-                .collect(),
+            tid: (0..self.cfg.cores).map(|c| self.regs.tid(c).expect("core in range")).collect(),
+            ow: (0..self.cfg.cores).map(|c| self.regs.ow(c).expect("core in range")).collect(),
+            gv: (0..self.cfg.cores).map(|c| self.regs.gv(c).expect("core in range")).collect(),
             ip: self.ip.clone(),
         }
     }
@@ -477,12 +456,10 @@ impl L15Cache {
         let tag = self.geo.tag_of(paddr);
         // The hit checkers (XNOR on tag, AND with valid) run only on ways the
         // mask logic passed through.
-        (0..self.cfg.ways)
-            .filter(|&w| allowed.contains(w))
-            .find(|&w| {
-                let l = &self.lines[set][w];
-                l.valid && l.tag == tag
-            })
+        (0..self.cfg.ways).filter(|&w| allowed.contains(w)).find(|&w| {
+            let l = &self.lines[set][w];
+            l.valid && l.tag == tag
+        })
     }
 
     fn probe_latency(&self, depth: usize) -> u32 {
@@ -517,11 +494,7 @@ impl L15Cache {
                 self.plru[set].touch(way);
                 self.stats.record_hit();
                 self.per_core_stats[core].record_hit();
-                Ok(L15Outcome {
-                    hit: true,
-                    latency: self.probe_latency(way),
-                    way: Some(way),
-                })
+                Ok(L15Outcome { hit: true, latency: self.probe_latency(way), way: Some(way) })
             }
             None => {
                 self.stats.record_miss();
@@ -562,11 +535,7 @@ impl L15Cache {
                 self.plru[set].touch(way);
                 self.stats.record_hit();
                 self.per_core_stats[core].record_hit();
-                Ok(L15Outcome {
-                    hit: true,
-                    latency: self.probe_latency(way),
-                    way: Some(way),
-                })
+                Ok(L15Outcome { hit: true, latency: self.probe_latency(way), way: Some(way) })
             }
             None => {
                 self.stats.record_miss();
@@ -602,11 +571,7 @@ impl L15Cache {
         data: &[u8],
         dirty: bool,
     ) -> Result<(Option<usize>, Option<EvictedLine>), CacheError> {
-        assert_eq!(
-            data.len(),
-            self.cfg.line_bytes as usize,
-            "fill requires exactly one line"
-        );
+        assert_eq!(data.len(), self.cfg.line_bytes as usize, "fill requires exactly one line");
         let allowed = self.mask.write_mask(&self.regs, core)?;
         let set = self.geo.index_of(vaddr) as usize;
         let tag = self.geo.tag_of(paddr);
@@ -683,11 +648,7 @@ impl L15Cache {
 
     /// Number of valid lines currently buffered (occupancy diagnostics).
     pub fn valid_lines(&self) -> usize {
-        self.lines
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.valid)
-            .count()
+        self.lines.iter().flat_map(|s| s.iter()).filter(|l| l.valid).count()
     }
 }
 
@@ -939,10 +900,7 @@ mod tests {
         let mut c = small();
         let mut snap = c.snapshot();
         snap.ip.pop();
-        assert!(matches!(
-            c.restore(&snap),
-            Err(CacheError::BadGeometry { name: "snapshot", .. })
-        ));
+        assert!(matches!(c.restore(&snap), Err(CacheError::BadGeometry { name: "snapshot", .. })));
     }
 
     #[test]

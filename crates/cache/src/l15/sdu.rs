@@ -52,12 +52,7 @@ impl Sdu {
     /// Panics if `n_cores == 0`.
     pub fn new(n_cores: usize) -> Self {
         assert!(n_cores > 0, "need at least one core");
-        Sdu {
-            demand: vec![0; n_cores],
-            supply: vec![0; n_cores],
-            rr: 0,
-            actions: 0,
-        }
+        Sdu { demand: vec![0; n_cores], supply: vec![0; n_cores], rr: 0, actions: 0 }
     }
 
     /// Number of cores served.
@@ -73,20 +68,12 @@ impl Sdu {
     /// Returns [`CacheError::UnknownCore`] for an out-of-range core and
     /// [`CacheError::DemandTooLarge`] when `n` exceeds the way count of
     /// `regs`.
-    pub fn demand(
-        &mut self,
-        regs: &ControlRegs,
-        core: usize,
-        n: usize,
-    ) -> Result<(), CacheError> {
+    pub fn demand(&mut self, regs: &ControlRegs, core: usize, n: usize) -> Result<(), CacheError> {
         if core >= self.demand.len() {
             return Err(CacheError::UnknownCore(core));
         }
         if n > regs.n_ways() {
-            return Err(CacheError::DemandTooLarge {
-                requested: n,
-                total: regs.n_ways(),
-            });
+            return Err(CacheError::DemandTooLarge { requested: n, total: regs.n_ways() });
         }
         self.demand[core] = n;
         Ok(())
@@ -98,10 +85,7 @@ impl Sdu {
     ///
     /// Returns [`CacheError::UnknownCore`] for an out-of-range core.
     pub fn demand_of(&self, core: usize) -> Result<usize, CacheError> {
-        self.demand
-            .get(core)
-            .copied()
-            .ok_or(CacheError::UnknownCore(core))
+        self.demand.get(core).copied().ok_or(CacheError::UnknownCore(core))
     }
 
     /// Supply register of `core` (number of ways currently granted).
@@ -110,18 +94,12 @@ impl Sdu {
     ///
     /// Returns [`CacheError::UnknownCore`] for an out-of-range core.
     pub fn supply_of(&self, core: usize) -> Result<usize, CacheError> {
-        self.supply
-            .get(core)
-            .copied()
-            .ok_or(CacheError::UnknownCore(core))
+        self.supply.get(core).copied().ok_or(CacheError::UnknownCore(core))
     }
 
     /// Whether any comparator currently signals `S ≠ D`.
     pub fn pending(&self) -> bool {
-        self.demand
-            .iter()
-            .zip(&self.supply)
-            .any(|(d, s)| d != s)
+        self.demand.iter().zip(&self.supply).any(|(d, s)| d != s)
     }
 
     /// Total Walloc actions executed so far.
@@ -263,13 +241,7 @@ mod tests {
         sdu.demand(&regs, 1, 2).unwrap();
         let (events, cycles) = sdu.settle(&mut regs);
         assert_eq!(cycles, 4);
-        assert_eq!(
-            events
-                .iter()
-                .filter(|e| matches!(e, SduEvent::Revoked { .. }))
-                .count(),
-            2
-        );
+        assert_eq!(events.iter().filter(|e| matches!(e, SduEvent::Revoked { .. })).count(), 2);
         assert_eq!(regs.ow(0).unwrap().count(), 2);
         assert_eq!(regs.ow(1).unwrap().count(), 2);
     }

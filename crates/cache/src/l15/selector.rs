@@ -42,9 +42,7 @@ impl HitChecker {
     /// Panics if `tag_bits` is 0 or exceeds 64.
     pub fn new(tag_bits: u32) -> Self {
         assert!(tag_bits >= 1 && tag_bits <= 64, "tag width out of range");
-        HitChecker {
-            tag_mask: if tag_bits == 64 { u64::MAX } else { (1u64 << tag_bits) - 1 },
-        }
+        HitChecker { tag_mask: if tag_bits == 64 { u64::MAX } else { (1u64 << tag_bits) - 1 } }
     }
 
     /// Evaluates the checker for one latched line.
@@ -89,7 +87,7 @@ impl DataSelector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use l15_testkit::prop::{self, Config};
 
     #[test]
     fn checker_requires_both_valid_and_tag_match() {
@@ -122,46 +120,40 @@ mod tests {
         assert_eq!(ds.select(&lines, WayMask::single(2), tag), None);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        /// RTL-vs-behavioural equivalence: the gate-level selector agrees
-        /// with a straightforward behavioural search.
-        #[test]
-        fn selector_matches_behavioural_model(
-            tags in proptest::collection::vec(0u64..16, 1..16),
-            valids in proptest::collection::vec(any::<bool>(), 1..16),
-            enables in any::<u16>(),
-            req_tag in 0u64..16,
-        ) {
+    /// RTL-vs-behavioural equivalence: the gate-level selector agrees
+    /// with a straightforward behavioural search.
+    #[test]
+    fn selector_matches_behavioural_model() {
+        prop::run_with(Config::with_cases(128), "selector_matches_behavioural_model", |g| {
+            let tags = g.vec_of(1..16, |g| g.u64_in(0..16));
+            let valids = g.vec_of(1..16, |g| g.bool());
+            let enables = g.any_u16();
+            let req_tag = g.u64_in(0..16);
             let n = tags.len().min(valids.len());
-            let lines: Vec<LatchedLine> = (0..n)
-                .map(|i| LatchedLine { valid: valids[i], tag: tags[i] })
-                .collect();
+            let lines: Vec<LatchedLine> =
+                (0..n).map(|i| LatchedLine { valid: valids[i], tag: tags[i] }).collect();
             let enables = WayMask::from(enables as u64);
             let ds = DataSelector::new(8);
             let gate = ds.select(&lines, enables, req_tag);
-            let behavioural = (0..n).find(|&w| {
-                enables.contains(w) && lines[w].valid && lines[w].tag == req_tag
-            });
-            prop_assert_eq!(gate, behavioural);
-        }
+            let behavioural =
+                (0..n).find(|&w| enables.contains(w) && lines[w].valid && lines[w].tag == req_tag);
+            assert_eq!(gate, behavioural);
+        });
+    }
 
-        /// The hit vector is always a subset of the enables.
-        #[test]
-        fn hits_are_gated_by_enables(
-            tags in proptest::collection::vec(0u64..4, 8),
-            enables in any::<u8>(),
-            req_tag in 0u64..4,
-        ) {
-            let lines: Vec<LatchedLine> = tags
-                .iter()
-                .map(|&t| LatchedLine { valid: true, tag: t })
-                .collect();
+    /// The hit vector is always a subset of the enables.
+    #[test]
+    fn hits_are_gated_by_enables() {
+        prop::run_with(Config::with_cases(128), "hits_are_gated_by_enables", |g| {
+            let tags = g.vec_of(8..9, |g| g.u64_in(0..4));
+            let enables = g.any_u8();
+            let req_tag = g.u64_in(0..4);
+            let lines: Vec<LatchedLine> =
+                tags.iter().map(|&t| LatchedLine { valid: true, tag: t }).collect();
             let enables = WayMask::from(enables as u64);
             let ds = DataSelector::new(4);
             let hits = ds.hit_vector(&lines, enables, req_tag);
-            prop_assert!(hits.difference(enables).is_empty());
-        }
+            assert!(hits.difference(enables).is_empty());
+        });
     }
 }

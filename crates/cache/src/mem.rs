@@ -20,10 +20,7 @@ impl MainMemory {
     /// Creates an empty memory with the given fixed access `latency`
     /// (cycles per line transfer).
     pub fn new(latency: u32) -> Self {
-        MainMemory {
-            pages: HashMap::new(),
-            latency,
-        }
+        MainMemory { pages: HashMap::new(), latency }
     }
 
     /// Access latency in cycles.
@@ -48,9 +45,7 @@ impl MainMemory {
             let a = addr + i as u64;
             let page = a >> PAGE_BITS;
             let off = (a as usize) & (PAGE_SIZE - 1);
-            self.pages
-                .entry(page)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))[off] = b;
+            self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))[off] = b;
         }
     }
 

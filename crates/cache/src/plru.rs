@@ -29,11 +29,7 @@ impl TreePlru {
     pub fn new(ways: usize) -> Self {
         assert!(ways > 0 && ways <= 64, "ways must be in 1..=64");
         let leaves = ways.next_power_of_two();
-        TreePlru {
-            ways,
-            bits: vec![false; leaves.saturating_sub(1)],
-            leaves,
-        }
+        TreePlru { ways, bits: vec![false; leaves.saturating_sub(1)], leaves }
     }
 
     /// Number of ways covered.
@@ -75,8 +71,7 @@ impl TreePlru {
 
     /// Selects the pseudo-least-recently-used way among *all* ways.
     pub fn victim(&self) -> usize {
-        self.victim_in(WayMask::first_n(self.ways))
-            .expect("full mask always yields a victim")
+        self.victim_in(WayMask::first_n(self.ways)).expect("full mask always yields a victim")
     }
 
     /// Selects the PLRU victim restricted to `allowed`.

@@ -32,12 +32,7 @@ struct Line {
 
 impl Line {
     fn empty(line_bytes: u64) -> Self {
-        Line {
-            valid: false,
-            dirty: false,
-            tag: 0,
-            data: vec![0; line_bytes as usize],
-        }
+        Line { valid: false, dirty: false, tag: 0, data: vec![0; line_bytes as usize] }
     }
 }
 
@@ -120,9 +115,7 @@ impl SetAssocCache {
     pub fn probe(&self, addr: u64) -> Option<usize> {
         let set = self.geo.index_of(addr) as usize;
         let tag = self.geo.tag_of(addr);
-        self.lines[set]
-            .iter()
-            .position(|l| l.valid && l.tag == tag)
+        self.lines[set].iter().position(|l| l.valid && l.tag == tag)
     }
 
     /// Performs a read or write probe for `addr`, updating PLRU and stats.
@@ -141,11 +134,7 @@ impl SetAssocCache {
                     self.lines[set][way].dirty = true;
                 }
                 self.stats.record_hit();
-                AccessOutcome {
-                    hit: true,
-                    latency: self.probe_latency(way),
-                    way: Some(way),
-                }
+                AccessOutcome { hit: true, latency: self.probe_latency(way), way: Some(way) }
             }
             None => {
                 self.stats.record_miss();
@@ -200,7 +189,12 @@ impl SetAssocCache {
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the line size.
-    pub fn fill(&mut self, addr: u64, data: &[u8], allowed: Option<WayMask>) -> Option<EvictedLine> {
+    pub fn fill(
+        &mut self,
+        addr: u64,
+        data: &[u8],
+        allowed: Option<WayMask>,
+    ) -> Option<EvictedLine> {
         assert_eq!(
             data.len(),
             self.geo.line_bytes() as usize,
@@ -279,11 +273,7 @@ impl SetAssocCache {
 
     /// Number of currently valid lines (occupancy).
     pub fn valid_lines(&self) -> usize {
-        self.lines
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.valid)
-            .count()
+        self.lines.iter().flat_map(|s| s.iter()).filter(|l| l.valid).count()
     }
 }
 

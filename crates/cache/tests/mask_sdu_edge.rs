@@ -1,0 +1,257 @@
+//! Edge cases of the mask logic and the Supply-Demand Unit that the
+//! behavioural property suites are unlikely to hit: cores with empty
+//! ownership vectors, a one-way cluster, TID values at the wraparound
+//! boundary, and supply/demand reconfiguration racing accesses to the
+//! same set.
+
+use l15_cache::l15::{ControlRegs, L15Cache, L15Config, MaskLogic, Sdu, SduEvent};
+use l15_cache::WayMask;
+
+fn line(cache: &L15Cache, byte: u8) -> Vec<u8> {
+    vec![byte; cache.config().line_bytes as usize]
+}
+
+// ---------------------------------------------------------------- empty OW
+
+#[test]
+fn empty_ownership_yields_empty_masks() {
+    // No grant ever issued: every mask is empty, for every core.
+    let regs = ControlRegs::new(4, 16);
+    let m = MaskLogic::new();
+    for core in 0..4 {
+        assert_eq!(m.read_mask(&regs, core).unwrap(), WayMask::from(0u64));
+        assert_eq!(m.write_mask(&regs, core).unwrap(), WayMask::from(0u64));
+    }
+}
+
+#[test]
+fn core_without_ways_misses_and_cannot_fill() {
+    let mut cache = L15Cache::new(L15Config::default()).expect("paper config is valid");
+    // Core 1 gets ways; core 0 owns nothing.
+    cache.demand(1, 4).expect("within zeta");
+    cache.settle();
+
+    let data = line(&cache, 0xAB);
+    cache.fill(1, 0, 0, &data, false).expect("core in range");
+
+    // Core 0 cannot see core 1's private line and has nowhere to fill.
+    let mut buf = [0u8; 8];
+    let out = cache.read(0, 0, 0, &mut buf).expect("core in range");
+    assert!(!out.hit, "empty ownership must never hit");
+    let (way, evicted) = cache.fill(0, 0, 0, &data, false).expect("core in range");
+    assert_eq!(way, None, "no writable way means the fill is dropped");
+    assert!(evicted.is_none());
+
+    // A write lookup likewise misses without disturbing core 1's line.
+    let out = cache.write(0, 0, 0, &[0u8; 8]).expect("core in range");
+    assert!(!out.hit);
+    let out = cache.read(1, 0, 0, &mut buf).expect("core in range");
+    assert!(out.hit, "owner's line must survive the stranger's attempts");
+    assert_eq!(buf, [0xAB; 8]);
+}
+
+#[test]
+fn empty_ownership_supply_reads_zero() {
+    let cache = L15Cache::new(L15Config::default()).expect("valid");
+    for core in 0..cache.config().cores {
+        assert_eq!(cache.supply(core).unwrap(), WayMask::from(0u64));
+    }
+}
+
+// ---------------------------------------------------------- one-way cluster
+
+#[test]
+fn single_way_cluster_serves_one_core_at_a_time() {
+    let cfg = L15Config { ways: 1, ..Default::default() };
+    let mut cache = L15Cache::new(cfg).expect("one way is a valid cluster");
+
+    cache.demand(0, 1).expect("within zeta");
+    let (events, _, _) = cache.settle();
+    assert_eq!(events, vec![SduEvent::Granted { core: 0, way: 0 }]);
+
+    // The single way works as a (tiny) cache.
+    let data = line(&cache, 0x5A);
+    cache.fill(0, 0, 0, &data, false).expect("core in range");
+    let mut buf = [0u8; 8];
+    assert!(cache.read(0, 0, 0, &mut buf).expect("core in range").hit);
+    assert_eq!(buf, [0x5A; 8]);
+
+    // A second hungry core starves (best effort) until the first shrinks.
+    cache.demand(1, 1).expect("within zeta");
+    let (events, _, _) = cache.settle();
+    assert!(events.is_empty(), "no free way: the Walloc must not thrash");
+    assert!(cache.reconfig_pending());
+
+    cache.demand(0, 0).expect("within zeta");
+    let (events, _, _) = cache.settle();
+    assert_eq!(
+        events,
+        vec![SduEvent::Revoked { core: 0, way: 0 }, SduEvent::Granted { core: 1, way: 0 },]
+    );
+    assert!(!cache.reconfig_pending());
+    // The handover purged the previous owner's line.
+    assert!(!cache.read(1, 0, 0, &mut buf).expect("core in range").hit);
+}
+
+#[test]
+fn single_way_cannot_be_shared_and_written() {
+    // With gv covering the core's only way, the write mask is empty.
+    let mut regs = ControlRegs::new(2, 1);
+    regs.grant(0, 0).unwrap();
+    regs.set_gv(0, WayMask::single(0)).unwrap();
+    let m = MaskLogic::new();
+    assert_eq!(m.write_mask(&regs, 0).unwrap(), WayMask::from(0u64));
+    // Both cores may read it (same default TID).
+    assert!(m.read_mask(&regs, 0).unwrap().contains(0));
+    assert!(m.read_mask(&regs, 1).unwrap().contains(0));
+}
+
+// ------------------------------------------------------------ TID wraparound
+
+#[test]
+fn tid_comparison_is_exact_at_the_wraparound_boundary() {
+    // The protector XNORs full 32-bit TIDs: u32::MAX and 0 (its wrapping
+    // successor) must compare as *different* applications.
+    let mut regs = ControlRegs::new(2, 4);
+    regs.grant(0, 0).unwrap();
+    regs.set_gv(0, WayMask::single(0)).unwrap();
+    regs.set_tid(0, u32::MAX).unwrap();
+    regs.set_tid(1, u32::MAX.wrapping_add(1)).unwrap(); // == 0
+    let m = MaskLogic::new();
+    assert!(
+        !m.read_mask(&regs, 1).unwrap().contains(0),
+        "TID 0xFFFF_FFFF and TID 0 must not alias"
+    );
+
+    // Only an exact match re-enables sharing.
+    regs.set_tid(1, u32::MAX).unwrap();
+    assert!(m.read_mask(&regs, 1).unwrap().contains(0));
+}
+
+#[test]
+fn tid_wraparound_does_not_leak_shared_lines() {
+    let mut cache = L15Cache::new(L15Config::default()).expect("valid");
+    cache.demand(0, 2).expect("within zeta");
+    cache.demand(1, 2).expect("within zeta");
+    cache.settle();
+    cache.set_tid(0, u32::MAX).expect("core in range");
+    cache.set_tid(1, 0).expect("core in range");
+
+    // Core 0 shares all its ways globally.
+    let mine = cache.supply(0).expect("core in range");
+    cache.gv_set(0, mine).expect("owned ways");
+    let data = line(&cache, 0x77);
+    // gv_set removed core 0's write permission, so fill via a still-owned
+    // path is impossible; write the line before sharing instead.
+    cache.gv_set(0, WayMask::from(0u64)).expect("owned ways");
+    cache.fill(0, 0, 0, &data, false).expect("core in range");
+    cache.gv_set(0, mine).expect("owned ways");
+
+    // TID 0 (the wrapped value) must not see TID u32::MAX's shared line.
+    let mut buf = [0u8; 8];
+    assert!(!cache.read(1, 0, 0, &mut buf).expect("core in range").hit);
+    // An exact TID match does.
+    cache.set_tid(1, u32::MAX).expect("core in range");
+    assert!(cache.read(1, 0, 0, &mut buf).expect("core in range").hit);
+    assert_eq!(buf, [0x77; 8]);
+}
+
+// ----------------------------------- concurrent supply/demand on a hot set
+
+#[test]
+fn reconfiguration_racing_accesses_on_the_same_set_stays_consistent() {
+    // Core 0 shrinks 4→1 while core 1 grows 0→3, with both cores hammering
+    // set 0 between the one-per-cycle Walloc actions. Whatever the
+    // interleaving, no access may cross the ownership boundary and the
+    // final ownership must match the demands.
+    let mut cache = L15Cache::new(L15Config::default()).expect("valid");
+    cache.demand(0, 4).expect("within zeta");
+    cache.settle();
+
+    // Four valid lines of core 0, all in set 0 (stride = one way's bytes).
+    let stride = cache.config().way_bytes;
+    for k in 0..4u64 {
+        let data = line(&cache, k as u8);
+        cache.fill(0, k * stride, k * stride, &data, false).expect("core in range");
+    }
+
+    cache.demand(0, 1).expect("within zeta");
+    cache.demand(1, 3).expect("within zeta");
+
+    let mut steps = 0;
+    while cache.reconfig_pending() {
+        let (event, writebacks) = cache.tick();
+        assert!(writebacks.is_empty(), "clean lines never write back");
+        if event.is_none() {
+            break; // starved (cannot happen here, but never livelock)
+        }
+        steps += 1;
+        assert!(steps <= 16, "reconfiguration must converge");
+
+        // Concurrent demand-side traffic on set 0 from both cores.
+        let mut buf = [0u8; 8];
+        for k in 0..4u64 {
+            let addr = k * stride;
+            if cache.read(0, addr, addr, &mut buf).expect("core in range").hit {
+                assert_eq!(buf, [k as u8; 8], "core 0 must only see its own data");
+            }
+        }
+        let addr = 5 * stride; // a line of core 1's, same set 0
+        let out = cache.read(1, addr, addr, &mut buf).expect("core in range");
+        if !out.hit && !cache.supply(1).expect("core in range").is_empty() {
+            let data = line(&cache, 0xEE);
+            cache.fill(1, addr, addr, &data, false).expect("core in range");
+        }
+    }
+
+    // Quiesced: supplies equal demands, ownership is disjoint, and each
+    // core still reads only its own contents in the contested set.
+    assert!(!cache.reconfig_pending());
+    let s0 = cache.supply(0).expect("core in range");
+    let s1 = cache.supply(1).expect("core in range");
+    assert_eq!(s0.count(), 1);
+    assert_eq!(s1.count(), 3);
+    assert_eq!(s0.intersect(s1), WayMask::from(0u64));
+
+    let mut buf = [0u8; 8];
+    let addr = 5 * stride;
+    assert!(cache.read(1, addr, addr, &mut buf).expect("core in range").hit);
+    assert_eq!(buf, [0xEE; 8]);
+    for k in 0..4u64 {
+        let a = k * stride;
+        if cache.read(0, a, a, &mut buf).expect("core in range").hit {
+            assert_eq!(buf, [k as u8; 8]);
+        }
+    }
+}
+
+#[test]
+fn simultaneous_grow_and_shrink_interleave_one_action_per_cycle() {
+    // Raw SDU view of the same race: revocations are served before grants
+    // so the pool never goes negative, and each tick performs exactly one
+    // action.
+    let mut sdu = Sdu::new(2);
+    let mut regs = ControlRegs::new(2, 4);
+    sdu.demand(&regs, 0, 4).unwrap();
+    sdu.settle(&mut regs);
+
+    sdu.demand(&regs, 0, 1).unwrap();
+    sdu.demand(&regs, 1, 3).unwrap();
+    let mut granted = 0;
+    let mut revoked = 0;
+    while sdu.pending() {
+        match sdu.tick(&mut regs) {
+            Some(SduEvent::Granted { core: 1, .. }) => granted += 1,
+            Some(SduEvent::Revoked { core: 0, .. }) => revoked += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+        // Invariant at every intermediate cycle: no way owned twice.
+        assert!(
+            regs.ow(0).unwrap().intersect(regs.ow(1).unwrap()).is_empty(),
+            "ownership must stay disjoint mid-reconfiguration"
+        );
+    }
+    assert_eq!((revoked, granted), (3, 3));
+    assert_eq!(regs.ow(0).unwrap().count(), 1);
+    assert_eq!(regs.ow(1).unwrap().count(), 3);
+}

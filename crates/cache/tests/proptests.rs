@@ -8,7 +8,9 @@ use l15_cache::geometry::{Geometry, WayMask};
 use l15_cache::l15::{ControlRegs, L15Cache, L15Config, MaskLogic, Sdu};
 use l15_cache::plru::TreePlru;
 use l15_cache::sa::{AccessKind, SetAssocCache};
-use proptest::prelude::*;
+use l15_testkit::prop::{self, Config, G};
+
+const CASES: u32 = 128;
 
 // ---------------------------------------------------------------------
 // SetAssocCache vs flat-memory oracle (write-back, write-allocate).
@@ -21,12 +23,12 @@ enum Op {
     Flush,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..512, any::<u8>()).prop_map(|(a, v)| Op::Write { addr: a, value: v }),
-        (0u64..512).prop_map(|a| Op::Read { addr: a }),
-        Just(Op::Flush),
-    ]
+fn arb_op(g: &mut G) -> Op {
+    match g.weighted(&[1, 1, 1]) {
+        0 => Op::Write { addr: g.u64_in(0..512), value: g.any_u8() },
+        1 => Op::Read { addr: g.u64_in(0..512) },
+        _ => Op::Flush,
+    }
 }
 
 /// A one-level write-back cache in front of a byte-addressable memory,
@@ -87,11 +89,10 @@ impl Harness {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cache_never_returns_stale_data(ops in proptest::collection::vec(arb_op(), 1..200)) {
+#[test]
+fn cache_never_returns_stale_data() {
+    prop::run_with(Config::with_cases(CASES), "cache_never_returns_stale_data", |g| {
+        let ops = g.vec_of(1..200, arb_op);
         let mut h = Harness::new();
         let mut oracle: HashMap<u64, u8> = HashMap::new();
         for op in ops {
@@ -103,7 +104,7 @@ proptest! {
                 Op::Read { addr } => {
                     let got = h.read(addr);
                     let want = *oracle.get(&addr).unwrap_or(&0);
-                    prop_assert_eq!(got, want, "stale read at {:#x}", addr);
+                    assert_eq!(got, want, "stale read at {addr:#x}");
                 }
                 Op::Flush => h.flush(),
             }
@@ -112,16 +113,17 @@ proptest! {
         h.flush();
         for (addr, want) in &oracle {
             let got = *h.mem.get(addr).unwrap_or(&0);
-            prop_assert_eq!(got, *want, "memory mismatch at {:#x}", addr);
+            assert_eq!(got, *want, "memory mismatch at {addr:#x}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn plru_victim_is_always_valid_and_masked(
-        ways in 1usize..=16,
-        touches in proptest::collection::vec(0usize..16, 0..64),
-        mask_bits in any::<u16>(),
-    ) {
+#[test]
+fn plru_victim_is_always_valid_and_masked() {
+    prop::run_with(Config::with_cases(CASES), "plru_victim_is_always_valid_and_masked", |g| {
+        let ways = g.usize_in(1..=16);
+        let touches = g.vec_of(0..64, |g| g.usize_in(0..16));
+        let mask_bits = g.any_u16();
         let mut p = TreePlru::new(ways);
         for t in touches {
             p.touch(t % ways);
@@ -129,18 +131,22 @@ proptest! {
         let mask = WayMask::from(mask_bits as u64);
         match p.victim_in(mask) {
             Some(v) => {
-                prop_assert!(v < ways);
-                prop_assert!(mask.contains(v));
+                assert!(v < ways);
+                assert!(mask.contains(v));
             }
             None => {
                 // Only legitimate when the mask has no way in range.
-                prop_assert!(mask.intersect(WayMask::first_n(ways)).is_empty());
+                assert!(mask.intersect(WayMask::first_n(ways)).is_empty());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn waymask_matches_hashset_model(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn waymask_matches_hashset_model() {
+    prop::run_with(Config::with_cases(CASES), "waymask_matches_hashset_model", |g| {
+        let a = g.any_u64();
+        let b = g.any_u64();
         let ma = WayMask::from(a);
         let mb = WayMask::from(b);
         let sa: HashSet<usize> = ma.iter().collect();
@@ -148,17 +154,18 @@ proptest! {
         let union: HashSet<usize> = ma.union(mb).iter().collect();
         let inter: HashSet<usize> = ma.intersect(mb).iter().collect();
         let diff: HashSet<usize> = ma.difference(mb).iter().collect();
-        prop_assert_eq!(union, sa.union(&sb).copied().collect::<HashSet<_>>());
-        prop_assert_eq!(inter, sa.intersection(&sb).copied().collect::<HashSet<_>>());
-        prop_assert_eq!(diff, sa.difference(&sb).copied().collect::<HashSet<_>>());
-        prop_assert_eq!(ma.count(), sa.len());
-        prop_assert_eq!(ma.lowest(), sa.iter().min().copied());
-    }
+        assert_eq!(union, sa.union(&sb).copied().collect::<HashSet<_>>());
+        assert_eq!(inter, sa.intersection(&sb).copied().collect::<HashSet<_>>());
+        assert_eq!(diff, sa.difference(&sb).copied().collect::<HashSet<_>>());
+        assert_eq!(ma.count(), sa.len());
+        assert_eq!(ma.lowest(), sa.iter().min().copied());
+    });
+}
 
-    #[test]
-    fn sdu_converges_to_feasible_demands(
-        demands in proptest::collection::vec((0usize..4, 0usize..=8), 1..12),
-    ) {
+#[test]
+fn sdu_converges_to_feasible_demands() {
+    prop::run_with(Config::with_cases(CASES), "sdu_converges_to_feasible_demands", |g| {
+        let demands = g.vec_of(1..12, |g| (g.usize_in(0..4), g.usize_in(0..=8)));
         let ways = 16usize;
         let mut regs = ControlRegs::new(4, ways);
         let mut sdu = Sdu::new(4);
@@ -168,81 +175,94 @@ proptest! {
             want[core] = n;
             // Give the Walloc plenty of cycles.
             for _ in 0..64 {
-                if !sdu.pending() { break; }
+                if !sdu.pending() {
+                    break;
+                }
                 sdu.tick(&mut regs);
             }
         }
         let total: usize = want.iter().sum();
         if total <= ways {
             for core in 0..4 {
-                prop_assert_eq!(regs.ow(core).unwrap().count(), want[core]);
-                prop_assert_eq!(sdu.supply_of(core).unwrap(), want[core]);
+                assert_eq!(regs.ow(core).unwrap().count(), want[core]);
+                assert_eq!(sdu.supply_of(core).unwrap(), want[core]);
             }
         }
         // Ownership is always disjoint.
         let mut seen = WayMask::EMPTY;
         for core in 0..4 {
             let ow = regs.ow(core).unwrap();
-            prop_assert!(seen.intersect(ow).is_empty(), "overlapping ownership");
+            assert!(seen.intersect(ow).is_empty(), "overlapping ownership");
             seen = seen.union(ow);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mask_logic_never_leaks_writes_into_shared_ways(
-        grants in proptest::collection::vec(0usize..4, 0..16),
-        gv_bits in any::<u16>(),
-    ) {
-        let mut regs = ControlRegs::new(4, 16);
-        for (way, &core) in grants.iter().enumerate() {
-            regs.grant(core, way).unwrap();
-        }
-        for core in 0..4 {
-            regs.set_gv(core, WayMask::from(gv_bits as u64)).unwrap();
-        }
-        let m = MaskLogic::new();
-        for core in 0..4 {
-            let wm = m.write_mask(&regs, core).unwrap();
-            let rm = m.read_mask(&regs, core).unwrap();
-            // Writes only to owned, unshared ways.
-            prop_assert!(wm.intersect(regs.gv(core).unwrap()).is_empty());
-            prop_assert!(wm.difference(regs.ow(core).unwrap()).is_empty());
-            // Write set is always a subset of the read set.
-            prop_assert!(wm.difference(rm).is_empty());
-        }
-    }
-
-    #[test]
-    fn l15_fill_read_roundtrip_under_random_ownership(
-        core_ways in proptest::collection::vec(0usize..4usize, 4),
-        addrs in proptest::collection::vec(0u64..4096, 1..16),
-    ) {
-        let mut cache = L15Cache::new(L15Config {
-            line_bytes: 64,
-            way_bytes: 256,
-            ways: 8,
-            cores: 4,
-            lat_min: 2,
-            lat_max: 8,
-        }).unwrap();
-        for (core, &n) in core_ways.iter().enumerate() {
-            cache.demand(core, n.min(2)).unwrap();
-        }
-        cache.settle();
-        for (i, &addr) in addrs.iter().enumerate() {
-            let core = i % 4;
-            let addr = addr & !63;
-            let line = vec![(i as u8).wrapping_add(1); 64];
-            let (way, _) = cache.fill(core, addr, addr, &line, false).unwrap();
-            let mut buf = [0u8; 1];
-            let out = cache.read(core, addr, addr, &mut buf).unwrap();
-            if way.is_some() {
-                prop_assert!(out.hit, "just-filled line must hit for its owner");
-                prop_assert_eq!(buf[0], (i as u8).wrapping_add(1));
-            } else {
-                // No writable way: fill rejected, read misses.
-                prop_assert!(!out.hit);
+#[test]
+fn mask_logic_never_leaks_writes_into_shared_ways() {
+    prop::run_with(
+        Config::with_cases(CASES),
+        "mask_logic_never_leaks_writes_into_shared_ways",
+        |g| {
+            let grants = g.vec_of(0..16, |g| g.usize_in(0..4));
+            let gv_bits = g.any_u16();
+            let mut regs = ControlRegs::new(4, 16);
+            for (way, &core) in grants.iter().enumerate() {
+                regs.grant(core, way).unwrap();
             }
-        }
-    }
+            for core in 0..4 {
+                regs.set_gv(core, WayMask::from(gv_bits as u64)).unwrap();
+            }
+            let m = MaskLogic::new();
+            for core in 0..4 {
+                let wm = m.write_mask(&regs, core).unwrap();
+                let rm = m.read_mask(&regs, core).unwrap();
+                // Writes only to owned, unshared ways.
+                assert!(wm.intersect(regs.gv(core).unwrap()).is_empty());
+                assert!(wm.difference(regs.ow(core).unwrap()).is_empty());
+                // Write set is always a subset of the read set.
+                assert!(wm.difference(rm).is_empty());
+            }
+        },
+    );
+}
+
+#[test]
+fn l15_fill_read_roundtrip_under_random_ownership() {
+    prop::run_with(
+        Config::with_cases(CASES),
+        "l15_fill_read_roundtrip_under_random_ownership",
+        |g| {
+            let core_ways = g.vec_of(4..5, |g| g.usize_in(0..4));
+            let addrs = g.vec_of(1..16, |g| g.u64_in(0..4096));
+            let mut cache = L15Cache::new(L15Config {
+                line_bytes: 64,
+                way_bytes: 256,
+                ways: 8,
+                cores: 4,
+                lat_min: 2,
+                lat_max: 8,
+            })
+            .unwrap();
+            for (core, &n) in core_ways.iter().enumerate() {
+                cache.demand(core, n.min(2)).unwrap();
+            }
+            cache.settle();
+            for (i, &addr) in addrs.iter().enumerate() {
+                let core = i % 4;
+                let addr = addr & !63;
+                let line = vec![(i as u8).wrapping_add(1); 64];
+                let (way, _) = cache.fill(core, addr, addr, &line, false).unwrap();
+                let mut buf = [0u8; 1];
+                let out = cache.read(core, addr, addr, &mut buf).unwrap();
+                if way.is_some() {
+                    assert!(out.hit, "just-filled line must hit for its owner");
+                    assert_eq!(buf[0], (i as u8).wrapping_add(1));
+                } else {
+                    // No writable way: fill rejected, read misses.
+                    assert!(!out.hit);
+                }
+            }
+        },
+    );
 }

@@ -62,11 +62,7 @@ impl Default for Alg1Options {
 ///
 /// Panics if `zeta == 0` (a cache with no ways cannot be configured; use
 /// the baseline scheduler instead).
-pub fn schedule_with_l15(
-    task: &DagTask,
-    zeta: usize,
-    etm: &ExecutionTimeModel,
-) -> SchedulePlan {
+pub fn schedule_with_l15(task: &DagTask, zeta: usize, etm: &ExecutionTimeModel) -> SchedulePlan {
     schedule_with_l15_with(task, zeta, etm, Alg1Options::default())
 }
 
@@ -95,9 +91,7 @@ pub fn schedule_with_l15_with(
     let mut pri = n as u32;
 
     // λ with current allocation (initially no ways anywhere).
-    let mut lambda = analysis::lambda_with(dag, |e| {
-        etm.edge_cost_in(dag, e, 0)
-    });
+    let mut lambda = analysis::lambda_with(dag, |e| etm.edge_cost_in(dag, e, 0));
 
     let mut queue: Vec<NodeId> = vec![dag.source()];
 
@@ -142,11 +136,7 @@ pub fn schedule_with_l15_with(
                 let need = etm.ways_required(dag.node(v).data_bytes);
                 let grant = need.min(zeta - used).min(share);
                 if grant > 0 {
-                    omega.push(WayGroup {
-                        size: grant,
-                        kind: WayGroupKind::Local,
-                        owner: v,
-                    });
+                    omega.push(WayGroup { size: grant, kind: WayGroupKind::Local, owner: v });
                     local_ways[v.0] = grant;
                 }
             }
@@ -167,10 +157,7 @@ pub fn schedule_with_l15_with(
         // --- line 21: next frontier --------------------------------------
         queue = dag
             .node_ids()
-            .filter(|&v| {
-                !examined[v.0]
-                    && dag.predecessors(v).iter().all(|&(_, p)| examined[p.0])
-            })
+            .filter(|&v| !examined[v.0] && dag.predecessors(v).iter().all(|&(_, p)| examined[p.0]))
             .collect();
     }
 
@@ -182,8 +169,7 @@ mod tests {
     use super::*;
     use l15_dag::gen::{DagGenParams, DagGenerator};
     use l15_dag::{DagBuilder, Node};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use l15_testkit::rng::SmallRng;
 
     fn etm() -> ExecutionTimeModel {
         ExecutionTimeModel::new(2048).unwrap()
@@ -319,11 +305,7 @@ mod tests {
             // exceed ζ: check per round sum of this round's local + previous
             // round's (now global) ways.
             for w in plan.rounds.windows(2) {
-                let live: usize = w[0]
-                    .iter()
-                    .chain(w[1].iter())
-                    .map(|&v| plan.ways(v))
-                    .sum();
+                let live: usize = w[0].iter().chain(w[1].iter()).map(|&v| plan.ways(v)).sum();
                 assert!(live <= zeta, "live ways {live} exceed ζ {zeta}");
             }
             // Priorities respect precedence: predecessors examined earlier

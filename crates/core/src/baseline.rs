@@ -32,7 +32,7 @@
 //! Warm-up: instance `k` of a task sees `warm_k = 1 − (1 − warm_rate)^k`
 //! (cold at `k = 0`).
 
-use rand::Rng;
+use l15_testkit::rng::Rng;
 
 use l15_dag::{analysis, DagTask, ExecutionTimeModel, NodeId};
 
@@ -205,7 +205,8 @@ impl SystemModel {
                 if same_core {
                     mu * (1.0 - alpha * self.same_core_alpha * warm)
                 } else {
-                    let speedup = alpha * self.cross_core_alpha * warm * (1.0 - self.interference * u);
+                    let speedup =
+                        alpha * self.cross_core_alpha * warm * (1.0 - self.interference * u);
                     mu * (1.0 - speedup + self.cross_inflation * u)
                 }
             }
@@ -327,9 +328,7 @@ pub fn baseline_priorities(task: &DagTask) -> SchedulePlan {
         rounds.push(round);
         queue = dag
             .node_ids()
-            .filter(|&v| {
-                !examined[v.0] && dag.predecessors(v).iter().all(|&(_, p)| examined[p.0])
-            })
+            .filter(|&v| !examined[v.0] && dag.predecessors(v).iter().all(|&(_, p)| examined[p.0]))
             .collect();
     }
     SchedulePlan { priorities, local_ways: vec![0; n], rounds }
@@ -339,8 +338,7 @@ pub fn baseline_priorities(task: &DagTask) -> SchedulePlan {
 mod tests {
     use super::*;
     use l15_dag::gen::{DagGenParams, DagGenerator};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use l15_testkit::rng::SmallRng;
 
     fn task(seed: u64) -> DagTask {
         DagGenerator::new(DagGenParams::default())
@@ -413,11 +411,23 @@ mod tests {
         assert_eq!(mp.comm_cost(10.0, 0.7, 4096, 2, false, false, 0.0, 1.0), 10.0);
     }
 
+    /// An `Rng` whose every draw is the same raw word — pins the
+    /// per-instance interference jitter so warm-up is the only varying
+    /// factor, making the monotone-improvement claim deterministic.
+    struct ConstRng(u64);
+
+    impl l15_testkit::rng::Rng for ConstRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
     #[test]
     fn baselines_improve_with_warmup() {
         let t = task(3);
         for m in [SystemModel::cmp_l1(), SystemModel::cmp_l2()] {
-            let mut rng = SmallRng::seed_from_u64(7);
+            // u = 0.5 on every instance (top 53 bits of 1<<63).
+            let mut rng = ConstRng(1 << 63);
             let spans = m.evaluate(&t, 8, 10, &mut rng);
             let max = spans.iter().cloned().fold(f64::MIN, f64::max);
             assert!(
@@ -436,10 +446,7 @@ mod tests {
         let tasks: Vec<DagTask> = (0..20).map(|_| gen.generate(&mut rng).unwrap()).collect();
         let avg = |m: &SystemModel| -> f64 {
             let mut r = SmallRng::seed_from_u64(13);
-            tasks
-                .iter()
-                .flat_map(|t| m.evaluate(t, 8, 10, &mut r))
-                .sum::<f64>()
+            tasks.iter().flat_map(|t| m.evaluate(t, 8, 10, &mut r)).sum::<f64>()
                 / (tasks.len() * 10) as f64
         };
         let prop = avg(&SystemModel::proposed());

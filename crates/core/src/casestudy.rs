@@ -9,7 +9,7 @@
 //! stated parameters: dependent-data sizes drawn from `[2 KiB, 16 KiB]`,
 //! random periods, implicit deadlines, WCETs scaled to a utilisation share.
 
-use rand::Rng;
+use l15_testkit::rng::Rng;
 
 use l15_dag::{DagBuilder, DagError, DagTask, Node, NodeId};
 
@@ -282,16 +282,15 @@ pub fn generate_case_study<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use l15_testkit::rng::SmallRng;
 
     #[test]
     fn every_workload_builds_a_valid_task() {
         let params = CaseStudyParams::default();
         for w in Workload::ALL {
             let mut rng = SmallRng::seed_from_u64(42);
-            let t = dagify(w, 0.5, &params, &mut rng)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            let t =
+                dagify(w, 0.5, &params, &mut rng).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
             let g = t.graph();
             assert!(g.node_count() >= 4, "{}", w.name());
             assert!((t.utilisation() - 0.5).abs() < 1e-9, "{}", w.name());

@@ -107,11 +107,7 @@ mod tests {
         let (task, r) = schedule();
         let text = render(&task, &r, 3, 60);
         for v in 0..task.graph().node_count() {
-            let g = if v < 10 {
-                (b'0' + v as u8) as char
-            } else {
-                (b'a' + (v - 10) as u8) as char
-            };
+            let g = if v < 10 { (b'0' + v as u8) as char } else { (b'a' + (v - 10) as u8) as char };
             assert!(text.contains(g), "node {v} (glyph {g}) missing:\n{text}");
         }
     }

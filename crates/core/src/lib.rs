@@ -27,9 +27,8 @@
 //! use l15_core::baseline::SystemModel;
 //! use l15_dag::gen::{DagGenParams, DagGenerator};
 //! use l15_dag::ExecutionTimeModel;
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let mut rng = l15_testkit::rng::SmallRng::seed_from_u64(1);
 //! let task = DagGenerator::new(DagGenParams::default()).generate(&mut rng)?;
 //! let etm = ExecutionTimeModel::new(2048)?;
 //! let plan = schedule_with_l15(&task, 16, &etm);

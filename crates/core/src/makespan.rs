@@ -72,9 +72,7 @@ where
                 .iter()
                 .enumerate()
                 .max_by(|(_, &a), (_, &b)| {
-                    priorities[a.0]
-                        .cmp(&priorities[b.0])
-                        .then(b.0.cmp(&a.0))
+                    priorities[a.0].cmp(&priorities[b.0]).then(b.0.cmp(&a.0))
                 })
                 .expect("ready is non-empty");
             // Choose the idle core minimising the start time (accounting
@@ -179,9 +177,19 @@ mod tests {
         let t = chain(&[(2.0, 1.0), (3.0, 2.0), (4.0, 0.0)]);
         let p = uniform_priorities(&t);
         // Cross-core cost = full; same-core = 0. Single core: all same-core.
-        let r = simulate(&t, 1, &p, |v| t.graph().node(v).wcet, |e, same| {
-            if same { 0.0 } else { t.graph().edge(e).cost }
-        });
+        let r = simulate(
+            &t,
+            1,
+            &p,
+            |v| t.graph().node(v).wcet,
+            |e, same| {
+                if same {
+                    0.0
+                } else {
+                    t.graph().edge(e).cost
+                }
+            },
+        );
         assert!((r.makespan - 9.0).abs() < 1e-9, "chain on one core: {}", r.makespan);
     }
 
@@ -204,9 +212,19 @@ mod tests {
         let exec = |v: NodeId| t.graph().node(v).wcet;
         // Expensive cross-core edges: the sink pays for whichever of its
         // producers ran remotely.
-        let r = simulate(&t, 3, &p, exec, |e, same| {
-            if same { 0.0 } else { t.graph().edge(e).cost * 10.0 }
-        });
+        let r = simulate(
+            &t,
+            3,
+            &p,
+            exec,
+            |e, same| {
+                if same {
+                    0.0
+                } else {
+                    t.graph().edge(e).cost * 10.0
+                }
+            },
+        );
         // src on c0; a,c,d on three cores; sink shares a core with one of
         // them but pays 10 for the other two: start ≥ 5 + 10.
         assert!(r.makespan >= 15.0, "makespan {}", r.makespan);
@@ -215,16 +233,13 @@ mod tests {
     #[test]
     fn makespan_within_analytic_bounds() {
         use l15_dag::gen::{DagGenParams, DagGenerator};
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use l15_testkit::rng::SmallRng;
         let gen = DagGenerator::new(DagGenParams::default());
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..5 {
             let t = gen.generate(&mut rng).unwrap();
             let p = uniform_priorities(&t);
-            let r = simulate(&t, 8, &p, |v| t.graph().node(v).wcet, |e, _| {
-                t.graph().edge(e).cost
-            });
+            let r = simulate(&t, 8, &p, |v| t.graph().node(v).wcet, |e, _| t.graph().edge(e).cost);
             let lo = analysis::lambda_with(t.graph(), |_| 0.0).critical_path_length();
             let hi = analysis::makespan_upper_bound(t.graph());
             assert!(r.makespan >= lo - 1e-9, "{} < {lo}", r.makespan);

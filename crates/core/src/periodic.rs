@@ -18,7 +18,7 @@
 //! global-way lifecycle) and cross-**cluster** edges cannot use the L1.5 at
 //! all (the paper's sharing scope is one computing cluster).
 
-use rand::Rng;
+use l15_testkit::rng::Rng;
 
 use l15_dag::{DagTask, NodeId};
 
@@ -117,10 +117,7 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
     // Rate-monotonic task priorities: shorter period = higher.
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     order.sort_by(|&a, &b| {
-        tasks[a]
-            .period()
-            .partial_cmp(&tasks[b].period())
-            .expect("finite periods")
+        tasks[a].period().partial_cmp(&tasks[b].period()).expect("finite periods")
     });
     let mut task_prio = vec![0u32; tasks.len()];
     for (rank, &t) in order.iter().enumerate() {
@@ -168,12 +165,8 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
     let mut ready: Vec<(usize, NodeId)> = Vec::new();
     let mut running: Vec<(f64, usize, NodeId, usize)> = Vec::new();
     let mut pending: Vec<usize> = (0..jobs.len()).collect();
-    pending.sort_by(|&a, &b| {
-        jobs[b]
-            .release
-            .partial_cmp(&jobs[a].release)
-            .expect("finite releases")
-    }); // pop() yields earliest
+    pending
+        .sort_by(|&a, &b| jobs[b].release.partial_cmp(&jobs[a].release).expect("finite releases")); // pop() yields earliest
     let mut now = 0.0f64;
     let mut misses = 0usize;
     let mut done_jobs = 0usize;
@@ -204,14 +197,8 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
                 .iter()
                 .enumerate()
                 .max_by(|(_, &(ja, va)), (_, &(jb, vb))| {
-                    let ka = (
-                        task_prio[jobs[ja].task],
-                        plans[jobs[ja].task].priorities[va.0],
-                    );
-                    let kb = (
-                        task_prio[jobs[jb].task],
-                        plans[jobs[jb].task].priorities[vb.0],
-                    );
+                    let ka = (task_prio[jobs[ja].task], plans[jobs[ja].task].priorities[va.0]);
+                    let kb = (task_prio[jobs[jb].task], plans[jobs[jb].task].priorities[vb.0]);
                     ka.cmp(&kb).then(
                         jobs[jb]
                             .deadline
@@ -384,11 +371,7 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
     let mut phi_sum = 0.0;
     let mut phi_max = 0.0f64;
     for job in &jobs {
-        let phi = if job.exec_total > 0.0 {
-            job.misconfig / job.exec_total
-        } else {
-            0.0
-        };
+        let phi = if job.exec_total > 0.0 { job.misconfig / job.exec_total } else { 0.0 };
         phi_sum += phi;
         phi_max = phi_max.max(phi);
     }
@@ -396,11 +379,7 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
     PeriodicOutcome {
         jobs: jobs.len(),
         misses,
-        l15_utilisation: if proposed {
-            occ_time / (total_ways * horizon)
-        } else {
-            0.0
-        },
+        l15_utilisation: if proposed { occ_time / (total_ways * horizon) } else { 0.0 },
         phi_avg: phi_sum / jobs.len() as f64,
         phi_max,
     }
@@ -433,8 +412,7 @@ mod tests {
     use super::*;
     use l15_dag::gen::DagGenParams;
     use l15_dag::taskset::{generate_taskset, TaskSetParams};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use l15_testkit::rng::SmallRng;
 
     fn taskset(total_util: f64, seed: u64) -> Vec<DagTask> {
         generate_taskset(
@@ -498,12 +476,8 @@ mod tests {
     fn baselines_report_no_l15_metrics() {
         let tasks = taskset(4.0, 7);
         let mut rng = SmallRng::seed_from_u64(8);
-        let out = simulate_taskset(
-            &tasks,
-            &SystemModel::cmp_l1(),
-            &PeriodicParams::default(),
-            &mut rng,
-        );
+        let out =
+            simulate_taskset(&tasks, &SystemModel::cmp_l1(), &PeriodicParams::default(), &mut rng);
         assert_eq!(out.l15_utilisation, 0.0);
         assert_eq!(out.phi_avg, 0.0);
     }

@@ -64,11 +64,8 @@ where
     let occupancy: Vec<f64> = dag
         .node_ids()
         .map(|v| {
-            let wait = dag
-                .predecessors(v)
-                .iter()
-                .map(|&(e, _)| edge_cost(e))
-                .fold(0.0f64, f64::max);
+            let wait =
+                dag.predecessors(v).iter().map(|&(e, _)| edge_cost(e)).fold(0.0f64, f64::max);
             exec_time(v) + wait
         })
         .collect();
@@ -81,11 +78,7 @@ where
     let mut dist = vec![0.0f64; dag.node_count()];
     let mut longest = 0.0f64;
     for &v in &order {
-        let best_in = dag
-            .predecessors(v)
-            .iter()
-            .map(|&(_, p)| dist[p.0])
-            .fold(0.0f64, f64::max);
+        let best_in = dag.predecessors(v).iter().map(|&(_, p)| dist[p.0]).fold(0.0f64, f64::max);
         dist[v.0] = best_in + occupancy[v.0];
         longest = longest.max(dist[v.0]);
     }
@@ -210,8 +203,7 @@ mod tests {
     use crate::makespan::simulate;
     use l15_dag::gen::{DagGenParams, DagGenerator};
     use l15_dag::{DagBuilder, Node};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use l15_testkit::rng::SmallRng;
 
     fn gen_task(seed: u64) -> DagTask {
         DagGenerator::new(DagGenParams::default())
@@ -297,13 +289,23 @@ mod tests {
         let y = b.add_node(Node::new(5.0, 1024));
         b.add_edge(x, y, 1.0, 0.5).unwrap();
         let tight = DagTask::new(b.build().unwrap(), 10.0, 10.0).unwrap();
-        assert!(!schedulable(&tight, 4, |v| tight.graph().node(v).wcet, |e| tight.graph().edge(e).cost));
+        assert!(!schedulable(
+            &tight,
+            4,
+            |v| tight.graph().node(v).wcet,
+            |e| tight.graph().edge(e).cost
+        ));
         let mut b2 = DagBuilder::new();
         let x = b2.add_node(Node::new(2.0, 1024));
         let y = b2.add_node(Node::new(2.0, 1024));
         b2.add_edge(x, y, 1.0, 0.5).unwrap();
         let loose = DagTask::new(b2.build().unwrap(), 10.0, 10.0).unwrap();
-        assert!(schedulable(&loose, 4, |v| loose.graph().node(v).wcet, |e| loose.graph().edge(e).cost));
+        assert!(schedulable(
+            &loose,
+            4,
+            |v| loose.graph().node(v).wcet,
+            |e| loose.graph().edge(e).cost
+        ));
     }
 
     #[test]

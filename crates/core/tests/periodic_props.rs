@@ -7,9 +7,10 @@ use l15_core::casestudy::{generate_case_study, CaseStudyParams};
 use l15_core::periodic::{simulate_taskset, PeriodicParams};
 use l15_dag::gen::DagGenParams;
 use l15_dag::taskset::{generate_taskset, TaskSetParams};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::prop::{self, Config};
+use l15_testkit::rng::SmallRng;
+
+const CASES: u32 = 24;
 
 fn params() -> PeriodicParams {
     PeriodicParams {
@@ -21,11 +22,12 @@ fn params() -> PeriodicParams {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn outcome_fields_are_sane(seed in 0u64..2000, util in 0.5f64..8.0, n_tasks in 1usize..6) {
+#[test]
+fn outcome_fields_are_sane() {
+    prop::run_with(Config::with_cases(CASES), "outcome_fields_are_sane", |g| {
+        let seed = g.u64_in(0..2000);
+        let util = g.f64_in(0.5, 8.0);
+        let n_tasks = g.usize_in(1..6);
         let mut rng = SmallRng::seed_from_u64(seed);
         let tasks = generate_taskset(
             &TaskSetParams {
@@ -34,46 +36,57 @@ proptest! {
                 dag: DagGenParams { layers: (2, 4), max_width: 4, ..Default::default() },
             },
             &mut rng,
-        ).expect("valid task-set parameters");
+        )
+        .expect("valid task-set parameters");
         for model in [SystemModel::proposed(), SystemModel::cmp_l1()] {
             let mut sim_rng = SmallRng::seed_from_u64(seed ^ 0xdead);
             let out = simulate_taskset(&tasks, &model, &params(), &mut sim_rng);
-            prop_assert_eq!(out.jobs, n_tasks * 3, "every release becomes a job");
-            prop_assert!(out.misses <= out.jobs);
-            prop_assert!(out.l15_utilisation >= 0.0 && out.l15_utilisation <= 1.0 + 1e-9);
-            prop_assert!(out.phi_avg >= 0.0 && out.phi_avg <= 1.0);
-            prop_assert!(out.phi_max >= out.phi_avg - 1e-12);
+            assert_eq!(out.jobs, n_tasks * 3, "every release becomes a job");
+            assert!(out.misses <= out.jobs);
+            assert!(out.l15_utilisation >= 0.0 && out.l15_utilisation <= 1.0 + 1e-9);
+            assert!(out.phi_avg >= 0.0 && out.phi_avg <= 1.0);
+            assert!(out.phi_max >= out.phi_avg - 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn proposed_never_misses_more_than_worst_comparator(seed in 0u64..500) {
-        let cs = CaseStudyParams::default();
-        let mut set_rng = SmallRng::seed_from_u64(seed);
-        let tasks = generate_case_study(4, 4.8, &cs, &mut set_rng)
-            .expect("valid case-study parameters");
-        let p = params();
-        let run = |m: &SystemModel| {
-            let mut rng = SmallRng::seed_from_u64(seed ^ 0xbeef);
-            simulate_taskset(&tasks, m, &p, &mut rng).misses
-        };
-        let prop_misses = run(&SystemModel::proposed());
-        let worst_cmp = [
-            run(&SystemModel::cmp_l1()),
-            run(&SystemModel::cmp_l2()),
-            run(&SystemModel::cmp_shared_l1()),
-        ]
-        .into_iter()
-        .max()
-        .expect("non-empty");
-        prop_assert!(
-            prop_misses <= worst_cmp,
-            "proposed {prop_misses} vs worst comparator {worst_cmp}"
-        );
-    }
+#[test]
+fn proposed_never_misses_more_than_worst_comparator() {
+    prop::run_with(
+        Config::with_cases(CASES),
+        "proposed_never_misses_more_than_worst_comparator",
+        |g| {
+            let seed = g.u64_in(0..500);
+            let cs = CaseStudyParams::default();
+            let mut set_rng = SmallRng::seed_from_u64(seed);
+            let tasks = generate_case_study(4, 4.8, &cs, &mut set_rng)
+                .expect("valid case-study parameters");
+            let p = params();
+            let run = |m: &SystemModel| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0xbeef);
+                simulate_taskset(&tasks, m, &p, &mut rng).misses
+            };
+            let prop_misses = run(&SystemModel::proposed());
+            let worst_cmp = [
+                run(&SystemModel::cmp_l1()),
+                run(&SystemModel::cmp_l2()),
+                run(&SystemModel::cmp_shared_l1()),
+            ]
+            .into_iter()
+            .max()
+            .expect("non-empty");
+            assert!(
+                prop_misses <= worst_cmp,
+                "proposed {prop_misses} vs worst comparator {worst_cmp}"
+            );
+        },
+    );
+}
 
-    #[test]
-    fn baselines_report_no_l15_metrics(seed in 0u64..200) {
+#[test]
+fn baselines_report_no_l15_metrics() {
+    prop::run_with(Config::with_cases(CASES), "baselines_report_no_l15_metrics", |g| {
+        let seed = g.u64_in(0..200);
         let mut rng = SmallRng::seed_from_u64(seed);
         let tasks = generate_taskset(
             &TaskSetParams {
@@ -82,11 +95,12 @@ proptest! {
                 dag: DagGenParams { layers: (2, 3), max_width: 3, ..Default::default() },
             },
             &mut rng,
-        ).expect("valid parameters");
+        )
+        .expect("valid parameters");
         let mut sim_rng = SmallRng::seed_from_u64(seed);
         let out = simulate_taskset(&tasks, &SystemModel::cmp_l2(), &params(), &mut sim_rng);
-        prop_assert_eq!(out.l15_utilisation, 0.0);
-        prop_assert_eq!(out.phi_avg, 0.0);
-        prop_assert_eq!(out.phi_max, 0.0);
-    }
+        assert_eq!(out.l15_utilisation, 0.0);
+        assert_eq!(out.phi_avg, 0.0);
+        assert_eq!(out.phi_max, 0.0);
+    });
 }

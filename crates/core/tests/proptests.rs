@@ -7,28 +7,25 @@ use l15_core::makespan::simulate;
 use l15_dag::analysis;
 use l15_dag::gen::{DagGenParams, DagGenerator};
 use l15_dag::{DagTask, ExecutionTimeModel};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::prop::{self, Config, G};
+use l15_testkit::rng::SmallRng;
 
-fn arb_task() -> impl Strategy<Value = DagTask> {
-    (0u64..5000, 2usize..=12, 0.1f64..=0.9).prop_map(|(seed, p, cpr)| {
-        DagGenerator::new(DagGenParams {
-            layers: (3, 6),
-            max_width: p,
-            cpr,
-            ..Default::default()
-        })
+const CASES: u32 = 48;
+
+fn arb_task(g: &mut G) -> DagTask {
+    let seed = g.u64_in(0..5000);
+    let p = g.usize_in(2..=12);
+    let cpr = g.f64_in_incl(0.1, 0.9);
+    DagGenerator::new(DagGenParams { layers: (3, 6), max_width: p, cpr, ..Default::default() })
         .generate(&mut SmallRng::seed_from_u64(seed))
         .expect("valid parameters")
-    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn alg1_invariants(task in arb_task(), zeta in 1usize..=32) {
+#[test]
+fn alg1_invariants() {
+    prop::run_with(Config::with_cases(CASES), "alg1_invariants", |gg| {
+        let task = arb_task(gg);
+        let zeta = gg.usize_in(1..=32);
         let etm = ExecutionTimeModel::new(2048).unwrap();
         let plan = schedule_with_l15(&task, zeta, &etm);
         let g = task.graph();
@@ -37,32 +34,35 @@ proptest! {
         // Priorities form the permutation 1..=n.
         let mut p = plan.priorities.clone();
         p.sort_unstable();
-        prop_assert_eq!(p, (1..=n as u32).collect::<Vec<_>>());
+        assert_eq!(p, (1..=n as u32).collect::<Vec<_>>());
 
         // Precedence-monotone priorities.
         for e in g.edge_ids() {
             let edge = g.edge(e);
-            prop_assert!(plan.priorities[edge.from.0] > plan.priorities[edge.to.0]);
+            assert!(plan.priorities[edge.from.0] > plan.priorities[edge.to.0]);
         }
 
         // Never more ways than the data demands; never more than ζ at once
         // across two consecutive rounds (local + flipped-global window).
         for v in g.node_ids() {
-            prop_assert!(plan.ways(v) <= etm.ways_required(g.node(v).data_bytes));
-            prop_assert!(plan.ways(v) <= zeta);
+            assert!(plan.ways(v) <= etm.ways_required(g.node(v).data_bytes));
+            assert!(plan.ways(v) <= zeta);
         }
         for w in plan.rounds.windows(2) {
             let live: usize = w[0].iter().chain(w[1].iter()).map(|&v| plan.ways(v)).sum();
-            prop_assert!(live <= zeta);
+            assert!(live <= zeta);
         }
 
         // Rounds partition the node set.
         let total: usize = plan.rounds.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, n);
-    }
+        assert_eq!(total, n);
+    });
+}
 
-    #[test]
-    fn ablation_variants_keep_invariants(task in arb_task()) {
+#[test]
+fn ablation_variants_keep_invariants() {
+    prop::run_with(Config::with_cases(CASES), "ablation_variants_keep_invariants", |gg| {
+        let task = arb_task(gg);
         let etm = ExecutionTimeModel::new(2048).unwrap();
         for opts in [
             Alg1Options { update_lambda: false, ..Default::default() },
@@ -71,60 +71,76 @@ proptest! {
             let plan = schedule_with_l15_with(&task, 16, &etm, opts);
             let mut p = plan.priorities.clone();
             p.sort_unstable();
-            prop_assert_eq!(p, (1..=task.graph().node_count() as u32).collect::<Vec<_>>());
+            assert_eq!(p, (1..=task.graph().node_count() as u32).collect::<Vec<_>>());
         }
-    }
+    });
+}
 
-    #[test]
-    fn simulated_schedule_is_feasible(task in arb_task(), cores in 1usize..=16) {
+#[test]
+fn simulated_schedule_is_feasible() {
+    prop::run_with(Config::with_cases(CASES), "simulated_schedule_is_feasible", |gg| {
+        let task = arb_task(gg);
+        let cores = gg.usize_in(1..=16);
         let plan = baseline_priorities(&task);
         let g = task.graph();
-        let r = simulate(&task, cores, &plan.priorities,
+        let r = simulate(
+            &task,
+            cores,
+            &plan.priorities,
             |v| g.node(v).wcet,
-            |e, same| if same { 0.0 } else { g.edge(e).cost });
+            |e, same| if same { 0.0 } else { g.edge(e).cost },
+        );
 
         // Precedence holds in time.
         for e in g.edge_ids() {
             let edge = g.edge(e);
-            prop_assert!(r.start[edge.to.0] >= r.finish[edge.from.0] - 1e-9);
+            assert!(r.start[edge.to.0] >= r.finish[edge.from.0] - 1e-9);
         }
         // Cores never overlap.
         for c in 0..cores {
-            let mut iv: Vec<(f64, f64)> = g.node_ids()
+            let mut iv: Vec<(f64, f64)> = g
+                .node_ids()
                 .filter(|v| r.core[v.0] == c)
                 .map(|v| (r.start[v.0], r.finish[v.0]))
                 .collect();
             iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             for w in iv.windows(2) {
-                prop_assert!(w[1].0 >= w[0].1 - 1e-9);
+                assert!(w[1].0 >= w[0].1 - 1e-9);
             }
         }
         // Makespan between the computation critical path and the serial sum.
         let lo = analysis::lambda_with(g, |_| 0.0).critical_path_length();
         let hi = analysis::makespan_upper_bound(g);
-        prop_assert!(r.makespan >= lo - 1e-9);
-        prop_assert!(r.makespan <= hi + 1e-9);
-    }
+        assert!(r.makespan >= lo - 1e-9);
+        assert!(r.makespan <= hi + 1e-9);
+    });
+}
 
-    #[test]
-    fn more_cores_never_hurt_much(task in arb_task()) {
+#[test]
+fn more_cores_never_hurt_much() {
+    prop::run_with(Config::with_cases(CASES), "more_cores_never_hurt_much", |gg| {
         // Work-conserving list scheduling has no strict monotonicity
         // guarantee (Graham anomalies), but going from 1 core to many must
         // not increase the makespan: 1-core runs everything serially.
+        let task = arb_task(gg);
         let plan = baseline_priorities(&task);
         let g = task.graph();
         let exec = |v| g.node(v).wcet;
         let comm = |_, _| 0.0;
         let serial = simulate(&task, 1, &plan.priorities, exec, comm).makespan;
         let parallel = simulate(&task, 8, &plan.priorities, exec, comm).makespan;
-        prop_assert!(parallel <= serial + 1e-9);
-    }
+        assert!(parallel <= serial + 1e-9);
+    });
+}
 
-    #[test]
-    fn proposed_worst_case_never_loses_to_cmp(task in arb_task(), seed in 0u64..100) {
+#[test]
+fn proposed_worst_case_never_loses_to_cmp() {
+    prop::run_with(Config::with_cases(CASES), "proposed_worst_case_never_loses_to_cmp", |gg| {
         // The headline dominance of Tab. 2, as a hard property: with equal
         // node times and interference-free deterministic comm, the
         // proposed worst case is never (meaningfully) above CMP|L1's.
+        let task = arb_task(gg);
+        let seed = gg.u64_in(0..100);
         let prop_m = SystemModel::proposed();
         let cmp_m = SystemModel::cmp_l1();
         let mut r1 = SmallRng::seed_from_u64(seed);
@@ -134,6 +150,6 @@ proptest! {
         };
         let wp = wc(&prop_m, &mut r1);
         let wb = wc(&cmp_m, &mut r2);
-        prop_assert!(wp <= wb * 1.05, "proposed wc {wp} vs CMP wc {wb}");
-    }
+        assert!(wp <= wb * 1.05, "proposed wc {wp} vs CMP wc {wb}");
+    });
 }

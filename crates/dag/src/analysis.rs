@@ -52,10 +52,7 @@ pub struct PathLengths {
 impl PathLengths {
     /// `λ` of the whole DAG = critical-path length = `λ_src` = `λ_sin`.
     pub fn critical_path_length(&self) -> f64 {
-        self.lambda
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.lambda.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// `λ_j` for one node.
@@ -80,35 +77,25 @@ where
     let order = topological_order(dag);
     // Cache edge costs so forward and backward sweeps agree even if the
     // closure is not pure.
-    let costs: Vec<f64> = (0..dag.edge_count())
-        .map(|i| edge_cost(EdgeId(i)))
-        .collect();
+    let costs: Vec<f64> = (0..dag.edge_count()).map(|i| edge_cost(EdgeId(i))).collect();
 
     let mut head = vec![0.0f64; n];
     for &v in &order {
         let c = dag.node(v).wcet;
-        let best_in = dag
-            .predecessors(v)
-            .iter()
-            .map(|&(e, p)| head[p.0] + costs[e.0])
-            .fold(0.0f64, f64::max);
+        let best_in =
+            dag.predecessors(v).iter().map(|&(e, p)| head[p.0] + costs[e.0]).fold(0.0f64, f64::max);
         head[v.0] = best_in + c;
     }
 
     let mut tail = vec![0.0f64; n];
     for &v in order.iter().rev() {
         let c = dag.node(v).wcet;
-        let best_out = dag
-            .successors(v)
-            .iter()
-            .map(|&(e, s)| tail[s.0] + costs[e.0])
-            .fold(0.0f64, f64::max);
+        let best_out =
+            dag.successors(v).iter().map(|&(e, s)| tail[s.0] + costs[e.0]).fold(0.0f64, f64::max);
         tail[v.0] = best_out + c;
     }
 
-    let lambda = (0..n)
-        .map(|i| head[i] + tail[i] - dag.node(NodeId(i)).wcet)
-        .collect();
+    let lambda = (0..n).map(|i| head[i] + tail[i] - dag.node(NodeId(i)).wcet).collect();
     PathLengths { head, tail, lambda }
 }
 
@@ -123,9 +110,7 @@ pub fn critical_path_with<F>(dag: &Dag, mut edge_cost: F) -> Vec<NodeId>
 where
     F: FnMut(EdgeId) -> f64,
 {
-    let costs: Vec<f64> = (0..dag.edge_count())
-        .map(|i| edge_cost(EdgeId(i)))
-        .collect();
+    let costs: Vec<f64> = (0..dag.edge_count()).map(|i| edge_cost(EdgeId(i))).collect();
     let lengths = lambda_with(dag, |e| costs[e.0]);
     let mut path = vec![dag.source()];
     let mut v = dag.source();
@@ -168,12 +153,7 @@ pub fn width_profile(dag: &Dag) -> Vec<usize> {
     let mut depth = vec![0usize; dag.node_count()];
     let mut max_depth = 0;
     for &v in &order {
-        let d = dag
-            .predecessors(v)
-            .iter()
-            .map(|&(_, p)| depth[p.0] + 1)
-            .max()
-            .unwrap_or(0);
+        let d = dag.predecessors(v).iter().map(|&(_, p)| depth[p.0] + 1).max().unwrap_or(0);
         depth[v.0] = d;
         max_depth = max_depth.max(d);
     }

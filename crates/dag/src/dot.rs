@@ -99,10 +99,7 @@ mod tests {
     #[test]
     fn annotations_show_priorities_and_ways() {
         let d = tiny();
-        let ann = DotAnnotations {
-            priorities: Some(vec![2, 1]),
-            ways: Some(vec![2, 0]),
-        };
+        let ann = DotAnnotations { priorities: Some(vec![2, 1]), ways: Some(vec![2, 0]) };
         let dot = to_dot(&d, "annotated", &ann);
         assert!(dot.contains("P=2"));
         assert!(dot.contains("ways=2"));

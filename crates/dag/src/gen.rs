@@ -23,7 +23,7 @@
 //! guarantee every non-source node has a predecessor in the previous layer and
 //! every non-sink node a successor in the next one.
 
-use rand::Rng;
+use l15_testkit::rng::Rng;
 
 use crate::analysis;
 use crate::model::{DagBuilder, DagTask, Node, NodeId};
@@ -81,9 +81,8 @@ impl DagGenParams {
     /// Returns [`DagError::InvalidParameter`] describing the first violated
     /// constraint.
     pub fn validate(&self) -> Result<(), DagError> {
-        let err = |name: &'static str, reason: String| {
-            Err(DagError::InvalidParameter { name, reason })
-        };
+        let err =
+            |name: &'static str, reason: String| Err(DagError::InvalidParameter { name, reason });
         if self.layers.0 == 0 || self.layers.0 > self.layers.1 {
             return err("layers", format!("need 1 <= lo <= hi, got {:?}", self.layers));
         }
@@ -94,10 +93,7 @@ impl DagGenParams {
             return err("edge_prob", format!("must be in [0,1], got {}", self.edge_prob));
         }
         if !(self.period_range.0 > 0.0 && self.period_range.0 <= self.period_range.1) {
-            return err(
-                "period_range",
-                format!("need 0 < lo <= hi, got {:?}", self.period_range),
-            );
+            return err("period_range", format!("need 0 < lo <= hi, got {:?}", self.period_range));
         }
         if !(self.utilisation > 0.0 && self.utilisation.is_finite()) {
             return err("utilisation", format!("must be > 0, got {}", self.utilisation));
@@ -127,9 +123,8 @@ impl DagGenParams {
 ///
 /// ```
 /// use l15_dag::gen::{DagGenerator, DagGenParams};
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+/// let mut rng = l15_testkit::rng::SmallRng::seed_from_u64(42);
 /// let gen = DagGenerator::new(DagGenParams { utilisation: 0.8, ..Default::default() });
 /// let task = gen.generate(&mut rng)?;
 /// let w = task.graph().total_work();
@@ -164,9 +159,7 @@ impl DagGenerator {
 
         // --- Topology: layered graph + dedicated source/sink -------------
         let n_layers = rng.gen_range(p.layers.0..=p.layers.1);
-        let widths: Vec<usize> = (0..n_layers)
-            .map(|_| rng.gen_range(2..=p.max_width))
-            .collect();
+        let widths: Vec<usize> = (0..n_layers).map(|_| rng.gen_range(2..=p.max_width)).collect();
 
         let mut b = DagBuilder::new();
         let source = b.add_node(Node::new(0.0, 0));
@@ -256,9 +249,8 @@ impl DagGenerator {
         let e_count = dag.edge_count();
         if e_count > 0 && total_comm > 0.0 {
             let hi = (total_comm / e_count as f64) * 2.0;
-            let mut costs: Vec<f64> = (0..e_count)
-                .map(|_| rng.gen_range(1.0f64.min(hi)..=hi.max(1.0)))
-                .collect();
+            let mut costs: Vec<f64> =
+                (0..e_count).map(|_| rng.gen_range(1.0f64.min(hi)..=hi.max(1.0))).collect();
             // Rescale so Σμ matches exactly.
             let s = total_comm / costs.iter().sum::<f64>();
             for c in &mut costs {
@@ -329,8 +321,7 @@ fn steer_critical_path(dag: &mut crate::model::Dag, workload: f64, cpr: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use l15_testkit::rng::SmallRng;
 
     fn rng(seed: u64) -> SmallRng {
         SmallRng::seed_from_u64(seed)
@@ -382,10 +373,7 @@ mod tests {
     #[test]
     fn workload_matches_utilisation() {
         for &u in &[0.2, 0.4, 0.6, 0.8, 1.0] {
-            let gen = DagGenerator::new(DagGenParams {
-                utilisation: u,
-                ..Default::default()
-            });
+            let gen = DagGenerator::new(DagGenParams { utilisation: u, ..Default::default() });
             let t = gen.generate(&mut rng(1)).unwrap();
             assert!((t.graph().total_work() / t.period() - u).abs() < 1e-9);
         }
@@ -405,9 +393,8 @@ mod tests {
         let lo = DagGenerator::new(DagGenParams { cpr: 0.15, ..base.clone() })
             .generate(&mut rng(7))
             .unwrap();
-        let hi = DagGenerator::new(DagGenParams { cpr: 0.6, ..base })
-            .generate(&mut rng(7))
-            .unwrap();
+        let hi =
+            DagGenerator::new(DagGenParams { cpr: 0.6, ..base }).generate(&mut rng(7)).unwrap();
         let cp = |t: &DagTask| {
             analysis::lambda_with(t.graph(), |_| 0.0).critical_path_length()
                 / t.graph().total_work()

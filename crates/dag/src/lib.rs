@@ -28,10 +28,9 @@
 //! ```
 //! use l15_dag::gen::{DagGenerator, DagGenParams};
 //! use l15_dag::analysis;
-//! use rand::SeedableRng;
 //!
 //! let params = DagGenParams::default();
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let mut rng = l15_testkit::rng::SmallRng::seed_from_u64(7);
 //! let task = DagGenerator::new(params).generate(&mut rng)?;
 //! let order = analysis::topological_order(task.graph());
 //! assert_eq!(order.len(), task.graph().node_count());

@@ -175,10 +175,7 @@ impl Dag {
 
     /// Looks up the edge connecting `from` to `to`, if any.
     pub fn find_edge(&self, from: NodeId, to: NodeId) -> Option<EdgeId> {
-        self.succ[from.0]
-            .iter()
-            .find(|(_, n)| *n == to)
-            .map(|(e, _)| *e)
+        self.succ[from.0].iter().find(|(_, n)| *n == to).map(|(e, _)| *e)
     }
 
     /// Mutable access to a node's payload (used by generators to rescale
@@ -311,11 +308,7 @@ impl DagBuilder {
                 reason: format!("must lie in [0, 1], got {alpha}"),
             });
         }
-        if self
-            .edges
-            .iter()
-            .any(|e| e.from == from && e.to == to)
-        {
+        if self.edges.iter().any(|e| e.from == from && e.to == to) {
             return Err(DagError::DuplicateEdge(from, to));
         }
         self.edges.push(Edge { from, to, cost, alpha });
@@ -482,10 +475,7 @@ mod tests {
     fn rejects_self_loop() {
         let mut b = DagBuilder::new();
         let v0 = b.add_node(Node::new(1.0, 0));
-        assert_eq!(
-            b.add_edge(v0, v0, 1.0, 0.5).unwrap_err(),
-            DagError::SelfLoop(v0)
-        );
+        assert_eq!(b.add_edge(v0, v0, 1.0, 0.5).unwrap_err(), DagError::SelfLoop(v0));
     }
 
     #[test]
@@ -494,10 +484,7 @@ mod tests {
         let v0 = b.add_node(Node::new(1.0, 0));
         let v1 = b.add_node(Node::new(1.0, 0));
         b.add_edge(v0, v1, 1.0, 0.5).unwrap();
-        assert_eq!(
-            b.add_edge(v0, v1, 2.0, 0.5).unwrap_err(),
-            DagError::DuplicateEdge(v0, v1)
-        );
+        assert_eq!(b.add_edge(v0, v1, 2.0, 0.5).unwrap_err(), DagError::DuplicateEdge(v0, v1));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! algorithm (Bini & Buttazzo, 2005) and generate each task with the layered
 //! generator of [`crate::gen`].
 
-use rand::Rng;
+use l15_testkit::rng::Rng;
 
 use crate::gen::{DagGenParams, DagGenerator};
 use crate::model::DagTask;
@@ -21,18 +21,13 @@ use crate::DagError;
 /// # Example
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+/// let mut rng = l15_testkit::rng::SmallRng::seed_from_u64(5);
 /// let shares = l15_dag::taskset::uunifast(4, 2.0, &mut rng)?;
 /// assert_eq!(shares.len(), 4);
 /// assert!((shares.iter().sum::<f64>() - 2.0).abs() < 1e-9);
 /// # Ok::<(), l15_dag::DagError>(())
 /// ```
-pub fn uunifast<R: Rng + ?Sized>(
-    n: usize,
-    total: f64,
-    rng: &mut R,
-) -> Result<Vec<f64>, DagError> {
+pub fn uunifast<R: Rng + ?Sized>(n: usize, total: f64, rng: &mut R) -> Result<Vec<f64>, DagError> {
     if n == 0 {
         return Err(DagError::InvalidParameter {
             name: "n",
@@ -82,10 +77,7 @@ pub fn generate_taskset<R: Rng + ?Sized>(
     shares
         .into_iter()
         .map(|u| {
-            let gen = DagGenerator::new(DagGenParams {
-                utilisation: u,
-                ..params.dag.clone()
-            });
+            let gen = DagGenerator::new(DagGenParams { utilisation: u, ..params.dag.clone() });
             gen.generate(rng)
         })
         .collect()
@@ -94,8 +86,7 @@ pub fn generate_taskset<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use l15_testkit::rng::SmallRng;
 
     #[test]
     fn uunifast_sums_to_total() {

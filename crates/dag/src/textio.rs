@@ -59,11 +59,7 @@ impl From<DagError> for ParseDagError {
 pub fn write_task(task: &DagTask) -> String {
     let dag = task.graph();
     let mut out = String::new();
-    out.push_str(&format!(
-        "task period={} deadline={}\n",
-        task.period(),
-        task.deadline()
-    ));
+    out.push_str(&format!("task period={} deadline={}\n", task.period(), task.deadline()));
     for v in dag.node_ids() {
         let n = dag.node(v);
         out.push_str(&format!("node {} wcet={} data={}\n", v.0, n.wcet, n.data_bytes));
@@ -79,13 +75,9 @@ pub fn write_task(task: &DagTask) -> String {
 }
 
 fn kv<'a>(token: &'a str, key: &str, line: usize) -> Result<&'a str, ParseDagError> {
-    token
-        .strip_prefix(key)
-        .and_then(|rest| rest.strip_prefix('='))
-        .ok_or_else(|| ParseDagError::Syntax {
-            line,
-            reason: format!("expected `{key}=<value>`, got `{token}`"),
-        })
+    token.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')).ok_or_else(|| {
+        ParseDagError::Syntax { line, reason: format!("expected `{key}=<value>`, got `{token}`") }
+    })
 }
 
 fn num<T: std::str::FromStr>(text: &str, line: usize) -> Result<T, ParseDagError> {
@@ -126,7 +118,10 @@ pub fn parse_task(text: &str) -> Result<DagTask, ParseDagError> {
                 if ix != b.node_count() {
                     return Err(ParseDagError::Syntax {
                         line,
-                        reason: format!("node indices must be consecutive; expected {}", b.node_count()),
+                        reason: format!(
+                            "node indices must be consecutive; expected {}",
+                            b.node_count()
+                        ),
                     });
                 }
                 let wcet: f64 = num(kv(tok.next().unwrap_or(""), "wcet", line)?, line)?;
@@ -164,8 +159,7 @@ pub fn parse_task(text: &str) -> Result<DagTask, ParseDagError> {
 mod tests {
     use super::*;
     use crate::gen::{DagGenParams, DagGenerator};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use l15_testkit::rng::SmallRng;
 
     const SAMPLE: &str = "\
 # a diamond
@@ -220,18 +214,12 @@ edge 2 3 cost=1 alpha=0.6
     #[test]
     fn rejects_non_consecutive_nodes() {
         let bad = "task period=10 deadline=10\nnode 1 wcet=1 data=0\n";
-        assert!(matches!(
-            parse_task(bad).unwrap_err(),
-            ParseDagError::Syntax { line: 2, .. }
-        ));
+        assert!(matches!(parse_task(bad).unwrap_err(), ParseDagError::Syntax { line: 2, .. }));
     }
 
     #[test]
     fn missing_header_detected() {
-        assert_eq!(
-            parse_task("node 0 wcet=1 data=0\n").unwrap_err(),
-            ParseDagError::MissingHeader
-        );
+        assert_eq!(parse_task("node 0 wcet=1 data=0\n").unwrap_err(), ParseDagError::MissingHeader);
     }
 
     #[test]
@@ -243,9 +231,6 @@ node 1 wcet=1 data=0
 edge 0 1 cost=1 alpha=0.5
 edge 1 0 cost=1 alpha=0.5
 ";
-        assert!(matches!(
-            parse_task(cyclic).unwrap_err(),
-            ParseDagError::Model(DagError::Cycle)
-        ));
+        assert!(matches!(parse_task(cyclic).unwrap_err(), ParseDagError::Model(DagError::Cycle)));
     }
 }

@@ -3,7 +3,7 @@
 //! meshes. Handy for unit tests, worst-case constructions and ablations
 //! where the randomised generator's variability is unwanted.
 
-use rand::Rng;
+use l15_testkit::rng::Rng;
 
 use crate::model::{Dag, DagBuilder, Node, NodeId};
 use crate::DagError;
@@ -62,9 +62,8 @@ pub fn fork_join(width: usize, p: UniformPayload) -> Result<Dag, DagError> {
     let mut b = DagBuilder::new();
     let src = b.add_node(Node::new(p.wcet, p.data_bytes));
     let sink_data = 0;
-    let workers: Vec<NodeId> = (0..width)
-        .map(|_| b.add_node(Node::new(p.wcet, p.data_bytes)))
-        .collect();
+    let workers: Vec<NodeId> =
+        (0..width).map(|_| b.add_node(Node::new(p.wcet, p.data_bytes))).collect();
     let sink = b.add_node(Node::new(p.wcet, sink_data));
     for &w in &workers {
         b.add_edge(src, w, p.edge_cost, p.alpha)?;
@@ -91,9 +90,8 @@ pub fn layered_mesh(layers: usize, width: usize, p: UniformPayload) -> Result<Da
     let src = b.add_node(Node::new(p.wcet, p.data_bytes));
     let mut prev: Vec<NodeId> = vec![src];
     for _ in 0..layers {
-        let layer: Vec<NodeId> = (0..width)
-            .map(|_| b.add_node(Node::new(p.wcet, p.data_bytes)))
-            .collect();
+        let layer: Vec<NodeId> =
+            (0..width).map(|_| b.add_node(Node::new(p.wcet, p.data_bytes))).collect();
         for &u in &prev {
             for &v in &layer {
                 b.add_edge(u, v, p.edge_cost, p.alpha)?;
@@ -151,9 +149,7 @@ pub fn series_parallel<R: Rng + ?Sized>(
     }
     let n = next_id;
     let mut b = DagBuilder::new();
-    let has_out: Vec<bool> = (0..n)
-        .map(|i| edges.iter().any(|&(u, _)| u == i))
-        .collect();
+    let has_out: Vec<bool> = (0..n).map(|i| edges.iter().any(|&(u, _)| u == i)).collect();
     for i in 0..n {
         let data = if has_out[i] { p.data_bytes } else { 0 };
         b.add_node(Node::new(p.wcet, data));
@@ -170,8 +166,7 @@ pub fn series_parallel<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::analysis;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use l15_testkit::rng::SmallRng;
 
     #[test]
     fn chain_shape() {

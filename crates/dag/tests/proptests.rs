@@ -6,159 +6,181 @@ use l15_dag::gen::{DagGenParams, DagGenerator};
 use l15_dag::taskset::uunifast;
 use l15_dag::topology::{self, UniformPayload};
 use l15_dag::{textio, DagTask, ExecutionTimeModel};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::prop::{self, Config, G};
+use l15_testkit::rng::SmallRng;
 
-fn arb_params() -> impl Strategy<Value = DagGenParams> {
-    (
-        2usize..=6,           // layer lo
-        0usize..=4,           // layer extra
-        2usize..=20,          // p
-        0.05f64..=0.9,        // edge prob
-        0.1f64..=1.2,         // utilisation
-        0.05f64..=0.9,        // cpr
-        0.0f64..=1.0,         // comm ratio
-    )
-        .prop_map(|(lo, extra, p, edge, u, cpr, comm)| DagGenParams {
-            layers: (lo, lo + extra),
-            max_width: p,
-            edge_prob: edge,
-            utilisation: u,
-            cpr,
-            comm_ratio: comm,
-            ..Default::default()
-        })
+const CASES: u32 = 64;
+
+fn arb_params(g: &mut G) -> DagGenParams {
+    let lo = g.usize_in(2..=6);
+    let extra = g.usize_in(0..=4);
+    DagGenParams {
+        layers: (lo, lo + extra),
+        max_width: g.usize_in(2..=20),
+        edge_prob: g.f64_in_incl(0.05, 0.9),
+        utilisation: g.f64_in_incl(0.1, 1.2),
+        cpr: g.f64_in_incl(0.05, 0.9),
+        comm_ratio: g.f64_in_incl(0.0, 1.0),
+        ..Default::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generated_dags_hold_structural_invariants(params in arb_params(), seed in 0u64..1000) {
+#[test]
+fn generated_dags_hold_structural_invariants() {
+    prop::run_with(Config::with_cases(CASES), "generated_dags_hold_structural_invariants", |g| {
+        let params = arb_params(g);
+        let seed = g.u64_in(0..1000);
         let task = DagGenerator::new(params.clone())
             .generate(&mut SmallRng::seed_from_u64(seed))
             .expect("valid params generate");
-        let g = task.graph();
+        let gr = task.graph();
         // Single source / single sink are builder-enforced; re-check the
         // frontier structure.
-        prop_assert_eq!(g.in_degree(g.source()), 0);
-        prop_assert_eq!(g.out_degree(g.sink()), 0);
-        for v in g.node_ids() {
-            if v != g.source() {
-                prop_assert!(g.in_degree(v) >= 1);
+        assert_eq!(gr.in_degree(gr.source()), 0);
+        assert_eq!(gr.out_degree(gr.sink()), 0);
+        for v in gr.node_ids() {
+            if v != gr.source() {
+                assert!(gr.in_degree(v) >= 1);
             }
-            if v != g.sink() {
-                prop_assert!(g.out_degree(v) >= 1);
+            if v != gr.sink() {
+                assert!(gr.out_degree(v) >= 1);
             }
         }
         // Workload and comm-cost budgets hold.
-        prop_assert!((g.total_work() / task.period() - params.utilisation).abs() < 1e-6);
+        assert!((gr.total_work() / task.period() - params.utilisation).abs() < 1e-6);
         if params.comm_ratio > 0.0 {
-            prop_assert!((g.total_comm_cost() / g.total_work() - params.comm_ratio).abs() < 1e-6);
+            assert!((gr.total_comm_cost() / gr.total_work() - params.comm_ratio).abs() < 1e-6);
         }
         // Topological order covers all nodes and respects edges.
-        let order = analysis::topological_order(g);
-        prop_assert_eq!(order.len(), g.node_count());
-        let mut pos = vec![0usize; g.node_count()];
-        for (i, v) in order.iter().enumerate() { pos[v.0] = i; }
-        for e in g.edge_ids() {
-            let edge = g.edge(e);
-            prop_assert!(pos[edge.from.0] < pos[edge.to.0]);
+        let order = analysis::topological_order(gr);
+        assert_eq!(order.len(), gr.node_count());
+        let mut pos = vec![0usize; gr.node_count()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.0] = i;
         }
-    }
+        for e in gr.edge_ids() {
+            let edge = gr.edge(e);
+            assert!(pos[edge.from.0] < pos[edge.to.0]);
+        }
+    });
+}
 
-    #[test]
-    fn lambda_bounds_hold(params in arb_params(), seed in 0u64..1000) {
+#[test]
+fn lambda_bounds_hold() {
+    prop::run_with(Config::with_cases(CASES), "lambda_bounds_hold", |g| {
+        let params = arb_params(g);
+        let seed = g.u64_in(0..1000);
         let task = DagGenerator::new(params)
             .generate(&mut SmallRng::seed_from_u64(seed))
             .expect("valid params generate");
-        let g = task.graph();
-        let l = analysis::lambda(g);
+        let gr = task.graph();
+        let l = analysis::lambda(gr);
         let cp = l.critical_path_length();
         // Every λ is at most the critical path and at least the node's WCET.
-        for v in g.node_ids() {
-            prop_assert!(l.lambda_of(v) <= cp + 1e-9);
-            prop_assert!(l.lambda_of(v) >= g.node(v).wcet - 1e-9);
+        for v in gr.node_ids() {
+            assert!(l.lambda_of(v) <= cp + 1e-9);
+            assert!(l.lambda_of(v) >= gr.node(v).wcet - 1e-9);
         }
         // Source and sink lie on the critical path.
-        prop_assert!((l.lambda_of(g.source()) - cp).abs() < 1e-9);
-        prop_assert!((l.lambda_of(g.sink()) - cp).abs() < 1e-9);
+        assert!((l.lambda_of(gr.source()) - cp).abs() < 1e-9);
+        assert!((l.lambda_of(gr.sink()) - cp).abs() < 1e-9);
         // Bounds are ordered.
-        prop_assert!(analysis::makespan_lower_bound(g, 8) <= analysis::makespan_upper_bound(g) + 1e-9);
-    }
+        assert!(analysis::makespan_lower_bound(gr, 8) <= analysis::makespan_upper_bound(gr) + 1e-9);
+    });
+}
 
-    #[test]
-    fn critical_path_is_a_real_path(params in arb_params(), seed in 0u64..500) {
+#[test]
+fn critical_path_is_a_real_path() {
+    prop::run_with(Config::with_cases(CASES), "critical_path_is_a_real_path", |g| {
+        let params = arb_params(g);
+        let seed = g.u64_in(0..500);
         let task = DagGenerator::new(params)
             .generate(&mut SmallRng::seed_from_u64(seed))
             .expect("valid params generate");
-        let g = task.graph();
-        let path = analysis::critical_path(g);
-        prop_assert_eq!(path[0], g.source());
-        prop_assert_eq!(*path.last().unwrap(), g.sink());
+        let gr = task.graph();
+        let path = analysis::critical_path(gr);
+        assert_eq!(path[0], gr.source());
+        assert_eq!(*path.last().unwrap(), gr.sink());
         for w in path.windows(2) {
-            prop_assert!(g.find_edge(w[0], w[1]).is_some());
+            assert!(gr.find_edge(w[0], w[1]).is_some());
         }
-    }
+    });
+}
 
-    #[test]
-    fn etm_is_monotone_and_bounded(
-        mu in 0.0f64..1e6,
-        alpha in 0.0f64..=1.0,
-        data in 0u64..1_000_000,
-        way_kb in 1u64..=64,
-    ) {
+#[test]
+fn etm_is_monotone_and_bounded() {
+    prop::run_with(Config::with_cases(CASES), "etm_is_monotone_and_bounded", |g| {
+        let mu = g.f64_in(0.0, 1e6);
+        let alpha = g.f64_in_incl(0.0, 1.0);
+        let data = g.u64_in(0..1_000_000);
+        let way_kb = g.u64_in(1..=64);
         let etm = ExecutionTimeModel::new(way_kb * 1024).expect("positive way size");
         let mut prev = f64::INFINITY;
         for n in 0..20usize {
             let c = etm.edge_cost(mu, alpha, data, n);
-            prop_assert!(c <= mu + 1e-9, "never above the raw cost");
-            prop_assert!(c >= mu * (1.0 - alpha) - 1e-9, "never below μ(1−α)");
-            prop_assert!(c <= prev + 1e-9, "monotone in allocated ways");
+            assert!(c <= mu + 1e-9, "never above the raw cost");
+            assert!(c >= mu * (1.0 - alpha) - 1e-9, "never below μ(1−α)");
+            assert!(c <= prev + 1e-9, "monotone in allocated ways");
             prev = c;
         }
-    }
+    });
+}
 
-    #[test]
-    fn uunifast_is_a_partition(n in 1usize..40, total in 0.01f64..32.0, seed in 0u64..1000) {
+#[test]
+fn uunifast_is_a_partition() {
+    prop::run_with(Config::with_cases(CASES), "uunifast_is_a_partition", |g| {
+        let n = g.usize_in(1..40);
+        let total = g.f64_in(0.01, 32.0);
+        let seed = g.u64_in(0..1000);
         let mut rng = SmallRng::seed_from_u64(seed);
         let shares = uunifast(n, total, &mut rng).expect("valid input");
-        prop_assert_eq!(shares.len(), n);
-        prop_assert!((shares.iter().sum::<f64>() - total).abs() < 1e-9 * total.max(1.0));
-        prop_assert!(shares.iter().all(|&s| s >= 0.0));
-    }
+        assert_eq!(shares.len(), n);
+        assert!((shares.iter().sum::<f64>() - total).abs() < 1e-9 * total.max(1.0));
+        assert!(shares.iter().all(|&s| s >= 0.0));
+    });
+}
 
-    #[test]
-    fn text_format_roundtrips_bit_exactly(params in arb_params(), seed in 0u64..500) {
+#[test]
+fn text_format_roundtrips_bit_exactly() {
+    prop::run_with(Config::with_cases(CASES), "text_format_roundtrips_bit_exactly", |g| {
+        let params = arb_params(g);
+        let seed = g.u64_in(0..500);
         let task = DagGenerator::new(params)
             .generate(&mut SmallRng::seed_from_u64(seed))
             .expect("valid params generate");
         let text = textio::write_task(&task);
         let back = textio::parse_task(&text).expect("own output parses");
-        prop_assert_eq!(&back, &task);
+        assert_eq!(&back, &task);
         // Idempotent: serialising again yields the identical text.
-        prop_assert_eq!(textio::write_task(&back), text);
-    }
+        assert_eq!(textio::write_task(&back), text);
+    });
+}
 
-    #[test]
-    fn series_parallel_topologies_are_valid(target in 2usize..60, seed in 0u64..500) {
+#[test]
+fn series_parallel_topologies_are_valid() {
+    prop::run_with(Config::with_cases(CASES), "series_parallel_topologies_are_valid", |g| {
+        let target = g.usize_in(2..60);
+        let seed = g.u64_in(0..500);
         let mut rng = SmallRng::seed_from_u64(seed);
         let d = topology::series_parallel(target, UniformPayload::default(), &mut rng)
             .expect("valid target");
         // Builder-enforced single source/sink plus size envelope.
-        prop_assert!(d.node_count() >= target);
-        prop_assert!(d.node_count() <= target + 1);
+        assert!(d.node_count() >= target);
+        assert!(d.node_count() <= target + 1);
         let order = analysis::topological_order(&d);
-        prop_assert_eq!(order.len(), d.node_count());
-    }
+        assert_eq!(order.len(), d.node_count());
+    });
+}
 
-    #[test]
-    fn task_utilisation_is_consistent(params in arb_params(), seed in 0u64..200) {
+#[test]
+fn task_utilisation_is_consistent() {
+    prop::run_with(Config::with_cases(CASES), "task_utilisation_is_consistent", |g| {
+        let params = arb_params(g);
+        let seed = g.u64_in(0..200);
         let task: DagTask = DagGenerator::new(params)
             .generate(&mut SmallRng::seed_from_u64(seed))
             .expect("valid params generate");
-        prop_assert!((task.utilisation() - task.graph().total_work() / task.period()).abs() < 1e-12);
-        prop_assert!(task.deadline() <= task.period());
-    }
+        assert!((task.utilisation() - task.graph().total_work() / task.period()).abs() < 1e-12);
+        assert!(task.deadline() <= task.period());
+    });
 }

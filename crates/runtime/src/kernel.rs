@@ -186,9 +186,8 @@ pub fn run_task(
 
         // --- Dispatch ready nodes to idle cores ------------------------
         loop {
-            let Some(&core) = cores
-                .iter()
-                .find(|&&c| core_node[c].is_none() && soc.core(c).is_halted())
+            let Some(&core) =
+                cores.iter().find(|&&c| core_node[c].is_none() && soc.core(c).is_halted())
             else {
                 break;
             };
@@ -247,11 +246,7 @@ pub fn run_task(
         // --- Monitor sampling -------------------------------------------
         let nowc = soc.global_cycle();
         if has_l15 && nowc > last_sample {
-            let util = soc
-                .uncore()
-                .l15(cfg.cluster)
-                .expect("has_l15 checked")
-                .utilisation();
+            let util = soc.uncore().l15(cfg.cluster).expect("has_l15 checked").utilisation();
             util_weighted += util * (nowc - last_sample) as f64;
             last_sample = nowc;
         }
@@ -265,6 +260,12 @@ pub fn run_task(
                 .count();
             if supplied >= want_ways[core] {
                 config_done_cycle[core] = Some(soc.clock(core));
+                // The Walloc grants ways non-inclusive; now that the
+                // demanded configuration is fully applied, mark the node's
+                // ways inclusive so the IPU routes its stores into the
+                // L1.5 (the dispatch-time ip_set only covered ways owned
+                // *before* the grant).
+                soc.uncore_mut().l15_ctrl(core, L15Op::IpSet, 1);
             }
         }
 
@@ -295,17 +296,18 @@ pub fn run_task(
                     .expect("lane in range");
                 let fresh = owned_now.difference(owned_before[core]);
                 node_ways[v.0] = fresh;
+                // Stores issued during the misconfiguration window (before
+                // the Walloc finished granting ways) took the conventional
+                // L1D write-back path; push them down so consumers on
+                // other cores observe the full output, then publish.
+                soc.uncore_mut().flush_l1d(core);
                 let published = soc
                     .uncore()
                     .l15(cfg.cluster)
                     .expect("has_l15 checked")
                     .gv_get(lane)
                     .expect("lane in range");
-                soc.uncore_mut().l15_ctrl(
-                    core,
-                    L15Op::GvSet,
-                    published.union(fresh).0 as u32,
-                );
+                soc.uncore_mut().l15_ctrl(core, L15Op::GvSet, published.union(fresh).0 as u32);
             } else {
                 // Legacy publication: flush the producer's L1D to the L2.
                 soc.uncore_mut().flush_l1d(core);
@@ -320,8 +322,7 @@ pub fn run_task(
                 }
             }
             if has_l15 {
-                let preds: Vec<NodeId> =
-                    dag.predecessors(v).iter().map(|&(_, p)| p).collect();
+                let preds: Vec<NodeId> = dag.predecessors(v).iter().map(|&(_, p)| p).collect();
                 for p in preds {
                     consumers_left[p.0] -= 1;
                     if consumers_left[p.0] == 0 {

@@ -31,11 +31,7 @@ pub struct MultiTaskConfig {
 
 impl Default for MultiTaskConfig {
     fn default() -> Self {
-        MultiTaskConfig {
-            releases: 3,
-            cycles_per_unit: 2_000.0,
-            kernel: KernelConfig::default(),
-        }
+        MultiTaskConfig { releases: 3, cycles_per_unit: 2_000.0, kernel: KernelConfig::default() }
     }
 }
 

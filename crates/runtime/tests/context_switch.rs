@@ -123,9 +123,5 @@ fn protector_isolates_applications_even_with_shared_ways() {
     // it). Since A's line never reached L2 yet, B sees the old memory
     // value — and crucially, zero L1.5 hits.
     let l15 = soc.uncore().l15(0).unwrap();
-    assert_eq!(
-        l15.core_stats(1).unwrap().hits(),
-        0,
-        "the protector must block cross-TID hits"
-    );
+    assert_eq!(l15.core_stats(1).unwrap().hits(), 0, "the protector must block cross-TID hits");
 }

@@ -9,49 +9,57 @@ use l15_dag::ExecutionTimeModel;
 use l15_runtime::kernel::{run_task, KernelConfig};
 use l15_runtime::WorkScale;
 use l15_soc::{Soc, SocConfig};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::prop::{self, Config};
+use l15_testkit::rng::SmallRng;
 
-proptest! {
-    // Full-stack runs are expensive; keep the case count modest.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+fn check_case(seed: u64, width: usize) {
+    let gen = DagGenerator::new(DagGenParams {
+        layers: (2, 3),
+        max_width: width,
+        data_bytes_range: (2048, 4096),
+        period_range: (50.0, 100.0),
+        ..Default::default()
+    });
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let task = gen.generate(&mut rng).expect("valid parameters");
+    let etm = ExecutionTimeModel::new(2048).expect("valid way size");
+    let plan = schedule_with_l15(&task, 16, &etm);
 
-    #[test]
-    fn any_small_dag_executes_correctly(seed in 0u64..10_000, width in 2usize..4) {
-        let gen = DagGenerator::new(DagGenParams {
-            layers: (2, 3),
-            max_width: width,
-            data_bytes_range: (2048, 4096),
-            period_range: (50.0, 100.0),
-            ..Default::default()
-        });
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let task = gen.generate(&mut rng).expect("valid parameters");
-        let etm = ExecutionTimeModel::new(2048).expect("valid way size");
-        let plan = schedule_with_l15(&task, 16, &etm);
+    let mut soc = Soc::new(SocConfig::proposed_8core(), 0);
+    let cfg = KernelConfig { scale: WorkScale { compute_iters: 4 }, ..Default::default() };
+    let report = run_task(&mut soc, &task, &plan, &cfg).expect("kernel run succeeds");
 
-        let mut soc = Soc::new(SocConfig::proposed_8core(), 0);
-        let cfg = KernelConfig {
-            scale: WorkScale { compute_iters: 4 },
-            ..Default::default()
-        };
-        let report = run_task(&mut soc, &task, &plan, &cfg).expect("kernel run succeeds");
-
-        prop_assert!(report.dataflow_ok, "dependent data must flow");
-        prop_assert!(report.makespan_cycles > 0);
-        prop_assert!(report.phi >= 0.0 && report.phi <= 1.0);
-        prop_assert!(report.l15_utilisation >= 0.0 && report.l15_utilisation <= 1.0 + 1e-9);
-        // Precedence in measured completion times.
-        let g = task.graph();
-        for e in g.edge_ids() {
-            let edge = g.edge(e);
-            prop_assert!(
-                report.node_finish[edge.from.0] <= report.node_finish[edge.to.0],
-                "finish order violates {e}"
-            );
-        }
-        // All ways returned to the pool.
-        prop_assert_eq!(soc.uncore().l15(0).unwrap().utilisation(), 0.0);
+    assert!(report.dataflow_ok, "dependent data must flow");
+    assert!(report.makespan_cycles > 0);
+    assert!(report.phi >= 0.0 && report.phi <= 1.0);
+    assert!(report.l15_utilisation >= 0.0 && report.l15_utilisation <= 1.0 + 1e-9);
+    // Precedence in measured completion times.
+    let g = task.graph();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        assert!(
+            report.node_finish[edge.from.0] <= report.node_finish[edge.to.0],
+            "finish order violates {e}"
+        );
     }
+    // All ways returned to the pool.
+    assert_eq!(soc.uncore().l15(0).unwrap().utilisation(), 0.0);
+}
+
+#[test]
+fn any_small_dag_executes_correctly() {
+    // Full-stack runs are expensive; keep the case count modest.
+    prop::run_with(Config::with_cases(8), "any_small_dag_executes_correctly", |g| {
+        let seed = g.u64_in(0..10_000);
+        let width = g.usize_in(2..4);
+        check_case(seed, width);
+    });
+}
+
+/// Historical failure corpus (from the old proptest regression file):
+/// the shrunk counterexample `seed = 3024, width = 3` once broke the
+/// finish-order check. Preserved as a concrete pinned case.
+#[test]
+fn regression_seed_3024_width_3() {
+    check_case(3024, 3);
 }

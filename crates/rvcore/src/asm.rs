@@ -24,9 +24,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use crate::isa::{
-    encode, AluOp, BranchOp, CsrOp, Instr, L15Op, LoadOp, MulOp, Reg, StoreOp,
-};
+use crate::isa::{encode, AluOp, BranchOp, CsrOp, Instr, L15Op, LoadOp, MulOp, Reg, StoreOp};
 
 /// Errors detected at assembly time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -379,10 +377,7 @@ impl Assembler {
                         .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
                     let offset = (target as i64 - ix as i64) * 4;
                     if !(-4096..=4094).contains(&offset) {
-                        return Err(AsmError::BranchOutOfRange {
-                            label: label.clone(),
-                            offset,
-                        });
+                        return Err(AsmError::BranchOutOfRange { label: label.clone(), offset });
                     }
                     encode(Instr::Branch { op: *op, rs1: *rs1, rs2: *rs2, imm: offset as i32 })
                 }
@@ -393,10 +388,7 @@ impl Assembler {
                         .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
                     let offset = (target as i64 - ix as i64) * 4;
                     if !(-(1 << 20)..(1 << 20)).contains(&offset) {
-                        return Err(AsmError::BranchOutOfRange {
-                            label: label.clone(),
-                            offset,
-                        });
+                        return Err(AsmError::BranchOutOfRange { label: label.clone(), offset });
                     }
                     encode(Instr::Jal { rd: *rd, imm: offset as i32 })
                 }
@@ -448,10 +440,7 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut a = Assembler::new();
         a.beq(0, 0, "nowhere");
-        assert_eq!(
-            a.finish().unwrap_err(),
-            AsmError::UndefinedLabel("nowhere".to_owned())
-        );
+        assert_eq!(a.finish().unwrap_err(), AsmError::UndefinedLabel("nowhere".to_owned()));
     }
 
     #[test]
@@ -485,9 +474,6 @@ mod tests {
         }
         a.label("far");
         a.ebreak();
-        assert!(matches!(
-            a.finish().unwrap_err(),
-            AsmError::BranchOutOfRange { .. }
-        ));
+        assert!(matches!(a.finish().unwrap_err(), AsmError::BranchOutOfRange { .. }));
     }
 }

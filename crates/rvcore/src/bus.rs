@@ -101,19 +101,11 @@ impl FlatBus {
 
 impl SystemBus for FlatBus {
     fn fetch(&mut self, _core: usize, _vaddr: u32, paddr: u32) -> MemAccess {
-        MemAccess {
-            value: self.read_bytes(paddr, 4),
-            cycles: self.latency,
-            from_l15: false,
-        }
+        MemAccess { value: self.read_bytes(paddr, 4), cycles: self.latency, from_l15: false }
     }
 
     fn load(&mut self, _core: usize, _vaddr: u32, paddr: u32, size: u32) -> MemAccess {
-        MemAccess {
-            value: self.read_bytes(paddr, size),
-            cycles: self.latency,
-            from_l15: false,
-        }
+        MemAccess { value: self.read_bytes(paddr, size), cycles: self.latency, from_l15: false }
     }
 
     fn store(&mut self, _core: usize, _vaddr: u32, paddr: u32, size: u32, value: u32) -> u32 {

@@ -237,9 +237,7 @@ impl Core {
         if self.priv_level == PrivLevel::Machine {
             return Ok((vaddr, 0));
         }
-        self.mmu
-            .translate(self.csr.asid(), vaddr)
-            .map_err(|_| cause::LOAD_PAGE_FAULT)
+        self.mmu.translate(self.csr.asid(), vaddr).map_err(|_| cause::LOAD_PAGE_FAULT)
     }
 
     fn trap(&mut self, code: u32, tval: u32) -> StepEvent {
@@ -324,9 +322,7 @@ impl Core {
 
         match instr {
             Instr::Lui { rd, imm } => self.set_reg(rd as usize, imm as u32),
-            Instr::Auipc { rd, imm } => {
-                self.set_reg(rd as usize, self.pc.wrapping_add(imm as u32))
-            }
+            Instr::Auipc { rd, imm } => self.set_reg(rd as usize, self.pc.wrapping_add(imm as u32)),
             Instr::Jal { rd, imm } => {
                 self.set_reg(rd as usize, self.pc.wrapping_add(4));
                 next_pc = self.pc.wrapping_add(imm as u32);

@@ -113,11 +113,8 @@ impl CsrFile {
     pub fn write(&mut self, csr: u16, value: u32) {
         match csr {
             addr::MSTATUS => {
-                self.mpp = if (value >> 11) & 0b11 != 0 {
-                    PrivLevel::Machine
-                } else {
-                    PrivLevel::User
-                };
+                self.mpp =
+                    if (value >> 11) & 0b11 != 0 { PrivLevel::Machine } else { PrivLevel::User };
                 self.mie = (value >> 3) & 1 == 1;
             }
             addr::MTVEC => self.mtvec = value & !0b11,

@@ -185,25 +185,78 @@ impl L15Op {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // field meanings follow the RISC-V spec directly
 pub enum Instr {
-    Lui { rd: Reg, imm: i32 },
-    Auipc { rd: Reg, imm: i32 },
-    Jal { rd: Reg, imm: i32 },
-    Jalr { rd: Reg, rs1: Reg, imm: i32 },
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, imm: i32 },
-    Load { op: LoadOp, rd: Reg, rs1: Reg, imm: i32 },
-    Store { op: StoreOp, rs1: Reg, rs2: Reg, imm: i32 },
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
-    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Lui {
+        rd: Reg,
+        imm: i32,
+    },
+    Auipc {
+        rd: Reg,
+        imm: i32,
+    },
+    Jal {
+        rd: Reg,
+        imm: i32,
+    },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
+    Load {
+        op: LoadOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Store {
+        op: StoreOp,
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    MulDiv {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     Fence,
     Ecall,
     Ebreak,
     Mret,
     Wfi,
-    Csr { op: CsrOp, rd: Reg, src: Reg, csr: u16, imm_form: bool },
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        src: Reg,
+        csr: u16,
+        imm_form: bool,
+    },
     /// One of the five L1.5 instructions; `rd` used by `supply`/`gv_get`,
     /// `rs1` by the others.
-    L15 { op: L15Op, rd: Reg, rs1: Reg },
+    L15 {
+        op: L15Op,
+        rd: Reg,
+        rs1: Reg,
+    },
 }
 
 /// Failed decode of a 32-bit instruction word.
@@ -521,7 +574,9 @@ pub fn encode(instr: Instr) -> u32 {
             AluOp::Sll => enc_r(0b001_0011, rd, 0b001, rs1, (imm & 0x1f) as Reg, 0),
             AluOp::Srl => enc_r(0b001_0011, rd, 0b101, rs1, (imm & 0x1f) as Reg, 0),
             AluOp::Sra => enc_r(0b001_0011, rd, 0b101, rs1, (imm & 0x1f) as Reg, 0b010_0000),
-            AluOp::Sub => panic!("subi does not exist in RV32I; use addi with a negative immediate"),
+            AluOp::Sub => {
+                panic!("subi does not exist in RV32I; use addi with a negative immediate")
+            }
             _ => {
                 let f3 = match op {
                     AluOp::Add => 0b000,

@@ -144,7 +144,7 @@ impl SuperscalarEstimate {
 
 #[derive(Debug, Clone, Copy)]
 struct Slot {
-    ready: u64,  // earliest issue cycle (dataflow)
+    ready: u64, // earliest issue cycle (dataflow)
     latency: u64,
     is_mem: bool,
 }
@@ -176,12 +176,8 @@ pub fn estimate_cycles(trace: &[TraceOp], cfg: SuperscalarConfig) -> Superscalar
         // Refill the window in program order.
         while slots.len() < cfg.window && ix < trace.len() {
             let op = &trace[ix];
-            let ready = op
-                .instr
-                .reads()
-                .iter()
-                .map(|&r| reg_ready[r as usize])
-                .fold(0u64, u64::max);
+            let ready =
+                op.instr.reads().iter().map(|&r| reg_ready[r as usize]).fold(0u64, u64::max);
             let latency = match op.instr {
                 Instr::MulDiv { .. } => cfg.muldiv_latency as u64,
                 Instr::Load { .. } | Instr::Store { .. } => {
@@ -257,10 +253,7 @@ pub fn estimate_cycles(trace: &[TraceOp], cfg: SuperscalarConfig) -> Superscalar
         }
     }
 
-    SuperscalarEstimate {
-        cycles: last_finish.max(cycle),
-        instructions: trace.len() as u64,
-    }
+    SuperscalarEstimate { cycles: last_finish.max(cycle), instructions: trace.len() as u64 }
 }
 
 #[cfg(test)]
@@ -313,14 +306,10 @@ mod tests {
         }
         a.ebreak();
         let trace = trace_of(a);
-        let one_port = estimate_cycles(
-            &trace,
-            SuperscalarConfig { mem_ports: 1, ..Default::default() },
-        );
-        let two_ports = estimate_cycles(
-            &trace,
-            SuperscalarConfig { mem_ports: 2, ..Default::default() },
-        );
+        let one_port =
+            estimate_cycles(&trace, SuperscalarConfig { mem_ports: 1, ..Default::default() });
+        let two_ports =
+            estimate_cycles(&trace, SuperscalarConfig { mem_ports: 2, ..Default::default() });
         assert!(
             two_ports.cycles <= one_port.cycles,
             "the Sec. 3.3 dual ports must not hurt: {} vs {}",

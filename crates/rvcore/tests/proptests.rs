@@ -7,103 +7,116 @@ use l15_rvcore::bus::FlatBus;
 use l15_rvcore::core::Core;
 use l15_rvcore::isa::{decode, encode, AluOp, BranchOp, Instr, L15Op, LoadOp, MulOp, StoreOp};
 use l15_rvcore::superscalar::{capture_trace, estimate_cycles, SuperscalarConfig};
-use proptest::prelude::*;
+use l15_testkit::prop::{self, Config, G};
 
-fn arb_reg() -> impl Strategy<Value = u8> {
-    0u8..32
+const CASES: u32 = 512;
+
+fn arb_reg(g: &mut G) -> u8 {
+    g.u8_in(0..32)
 }
 
-fn arb_imm12() -> impl Strategy<Value = i32> {
-    -2048i32..=2047
+fn arb_imm12(g: &mut G) -> i32 {
+    g.i32_in(-2048..=2047)
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (arb_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|i| i << 12))
-            .prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (arb_reg(), arb_reg(), arb_imm12())
-            .prop_map(|(rd, rs1, imm)| Instr::Jalr { rd, rs1, imm }),
-        (arb_reg(), (-(1i32 << 20)..(1 << 20)).prop_map(|i| i & !1))
-            .prop_map(|(rd, imm)| Instr::Jal { rd, imm }),
-        (
-            prop_oneof![
-                Just(BranchOp::Eq), Just(BranchOp::Ne), Just(BranchOp::Lt),
-                Just(BranchOp::Ge), Just(BranchOp::Ltu), Just(BranchOp::Geu)
-            ],
-            arb_reg(), arb_reg(),
-            (-4096i32..=4094).prop_map(|i| i & !1),
-        ).prop_map(|(op, rs1, rs2, imm)| Instr::Branch { op, rs1, rs2, imm }),
-        (
-            prop_oneof![
-                Just(LoadOp::Byte), Just(LoadOp::Half), Just(LoadOp::Word),
-                Just(LoadOp::ByteU), Just(LoadOp::HalfU)
-            ],
-            arb_reg(), arb_reg(), arb_imm12(),
-        ).prop_map(|(op, rd, rs1, imm)| Instr::Load { op, rd, rs1, imm }),
-        (
-            prop_oneof![Just(StoreOp::Byte), Just(StoreOp::Half), Just(StoreOp::Word)],
-            arb_reg(), arb_reg(), arb_imm12(),
-        ).prop_map(|(op, rs1, rs2, imm)| Instr::Store { op, rs1, rs2, imm }),
-        (
-            prop_oneof![
-                Just(AluOp::Add), Just(AluOp::Slt), Just(AluOp::Sltu),
-                Just(AluOp::Xor), Just(AluOp::Or), Just(AluOp::And)
-            ],
-            arb_reg(), arb_reg(), arb_imm12(),
-        ).prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)],
-            arb_reg(), arb_reg(), 0i32..32,
-        ).prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![
-                Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Sll), Just(AluOp::Slt),
-                Just(AluOp::Sltu), Just(AluOp::Xor), Just(AluOp::Srl), Just(AluOp::Sra),
-                Just(AluOp::Or), Just(AluOp::And)
-            ],
-            arb_reg(), arb_reg(), arb_reg(),
-        ).prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
-        (
-            prop_oneof![
-                Just(MulOp::Mul), Just(MulOp::Mulh), Just(MulOp::Mulhsu), Just(MulOp::Mulhu),
-                Just(MulOp::Div), Just(MulOp::Divu), Just(MulOp::Rem), Just(MulOp::Remu)
-            ],
-            arb_reg(), arb_reg(), arb_reg(),
-        ).prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
-        (
-            prop_oneof![
-                Just(L15Op::Demand), Just(L15Op::Supply), Just(L15Op::GvSet),
-                Just(L15Op::GvGet), Just(L15Op::IpSet)
-            ],
-            arb_reg(), arb_reg(),
-        ).prop_map(|(op, rd, rs1)| {
+fn arb_instr(g: &mut G) -> Instr {
+    match g.weighted(&[1; 11]) {
+        0 => Instr::Lui { rd: arb_reg(g), imm: g.i32_in(-(1i32 << 19)..(1 << 19)) << 12 },
+        1 => Instr::Jalr { rd: arb_reg(g), rs1: arb_reg(g), imm: arb_imm12(g) },
+        2 => Instr::Jal { rd: arb_reg(g), imm: g.i32_in(-(1i32 << 20)..(1 << 20)) & !1 },
+        3 => {
+            let op = *g.pick(&[
+                BranchOp::Eq,
+                BranchOp::Ne,
+                BranchOp::Lt,
+                BranchOp::Ge,
+                BranchOp::Ltu,
+                BranchOp::Geu,
+            ]);
+            Instr::Branch { op, rs1: arb_reg(g), rs2: arb_reg(g), imm: g.i32_in(-4096..=4094) & !1 }
+        }
+        4 => {
+            let op =
+                *g.pick(&[LoadOp::Byte, LoadOp::Half, LoadOp::Word, LoadOp::ByteU, LoadOp::HalfU]);
+            Instr::Load { op, rd: arb_reg(g), rs1: arb_reg(g), imm: arb_imm12(g) }
+        }
+        5 => {
+            let op = *g.pick(&[StoreOp::Byte, StoreOp::Half, StoreOp::Word]);
+            Instr::Store { op, rs1: arb_reg(g), rs2: arb_reg(g), imm: arb_imm12(g) }
+        }
+        6 => {
+            let op =
+                *g.pick(&[AluOp::Add, AluOp::Slt, AluOp::Sltu, AluOp::Xor, AluOp::Or, AluOp::And]);
+            Instr::OpImm { op, rd: arb_reg(g), rs1: arb_reg(g), imm: arb_imm12(g) }
+        }
+        7 => {
+            let op = *g.pick(&[AluOp::Sll, AluOp::Srl, AluOp::Sra]);
+            Instr::OpImm { op, rd: arb_reg(g), rs1: arb_reg(g), imm: g.i32_in(0..32) }
+        }
+        8 => {
+            let op = *g.pick(&[
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Sll,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Xor,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Or,
+                AluOp::And,
+            ]);
+            Instr::Op { op, rd: arb_reg(g), rs1: arb_reg(g), rs2: arb_reg(g) }
+        }
+        9 => {
+            let op = *g.pick(&[
+                MulOp::Mul,
+                MulOp::Mulh,
+                MulOp::Mulhsu,
+                MulOp::Mulhu,
+                MulOp::Div,
+                MulOp::Divu,
+                MulOp::Rem,
+                MulOp::Remu,
+            ]);
+            Instr::MulDiv { op, rd: arb_reg(g), rs1: arb_reg(g), rs2: arb_reg(g) }
+        }
+        _ => {
+            let op =
+                *g.pick(&[L15Op::Demand, L15Op::Supply, L15Op::GvSet, L15Op::GvGet, L15Op::IpSet]);
+            let (rd, rs1) = (arb_reg(g), arb_reg(g));
             // rd is meaningful only for supply/gv_get, rs1 for the others;
             // the unused field encodes as zero.
             match op {
                 L15Op::Supply | L15Op::GvGet => Instr::L15 { op, rd, rs1: 0 },
                 _ => Instr::L15 { op, rd: 0, rs1 },
             }
-        }),
-    ]
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn decode_encode_roundtrip(instr in arb_instr()) {
+#[test]
+fn decode_encode_roundtrip() {
+    prop::run_with(Config::with_cases(CASES), "decode_encode_roundtrip", |g| {
+        let instr = arb_instr(g);
         let word = encode(instr);
         let back = decode(word).expect("encoded instruction decodes");
-        prop_assert_eq!(back, instr);
-    }
+        assert_eq!(back, instr);
+    });
+}
 
-    #[test]
-    fn decode_never_panics(word in any::<u32>()) {
-        let _ = decode(word); // must return Ok or Err, never panic
-    }
+#[test]
+fn decode_never_panics() {
+    prop::run_with(Config::with_cases(CASES), "decode_never_panics", |g| {
+        let _ = decode(g.any_u32()); // must return Ok or Err, never panic
+    });
+}
 
-    #[test]
-    fn alu_add_sub_match_reference(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn alu_add_sub_match_reference() {
+    prop::run_with(Config::with_cases(CASES), "alu_add_sub_match_reference", |g| {
+        let a = g.any_u32();
+        let b = g.any_u32();
         // Run `add x3, x1, x2` and `sub x4, x1, x2` on the core.
         let mut asm = Assembler::new();
         asm.add(3, 1, 2);
@@ -119,15 +132,19 @@ proptest! {
         core.set_reg(1, a);
         core.set_reg(2, b);
         core.run(&mut bus, 100);
-        prop_assert_eq!(core.reg(3), a.wrapping_add(b));
-        prop_assert_eq!(core.reg(4), a.wrapping_sub(b));
-        prop_assert_eq!(core.reg(5), a.wrapping_mul(b));
-        prop_assert_eq!(core.reg(6), (a < b) as u32);
-        prop_assert_eq!(core.reg(7), a ^ b);
-    }
+        assert_eq!(core.reg(3), a.wrapping_add(b));
+        assert_eq!(core.reg(4), a.wrapping_sub(b));
+        assert_eq!(core.reg(5), a.wrapping_mul(b));
+        assert_eq!(core.reg(6), (a < b) as u32);
+        assert_eq!(core.reg(7), a ^ b);
+    });
+}
 
-    #[test]
-    fn division_follows_riscv_semantics(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn division_follows_riscv_semantics() {
+    prop::run_with(Config::with_cases(CASES), "division_follows_riscv_semantics", |g| {
+        let a = g.any_u32();
+        let b = g.any_u32();
         let mut asm = Assembler::new();
         asm.div(3, 1, 2);
         asm.rem(4, 1, 2);
@@ -146,12 +163,16 @@ proptest! {
         } else {
             (((a as i32) / (b as i32)) as u32, ((a as i32) % (b as i32)) as u32)
         };
-        prop_assert_eq!(core.reg(3), q);
-        prop_assert_eq!(core.reg(4), r);
-    }
+        assert_eq!(core.reg(3), q);
+        assert_eq!(core.reg(4), r);
+    });
+}
 
-    #[test]
-    fn store_load_roundtrip_via_core(addr in (0u32..900).prop_map(|a| a * 4), value in any::<u32>()) {
+#[test]
+fn store_load_roundtrip_via_core() {
+    prop::run_with(Config::with_cases(CASES), "store_load_roundtrip_via_core", |g| {
+        let addr = g.u32_in(0..900) * 4;
+        let value = g.any_u32();
         let mut asm = Assembler::new();
         asm.sw(1, 2, 0);
         asm.lw(3, 1, 0);
@@ -163,25 +184,32 @@ proptest! {
         core.set_reg(1, addr);
         core.set_reg(2, value);
         core.run(&mut bus, 100);
-        prop_assert_eq!(core.reg(3), value);
-        prop_assert_eq!(bus.read_u32(addr), value);
-    }
+        assert_eq!(core.reg(3), value);
+        assert_eq!(bus.read_u32(addr), value);
+    });
+}
 
-    #[test]
-    fn superscalar_estimate_is_bounded(
-        n_ops in 1usize..64,
-        width in 1usize..=4,
-        mem_ports in 1usize..=2,
-        seed in any::<u32>(),
-    ) {
+#[test]
+fn superscalar_estimate_is_bounded() {
+    prop::run_with(Config::with_cases(CASES), "superscalar_estimate_is_bounded", |g| {
+        let n_ops = g.usize_in(1..64);
+        let width = g.usize_in(1..=4);
+        let mem_ports = g.usize_in(1..=2);
+        let seed = g.any_u32();
         // A mixed program: alternating ALU and memory ops with data reuse.
         let mut asm = Assembler::new();
         asm.li(1, 0x1000);
         for i in 0..n_ops {
             match (seed as usize + i) % 3 {
-                0 => { asm.addi((2 + (i % 8)) as u8, 1, i as i32); }
-                1 => { asm.lw((2 + (i % 8)) as u8, 1, ((i % 64) * 4) as i32); }
-                _ => { asm.add(10, (2 + (i % 8)) as u8, 1); }
+                0 => {
+                    asm.addi((2 + (i % 8)) as u8, 1, i as i32);
+                }
+                1 => {
+                    asm.lw((2 + (i % 8)) as u8, 1, ((i % 64) * 4) as i32);
+                }
+                _ => {
+                    asm.add(10, (2 + (i % 8)) as u8, 1);
+                }
             }
         }
         asm.ebreak();
@@ -194,21 +222,27 @@ proptest! {
         let est = estimate_cycles(&trace, cfg);
         // Lower bound: issue-width limit.
         let n = trace.len() as u64;
-        prop_assert!(est.cycles >= n.div_ceil(width as u64));
+        assert!(est.cycles >= n.div_ceil(width as u64));
         // Upper bound: fully serial execution with every latency paid.
-        let serial: u64 = trace.iter().map(|t| match t.instr {
-            Instr::MulDiv { .. } => cfg.muldiv_latency as u64,
-            Instr::Load { .. } | Instr::Store { .. } => t.mem_cycles.unwrap_or(1).max(1) as u64,
-            _ => 1,
-        }).sum();
-        prop_assert!(est.cycles <= serial + n, "est {} vs serial {}", est.cycles, serial);
-        prop_assert_eq!(est.instructions, n);
-    }
+        let serial: u64 = trace
+            .iter()
+            .map(|t| match t.instr {
+                Instr::MulDiv { .. } => cfg.muldiv_latency as u64,
+                Instr::Load { .. } | Instr::Store { .. } => t.mem_cycles.unwrap_or(1).max(1) as u64,
+                _ => 1,
+            })
+            .sum();
+        assert!(est.cycles <= serial + n, "est {} vs serial {}", est.cycles, serial);
+        assert_eq!(est.instructions, n);
+    });
+}
 
-    #[test]
-    fn x0_is_hardwired_zero(value in any::<u32>()) {
+#[test]
+fn x0_is_hardwired_zero() {
+    prop::run_with(Config::with_cases(CASES), "x0_is_hardwired_zero", |g| {
+        let value = g.any_u32();
         let mut core = Core::new(0, 0);
         core.set_reg(0, value);
-        prop_assert_eq!(core.reg(0), 0);
-    }
+        assert_eq!(core.reg(0), 0);
+    });
 }

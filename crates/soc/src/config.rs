@@ -74,10 +74,7 @@ impl SocConfig {
 
     /// The paper's proposed 16-core system (4 clusters × 4 cores).
     pub fn proposed_16core() -> Self {
-        SocConfig {
-            clusters: 4,
-            ..Self::proposed_8core()
-        }
+        SocConfig { clusters: 4, ..Self::proposed_8core() }
     }
 
     /// A legacy CMP|L1-style system: no L1.5; the L1 capacity is increased
@@ -132,10 +129,7 @@ impl SocConfig {
     /// the capacity-equalisation constraint between compared systems.
     pub fn total_cache_bytes(&self) -> u64 {
         let cores = self.total_cores() as u64;
-        let l15 = self
-            .l15
-            .map(|c| c.way_bytes * c.ways as u64 * self.clusters as u64)
-            .unwrap_or(0);
+        let l15 = self.l15.map(|c| c.way_bytes * c.ways as u64 * self.clusters as u64).unwrap_or(0);
         cores * (self.l1i.capacity + self.l1d.capacity) + l15 + self.l2.capacity
     }
 }

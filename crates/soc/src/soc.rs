@@ -181,7 +181,7 @@ mod tests {
             let mut a = Assembler::new();
             a.li(5, 2);
             a.demand(5); // privileged: cores reset in machine mode
-            // Give the Walloc time: poll supply until 2 ways arrive.
+                         // Give the Walloc time: poll supply until 2 ways arrive.
             a.label("wait");
             a.supply(6);
             a.li(7, 0);

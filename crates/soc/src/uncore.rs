@@ -114,10 +114,7 @@ impl Uncore {
     }
 
     fn cluster_of(&self, core: usize) -> (usize, usize) {
-        (
-            core / self.cfg.cores_per_cluster,
-            core % self.cfg.cores_per_cluster,
-        )
+        (core / self.cfg.cores_per_cluster, core % self.cfg.cores_per_cluster)
     }
 
     /// Direct (host) memory write, bypassing the caches — used to load
@@ -346,9 +343,8 @@ impl Uncore {
         let pbase = paddr & !(self.line_bytes - 1);
         if let Some(l15) = self.l15[cluster].as_mut() {
             let mut line = vec![0u8; self.line_bytes as usize];
-            let out = l15
-                .read(lane, vbase, pbase, &mut line)
-                .expect("lane index is within the cluster");
+            let out =
+                l15.read(lane, vbase, pbase, &mut line).expect("lane index is within the cluster");
             if out.hit {
                 return (line, out.latency, ServedBy::L15);
             }
@@ -460,23 +456,20 @@ impl SystemBus for Uncore {
 
         // IPU: inclusive L1.5 ways route the store through the L1 into the
         // L1.5 (Sec. 4.3), making dependent data immediately sharable.
-        let inclusive_route = self
-            .l15(cluster)
-            .map(|l15| l15.routes_stores(lane).unwrap_or(false))
-            .unwrap_or(false);
+        let inclusive_route =
+            self.l15(cluster).map(|l15| l15.routes_stores(lane).unwrap_or(false)).unwrap_or(false);
         self.trace.record(TraceEventKind::Store { core, via_l15: inclusive_route });
         if inclusive_route {
             let mut cycles = self.cfg.l1d.lat_min; // the L1 pass-through
-            // Keep the L1 copy coherent if present (clean: L1.5 owns the
-            // dirty data). A dirty L1 copy is merged into the L1.5 first —
-            // and must never be dropped: if the L1.5 write misses, install
-            // the dirty line, and if no writable way exists, push it down
-            // to the L2.
+                                                   // Keep the L1 copy coherent if present (clean: L1.5 owns the
+                                                   // dirty data). A dirty L1 copy is merged into the L1.5 first —
+                                                   // and must never be dropped: if the L1.5 write misses, install
+                                                   // the dirty line, and if no writable way exists, push it down
+                                                   // to the L2.
             if let Some(dirty) = self.l1d[core].invalidate(paddr) {
                 let l15 = self.l15[cluster].as_mut().expect("route checked");
-                let out = l15
-                    .write(lane, dirty.addr, dirty.addr, &dirty.data)
-                    .expect("lane in range");
+                let out =
+                    l15.write(lane, dirty.addr, dirty.addr, &dirty.data).expect("lane in range");
                 if !out.hit {
                     let l15 = self.l15[cluster].as_mut().expect("route checked");
                     match l15.fill(lane, dirty.addr, dirty.addr, &dirty.data, true) {
@@ -503,10 +496,12 @@ impl SystemBus for Uncore {
             }
             let l15 = self.l15[cluster].as_mut().expect("route checked");
             let out = l15.write(lane, vaddr, paddr, bytes).expect("lane in range");
-            cycles += out.latency;
             if out.hit {
+                // Posted write: the store buffer retires the L1.5 update in
+                // the background, so the core only pays the L1 pass-through.
                 return cycles;
             }
+            cycles += out.latency;
             // Write-allocate into the L1.5: fetch the line, install dirty,
             // then apply the store.
             let pbase = paddr & !(self.line_bytes - 1);

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use l15_cache::l15::InclusionPolicy;
 use l15_rvcore::bus::SystemBus;
 use l15_soc::{SocConfig, Uncore};
-use proptest::prelude::*;
+use l15_testkit::prop::{self, Config, G};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -35,71 +35,100 @@ enum Op {
     FlushCheck,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0u16..256, any::<u32>()).prop_map(|(slot, value)| Op::Store { slot, value }),
-        4 => (0u16..256).prop_map(|slot| Op::Load { slot }),
-        1 => (0usize..4, 0usize..6).prop_map(|(core, ways)| Op::Reconfig { core, ways }),
-        1 => Just(Op::FlushCheck),
-    ]
+fn arb_op(g: &mut G) -> Op {
+    match g.weighted(&[4, 4, 1, 1]) {
+        0 => Op::Store { slot: g.u16_in(0..256), value: g.any_u32() },
+        1 => Op::Load { slot: g.u16_in(0..256) },
+        2 => Op::Reconfig { core: g.usize_in(0..4), ways: g.usize_in(0..6) },
+        _ => Op::FlushCheck,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn check_ops(ops: &[Op]) {
+    let mut u = Uncore::new(SocConfig::proposed_8core());
+    let mut oracle: HashMap<u16, (u32, usize)> = HashMap::new(); // slot -> (value, writer)
+    let base = 0x0010_0000u32;
 
-    #[test]
-    fn hierarchy_agrees_with_flat_memory(ops in proptest::collection::vec(arb_op(), 1..120)) {
-        let mut u = Uncore::new(SocConfig::proposed_8core());
-        let mut oracle: HashMap<u16, (u32, usize)> = HashMap::new(); // slot -> (value, writer)
-        let base = 0x0010_0000u32;
-
-        for op in ops {
-            match op {
-                Op::Store { slot, value } => {
-                    let core = ((slot / 16) % 4) as usize; // one writer per line
+    for op in ops {
+        match *op {
+            Op::Store { slot, value } => {
+                let core = ((slot / 16) % 4) as usize; // one writer per line
+                let addr = base + slot as u32 * 4;
+                u.store(core, addr, addr, 4, value);
+                oracle.insert(slot, (value, core));
+            }
+            Op::Load { slot } => {
+                // Load from the last writer's core: single-writer
+                // consistency must hold without any flushes.
+                if let Some(&(want, writer)) = oracle.get(&slot) {
                     let addr = base + slot as u32 * 4;
-                    u.store(core, addr, addr, 4, value);
-                    oracle.insert(slot, (value, core));
+                    let got = u.load(writer, addr, addr, 4).value;
+                    assert_eq!(got, want, "slot {slot} on core {writer}");
                 }
-                Op::Load { slot } => {
-                    // Load from the last writer's core: single-writer
-                    // consistency must hold without any flushes.
-                    if let Some(&(want, writer)) = oracle.get(&slot) {
-                        let addr = base + slot as u32 * 4;
-                        let got = u.load(writer, addr, addr, 4).value;
-                        prop_assert_eq!(got, want, "slot {} on core {}", slot, writer);
-                    }
+            }
+            Op::Reconfig { core, ways } => {
+                // Through the bus + Walloc, so lines displaced by
+                // revocations are written back to the L2 (calling
+                // `L15Cache::settle` directly would drop them — the
+                // uncore owns that responsibility).
+                u.l15_ctrl(core, l15_rvcore::isa::L15Op::Demand, ways as u32);
+                u.advance(64);
+                if let Some(l15) = u.l15_mut(core / 4) {
+                    let _ = l15.ip_set(core % 4, InclusionPolicy::Inclusive);
                 }
-                Op::Reconfig { core, ways } => {
-                    // Through the bus + Walloc, so lines displaced by
-                    // revocations are written back to the L2 (calling
-                    // `L15Cache::settle` directly would drop them — the
-                    // uncore owns that responsibility).
-                    u.l15_ctrl(core, l15_rvcore::isa::L15Op::Demand, ways as u32);
-                    u.advance(64);
-                    if let Some(l15) = u.l15_mut(core / 4) {
-                        let _ = l15.ip_set(core % 4, InclusionPolicy::Inclusive);
-                    }
-                }
-                Op::FlushCheck => {
-                    u.flush_all();
-                    for (&slot, &(want, _)) in &oracle {
-                        let mut b = [0u8; 4];
-                        u.host_read(base + slot as u32 * 4, &mut b);
-                        prop_assert_eq!(
-                            u32::from_le_bytes(b), want,
-                            "memory after flush, slot {}", slot
-                        );
-                    }
+            }
+            Op::FlushCheck => {
+                u.flush_all();
+                for (&slot, &(want, _)) in &oracle {
+                    let mut b = [0u8; 4];
+                    u.host_read(base + slot as u32 * 4, &mut b);
+                    assert_eq!(u32::from_le_bytes(b), want, "memory after flush, slot {slot}");
                 }
             }
         }
-        // Terminal flush: the architectural memory equals the oracle.
-        u.flush_all();
-        for (&slot, &(want, _)) in &oracle {
-            let mut b = [0u8; 4];
-            u.host_read(base + slot as u32 * 4, &mut b);
-            prop_assert_eq!(u32::from_le_bytes(b), want, "final state, slot {}", slot);
-        }
     }
+    // Terminal flush: the architectural memory equals the oracle.
+    u.flush_all();
+    for (&slot, &(want, _)) in &oracle {
+        let mut b = [0u8; 4];
+        u.host_read(base + slot as u32 * 4, &mut b);
+        assert_eq!(u32::from_le_bytes(b), want, "final state, slot {slot}");
+    }
+}
+
+#[test]
+fn hierarchy_agrees_with_flat_memory() {
+    prop::run_with(Config::with_cases(32), "hierarchy_agrees_with_flat_memory", |g| {
+        let ops = g.vec_of(1..120, arb_op);
+        check_ops(&ops);
+    });
+}
+
+// Historical failure corpus, preserved from the proptest regression file
+// as concrete cases (the old seeds encoded proptest's internal RNG and
+// are not replayable here).
+
+/// Two writes to the same line (slot 32) back to back. The original
+/// counterexample had two *different* writer cores — a shape the current
+/// single-writer-per-line discipline forbids by construction — so this
+/// pins the in-discipline remainder: same-line overwrite then readback.
+#[test]
+fn regression_same_line_overwrite() {
+    check_ops(&[
+        Op::Store { slot: 32, value: 0 },
+        Op::Store { slot: 32, value: 625_726_012 },
+        Op::Load { slot: 32 },
+    ]);
+}
+
+/// A store on a core whose way allocation is granted just before and
+/// revoked to zero just after — displaced lines must reach the L2, not
+/// vanish with the way.
+#[test]
+fn regression_store_between_reconfigs() {
+    check_ops(&[
+        Op::Reconfig { core: 1, ways: 1 },
+        Op::Store { slot: 144, value: 337_116_018 },
+        Op::Reconfig { core: 1, ways: 0 },
+    ]);
 }

@@ -129,11 +129,7 @@ fn protector_blocks_cross_application_reads_in_user_mode() {
     assert_eq!(soc.core(1).reg(13), 0, "cross-application isolation holds");
     // And its lookup must not have hit the shared ways (TID mismatch).
     let l15 = soc.uncore().l15(0).unwrap();
-    assert_eq!(
-        l15.core_stats(1).unwrap().hits(),
-        0,
-        "the protector must gate GV ways by TID"
-    );
+    assert_eq!(l15.core_stats(1).unwrap().hits(), 0, "the protector must gate GV ways by TID");
 }
 
 #[test]

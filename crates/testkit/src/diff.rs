@@ -1,0 +1,140 @@
+//! Support types for the differential test harness.
+//!
+//! The harness itself lives in `crates/testkit/tests/differential.rs`
+//! (it drives the whole stack, which this crate cannot depend on from
+//! its library without a cycle — Cargo only permits the cycle through
+//! dev-dependencies). This module holds the dependency-free bookkeeping:
+//! per-invariant tallies and a human-readable summary, so both the
+//! harness and any future out-of-tree comparisons report uniformly.
+
+use std::fmt;
+
+/// The four paper invariants the differential harness checks, in the
+/// order they appear in the DAC'24 argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// Identical final memory images at quiesce for the L1.5 path and
+    /// the baseline path (the co-design never changes results, only
+    /// timing).
+    MemoryEquivalence,
+    /// `CacheStats` conservation: hits + misses equals the number of
+    /// issued accesses, and fills never exceed misses.
+    StatsConservation,
+    /// TID protection: a core's hit/miss sequence is unaffected by
+    /// another core running under a different TID.
+    TidNonInterference,
+    /// Alg.1 makespan is no worse than the baseline priority assignment
+    /// on cache-fit workloads.
+    MakespanDominance,
+}
+
+impl Invariant {
+    /// All invariants, for iteration in reports.
+    pub const ALL: [Invariant; 4] = [
+        Invariant::MemoryEquivalence,
+        Invariant::StatsConservation,
+        Invariant::TidNonInterference,
+        Invariant::MakespanDominance,
+    ];
+
+    /// A short stable label used in assertion messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            Invariant::MemoryEquivalence => "memory-equivalence",
+            Invariant::StatsConservation => "stats-conservation",
+            Invariant::TidNonInterference => "tid-non-interference",
+            Invariant::MakespanDominance => "makespan-dominance",
+        }
+    }
+}
+
+/// Tallies of checked workloads per invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiffSummary {
+    checked: [u64; 4],
+}
+
+impl DiffSummary {
+    /// A fresh, all-zero summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one successfully checked workload for `inv`.
+    pub fn record(&mut self, inv: Invariant) {
+        self.checked[Self::index(inv)] += 1;
+    }
+
+    /// Number of workloads checked against `inv`.
+    pub fn checked(&self, inv: Invariant) -> u64 {
+        self.checked[Self::index(inv)]
+    }
+
+    /// Total workload-invariant checks across all invariants.
+    pub fn total(&self) -> u64 {
+        self.checked.iter().sum()
+    }
+
+    /// Asserts every invariant saw at least `min` workloads — the
+    /// harness calls this last so a silently-skipped invariant fails
+    /// loudly instead of vacuously passing.
+    pub fn assert_coverage(&self, min: u64) {
+        for inv in Invariant::ALL {
+            assert!(
+                self.checked(inv) >= min,
+                "differential harness under-covered {}: {} < {min} workloads",
+                inv.label(),
+                self.checked(inv)
+            );
+        }
+    }
+
+    fn index(inv: Invariant) -> usize {
+        Invariant::ALL.iter().position(|&i| i == inv).unwrap()
+    }
+}
+
+impl fmt::Display for DiffSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "differential coverage:")?;
+        for inv in Invariant::ALL {
+            write!(f, " {}={}", inv.label(), self.checked(inv))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_counts_per_invariant() {
+        let mut s = DiffSummary::new();
+        s.record(Invariant::MemoryEquivalence);
+        s.record(Invariant::MemoryEquivalence);
+        s.record(Invariant::MakespanDominance);
+        assert_eq!(s.checked(Invariant::MemoryEquivalence), 2);
+        assert_eq!(s.checked(Invariant::StatsConservation), 0);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "under-covered")]
+    fn coverage_assert_fires_on_gap() {
+        let mut s = DiffSummary::new();
+        for inv in Invariant::ALL {
+            s.record(inv);
+        }
+        s.assert_coverage(2);
+    }
+
+    #[test]
+    fn display_lists_all_labels() {
+        let s = DiffSummary::new();
+        let text = s.to_string();
+        for inv in Invariant::ALL {
+            assert!(text.contains(inv.label()));
+        }
+    }
+}

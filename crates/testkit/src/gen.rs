@@ -1,0 +1,163 @@
+//! Composable value generators (`Gen<T>`), the analogue of proptest's
+//! `Strategy` combinators, built on top of the [`crate::prop::G`] draw
+//! context.
+//!
+//! A `Gen<T>` is just a shared closure `Fn(&mut G) -> T`; everything it
+//! draws goes through the choice stream, so any value built from
+//! combinators shrinks automatically.
+//!
+//! ```
+//! use l15_testkit::gen::Gen;
+//! use l15_testkit::prop;
+//!
+//! let small_pairs: Gen<(u32, Vec<u8>)> = Gen::new(|g| {
+//!     (g.u32_in(0..100), g.vec_of(0..8, |g| g.any_u8()))
+//! });
+//! prop::run("pairs_in_range", move |g| {
+//!     let (n, bytes) = g.draw(&small_pairs);
+//!     assert!(n < 100 && bytes.len() < 8);
+//! });
+//! ```
+
+use std::rc::Rc;
+
+use crate::prop::G;
+
+/// A reusable, composable generator of `T` values.
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut G) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a draw closure as a generator.
+    pub fn new(f: impl Fn(&mut G) -> T + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// A generator that always produces `value`.
+    pub fn just(value: T) -> Self
+    where
+        T: Clone,
+    {
+        Gen::new(move |_| value.clone())
+    }
+
+    /// Produces one value.
+    pub fn generate(&self, g: &mut G) -> T {
+        (self.f)(g)
+    }
+
+    /// Applies `f` to every generated value.
+    pub fn map<U: 'static>(&self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let inner = self.clone();
+        Gen::new(move |g| f(inner.generate(g)))
+    }
+
+    /// Feeds each generated value into a dependent generator
+    /// (`prop_flat_map`).
+    pub fn flat_map<U: 'static>(&self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        let inner = self.clone();
+        Gen::new(move |g| f(inner.generate(g)).generate(g))
+    }
+
+    /// A vector of values with a length drawn from `len`.
+    pub fn vec(&self, len: std::ops::Range<usize>) -> Gen<Vec<T>> {
+        let inner = self.clone();
+        Gen::new(move |g| {
+            let n = g.usize_in(len.clone());
+            (0..n).map(|_| inner.generate(g)).collect()
+        })
+    }
+
+    /// Picks one of `gens` uniformly per case (`prop_oneof`). The first
+    /// alternative is the shrink target — list the simplest one first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gens` is empty.
+    pub fn one_of(gens: Vec<Gen<T>>) -> Gen<T> {
+        assert!(!gens.is_empty(), "one_of needs at least one generator");
+        Gen::new(move |g| {
+            let i = g.usize_in(0..gens.len());
+            gens[i].generate(g)
+        })
+    }
+
+    /// Picks among `(weight, gen)` alternatives with the given relative
+    /// weights (weighted `prop_oneof`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gens` is empty or all weights are zero.
+    pub fn weighted_of(gens: Vec<(u32, Gen<T>)>) -> Gen<T> {
+        assert!(!gens.is_empty(), "weighted_of needs at least one generator");
+        let weights: Vec<u32> = gens.iter().map(|(w, _)| *w).collect();
+        Gen::new(move |g| {
+            let i = g.weighted(&weights);
+            gens[i].1.generate(g)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::{self, Config};
+
+    #[test]
+    fn map_and_vec_compose() {
+        let even = Gen::new(|g| g.u32_in(0..500)).map(|n| n * 2);
+        let evens = even.vec(1..10);
+        prop::run_with(Config::with_cases(100), "evens", move |g| {
+            let v = g.draw(&evens);
+            assert!(!v.is_empty() && v.len() < 10);
+            assert!(v.iter().all(|n| n % 2 == 0 && *n < 1000));
+        });
+    }
+
+    #[test]
+    fn flat_map_builds_dependent_values() {
+        // A (len, vec-of-exactly-len) pair.
+        let sized = Gen::new(|g| g.usize_in(1..6))
+            .flat_map(|n| Gen::new(move |g| g.vec_of(n..n + 1, |g| g.any_u8())));
+        prop::run_with(Config::with_cases(100), "sized_vec", move |g| {
+            let v = g.draw(&sized);
+            assert!((1..6).contains(&v.len()));
+        });
+    }
+
+    #[test]
+    fn one_of_covers_all_alternatives() {
+        use std::cell::Cell;
+        let gen = Gen::one_of(vec![Gen::just(1u8), Gen::just(2), Gen::just(3)]);
+        let seen: [Cell<bool>; 4] = Default::default();
+        prop::run_with(Config::with_cases(100), "one_of_cover", |g| {
+            let v = g.draw(&gen);
+            assert!((1..=3).contains(&v));
+            seen[v as usize].set(true);
+        });
+        assert!(seen[1].get() && seen[2].get() && seen[3].get());
+    }
+
+    #[test]
+    fn weighted_of_respects_zero_weight() {
+        let gen = Gen::weighted_of(vec![(1, Gen::just(0u8)), (0, Gen::just(1))]);
+        prop::run_with(Config::with_cases(100), "weighted_zero", move |g| {
+            assert_eq!(g.draw(&gen), 0, "zero-weight branch must never fire");
+        });
+    }
+
+    #[test]
+    fn just_is_constant() {
+        let gen = Gen::just(vec![1, 2, 3]);
+        prop::run_with(Config::with_cases(10), "just_const", move |g| {
+            assert_eq!(g.draw(&gen), vec![1, 2, 3]);
+        });
+    }
+}

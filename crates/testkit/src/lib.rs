@@ -1,0 +1,57 @@
+//! # l15-testkit — self-contained test toolkit for the L1.5 workspace
+//!
+//! The workspace builds and verifies fully offline: this crate replaces
+//! the external `rand`, `proptest` and `criterion` dependencies with
+//! small in-tree equivalents tailored to what the codebase actually
+//! uses. It has **zero dependencies** by design.
+//!
+//! * [`rng`] — deterministic seedable PRNGs (SplitMix64 and
+//!   xoshiro256++) behind a [`rng::Rng`] trait whose surface matches the
+//!   `rand` idioms used across the crates (`gen_range`, `gen_bool`,
+//!   `shuffle`, `SmallRng::seed_from_u64`), so simulation and generator
+//!   code migrates by swapping imports.
+//! * [`prop`] — a property-testing engine: a seeded runner with
+//!   configurable case count, failure-seed reporting
+//!   (`L15_PROP_SEED=0x… cargo test <name>` reproduces the shrunk
+//!   counterexample deterministically) and greedy choice-stream
+//!   shrinking for ints, vectors and tuples.
+//! * [`gen`] — composable [`gen::Gen`] value combinators
+//!   (`map`/`flat_map`/`vec`/`one_of`/`weighted_of`), the analogue of
+//!   proptest strategies.
+//! * [`bench`] — a wall-clock timing harness with a `--quick` smoke
+//!   mode, replacing the criterion benches.
+//! * [`diff`] — bookkeeping for the differential harness in
+//!   `tests/differential.rs`, which runs generated DAG workloads through
+//!   both the L1.5 SoC path and the shared-L1 baseline and checks the
+//!   paper's invariants (memory equivalence at quiesce, cache-stats
+//!   conservation, TID non-interference, Alg.1 makespan dominance).
+//!
+//! # Example
+//!
+//! ```
+//! use l15_testkit::prop;
+//! use l15_testkit::rng::{Rng, SmallRng};
+//!
+//! // rand-style simulation draws:
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let jitter = rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&jitter));
+//!
+//! // property test with automatic shrinking:
+//! prop::run("sorting_is_idempotent", |g| {
+//!     let mut v = g.vec_of(0..32, |g| g.any_u32());
+//!     v.sort();
+//!     let once = v.clone();
+//!     v.sort();
+//!     assert_eq!(v, once);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod diff;
+pub mod gen;
+pub mod prop;
+pub mod rng;

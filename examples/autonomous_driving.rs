@@ -15,8 +15,7 @@
 use l15::core::alg1::schedule_with_l15;
 use l15::core::baseline::SystemModel;
 use l15::dag::{DagBuilder, DagTask, ExecutionTimeModel, Node};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::rng::SmallRng;
 
 fn build_pipeline() -> Result<DagTask, Box<dyn std::error::Error>> {
     let mut b = DagBuilder::new();
@@ -50,8 +49,15 @@ fn build_pipeline() -> Result<DagTask, Box<dyn std::error::Error>> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let names = [
-        "sensor_in", "camera", "lidar", "radar", "fusion", "tracking", "prediction",
-        "planning", "control",
+        "sensor_in",
+        "camera",
+        "lidar",
+        "radar",
+        "fusion",
+        "tracking",
+        "prediction",
+        "planning",
+        "control",
     ];
     let task = build_pipeline()?;
     let dag = task.graph();
@@ -90,10 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nEnd-to-end latency on a 4-core cluster (cold start):");
     println!("  proposed (L1.5): {span_p:.2} ms  (deadline {} ms)", task.deadline());
     println!("  CMP|L1 baseline: {span_b:.2} ms");
-    println!(
-        "  latency cut:     {:.1}%",
-        (1.0 - span_p / span_b) * 100.0
-    );
+    println!("  latency cut:     {:.1}%", (1.0 - span_p / span_b) * 100.0);
     assert!(span_p <= task.deadline(), "the pipeline must meet its deadline");
     Ok(())
 }

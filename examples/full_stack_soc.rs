@@ -79,10 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gv = soc.core(0).reg(12);
     println!("  producer done: supply bitmap shared via gv_set -> gv_get = {gv:#x}");
     soc.run_core(1, 10_000);
-    println!(
-        "  consumer read 0x8000 = {:#x} (expected 0x5ca1ab1e)",
-        soc.core(1).reg(13)
-    );
+    println!("  consumer read 0x8000 = {:#x} (expected 0x5ca1ab1e)", soc.core(1).reg(13));
     let l15 = soc.uncore().l15(0).expect("proposed SoC has an L1.5");
     println!(
         "  L1.5 stats: consumer lane hits = {}, utilisation = {:.0}%",

@@ -10,8 +10,7 @@
 use l15::core::baseline::SystemModel;
 use l15::core::casestudy::{dagify, generate_case_study, CaseStudyParams, Workload};
 use l15::core::periodic::{simulate_taskset, PeriodicParams};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = CaseStudyParams::default();

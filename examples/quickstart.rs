@@ -10,8 +10,7 @@ use l15::core::alg1::schedule_with_l15;
 use l15::core::baseline::SystemModel;
 use l15::dag::gen::{DagGenParams, DagGenerator};
 use l15::dag::{analysis, ExecutionTimeModel};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Generate one DAG task with the paper's default parameters

@@ -13,8 +13,7 @@ use l15::core::rta;
 use l15::dag::gen::{DagGenParams, DagGenerator};
 use l15::dag::taskset::{generate_taskset, TaskSetParams};
 use l15::dag::ExecutionTimeModel;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(12);
@@ -27,20 +26,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = schedule_with_l15(&task, 16, &etm);
     let cmp = SystemModel::cmp_l1();
 
-    println!("Safe makespan bounds for one DAG (W = {:.1}, D = {:.1}):", g.total_work(), task.deadline());
+    println!(
+        "Safe makespan bounds for one DAG (W = {:.1}, D = {:.1}):",
+        g.total_work(),
+        task.deadline()
+    );
     println!("{:>7} {:>16} {:>22}", "cores", "proposed (ETM)", "CMP|L1 (worst case)");
     for m in [2usize, 4, 8, 16] {
-        let b_prop = rta::makespan_bound(&task, m, |v| g.node(v).wcet, |e| {
-            let from = g.edge(e).from;
-            etm.edge_cost_in(g, e, plan.local_ways[from.0])
-        });
+        let b_prop = rta::makespan_bound(
+            &task,
+            m,
+            |v| g.node(v).wcet,
+            |e| {
+                let from = g.edge(e).from;
+                etm.edge_cost_in(g, e, plan.local_ways[from.0])
+            },
+        );
         let b_cmp = rta::makespan_bound(
             &task,
             m,
             |v| cmp.worst_case_exec(g.node(v).wcet),
             |e| {
                 let edge = g.edge(e);
-                cmp.worst_case_edge_cost(edge.cost, edge.alpha, g.node(edge.from).data_bytes, 0, false, true)
+                cmp.worst_case_edge_cost(
+                    edge.cost,
+                    edge.alpha,
+                    g.node(edge.from).data_bytes,
+                    0,
+                    false,
+                    true,
+                )
             },
         );
         println!("{m:>7} {:>16.2} {:>22.2}", b_prop.bound, b_cmp.bound);

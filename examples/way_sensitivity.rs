@@ -15,15 +15,12 @@ use l15::core::rta;
 use l15::dag::dot::{to_dot, DotAnnotations};
 use l15::dag::gen::{DagGenParams, DagGenerator};
 use l15::dag::ExecutionTimeModel;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(99);
     let gen = DagGenerator::new(DagGenParams::default());
-    let tasks: Vec<_> = (0..40)
-        .map(|_| gen.generate(&mut rng))
-        .collect::<Result<_, _>>()?;
+    let tasks: Vec<_> = (0..40).map(|_| gen.generate(&mut rng)).collect::<Result<_, _>>()?;
     let etm = ExecutionTimeModel::new(2048)?;
     let cores = 8;
 
@@ -42,10 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut r = SmallRng::seed_from_u64(1);
             sim_sum += model.simulate_instance(t, cores, &plan, 0, &mut r).makespan;
             let g = t.graph();
-            bound_sum += rta::makespan_bound(t, cores, |v| g.node(v).wcet, |e| {
-                let from = g.edge(e).from;
-                etm.edge_cost_in(g, e, plan.local_ways[from.0])
-            })
+            bound_sum += rta::makespan_bound(
+                t,
+                cores,
+                |v| g.node(v).wcet,
+                |e| {
+                    let from = g.edge(e).from;
+                    etm.edge_cost_in(g, e, plan.local_ways[from.0])
+                },
+            )
             .bound;
         }
         let sim = sim_sum / tasks.len() as f64;
@@ -54,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             base = sim;
         }
         let fabric = L15Geometry { ways: zeta, ..Default::default() }.logic_mm2();
-        println!(
-            "{zeta:>6} {sim:>14.2} {bound:>14.2} {:>13.2}x {fabric:>12.4}",
-            bound / sim
-        );
+        println!("{zeta:>6} {sim:>14.2} {bound:>14.2} {:>13.2}x {fabric:>12.4}", bound / sim);
         if zeta == 16 {
             println!(
                 "         ^ paper configuration: {:.1}% faster than ζ=1",
@@ -67,12 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Fig. 6-style annotated DOT of one small plan.
-    let small = DagGenerator::new(DagGenParams {
-        layers: (2, 3),
-        max_width: 3,
-        ..Default::default()
-    })
-    .generate(&mut rng)?;
+    let small =
+        DagGenerator::new(DagGenParams { layers: (2, 3), max_width: 3, ..Default::default() })
+            .generate(&mut rng)?;
     let plan = schedule_with_l15(&small, 16, &etm);
     let dot = to_dot(
         small.graph(),

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Offline CI gate: build, test, check formatting, then smoke-run every
+# experiment binary in its --quick configuration. No network access is
+# required at any step (the workspace has zero external dependencies).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release --offline
+
+echo "==> test (workspace)"
+cargo test -q --offline --workspace
+
+echo "==> rustfmt"
+cargo fmt --check
+
+echo "==> bench binaries (--quick smoke)"
+for bin in crates/bench/src/bin/*.rs; do
+    name=$(basename "$bin" .rs)
+    echo "--- $name --quick"
+    cargo run --release --offline -q -p l15-bench --bin "$name" -- --quick
+done
+
+echo "==> ci OK"

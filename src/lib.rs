@@ -11,6 +11,8 @@
 //!   makespan and success-ratio simulators.
 //! * [`runtime`] — the programming model (dispatch-time reconfiguration).
 //! * [`area`] — the Sec. 5.4 area model.
+//! * [`testkit`] — in-tree PRNG, property-testing engine and differential
+//!   harness (the workspace has no external dependencies).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! per-experiment index.
@@ -24,3 +26,4 @@ pub use l15_dag as dag;
 pub use l15_runtime as runtime;
 pub use l15_rvcore as rvcore;
 pub use l15_soc as soc;
+pub use l15_testkit as testkit;

@@ -13,8 +13,7 @@ use l15::dag::{DagBuilder, DagTask, ExecutionTimeModel, Node};
 use l15::runtime::kernel::{run_task, KernelConfig};
 use l15::rvcore::core::TimingConfig;
 use l15::soc::{Soc, SocConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use l15_testkit::rng::SmallRng;
 
 fn small_dag(data_bytes: u64) -> DagTask {
     let mut b = DagBuilder::new();
@@ -86,16 +85,11 @@ fn forwarding_channel_never_slows_execution() {
     let run_with = |forwarding: bool| {
         let timing = TimingConfig { l15_forwarding: forwarding, ..Default::default() };
         let mut soc = Soc::with_timing(SocConfig::proposed_8core(), 0, timing);
-        run_task(&mut soc, &task, &plan, &KernelConfig::default())
-            .unwrap()
-            .makespan_cycles
+        run_task(&mut soc, &task, &plan, &KernelConfig::default()).unwrap().makespan_cycles
     };
     let with = run_with(true);
     let without = run_with(false);
-    assert!(
-        with <= without,
-        "the Fig. 3 ⓓ channel must not hurt: with={with} without={without}"
-    );
+    assert!(with <= without, "the Fig. 3 ⓓ channel must not hurt: with={with} without={without}");
 }
 
 #[test]
@@ -114,17 +108,11 @@ fn generated_workloads_run_on_the_simulated_soc() {
     let etm = ExecutionTimeModel::new(2048).unwrap();
     let plan = schedule_with_l15(&task, 16, &etm);
     let mut soc = Soc::new(SocConfig::proposed_8core(), 0);
-    let cfg = KernelConfig {
-        scale: l15::runtime::WorkScale { compute_iters: 8 },
-        ..Default::default()
-    };
+    let cfg =
+        KernelConfig { scale: l15::runtime::WorkScale { compute_iters: 8 }, ..Default::default() };
     let report = run_task(&mut soc, &task, &plan, &cfg).unwrap();
     assert!(report.dataflow_ok);
-    assert_eq!(
-        report.node_finish.len(),
-        task.graph().node_count(),
-        "every node completed"
-    );
+    assert_eq!(report.node_finish.len(), task.graph().node_count(), "every node completed");
 }
 
 #[test]
