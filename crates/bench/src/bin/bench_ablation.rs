@@ -27,16 +27,18 @@ fn tasks(n: usize) -> Vec<DagTask> {
 fn mean_makespan(tasks: &[DagTask], opts: Alg1Options) -> f64 {
     let etm = ExecutionTimeModel::new(2048).expect("valid way size");
     let model = SystemModel::proposed();
-    let mut rng = SmallRng::seed_from_u64(5);
-    let mut total = 0.0;
-    for t in tasks {
-        let plan = schedule_with_l15_with(t, 16, &etm, opts);
-        total += model.simulate_instance(t, 8, &plan, 0, &mut rng).makespan;
-    }
-    total / tasks.len() as f64
+    // One sweep item per task, each with its own (seed, index)-derived
+    // interference stream, so the mean is identical at any L15_JOBS.
+    let spans = l15_bench::par_sweep(tasks.len(), |i| {
+        let mut rng = SmallRng::seed_from_u64(l15_testkit::pool::item_seed(5, i));
+        let plan = schedule_with_l15_with(&tasks[i], 16, &etm, opts);
+        model.simulate_instance(&tasks[i], 8, &plan, 0, &mut rng).makespan
+    });
+    spans.iter().sum::<f64>() / tasks.len() as f64
 }
 
 fn main() {
+    l15_bench::parse_cli("bench_ablation", &["--samples", "--warmup"]);
     let bench = Bench::from_args("alg1_ablation");
     let set = tasks(20);
     let variants = [

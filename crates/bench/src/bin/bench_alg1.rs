@@ -12,6 +12,7 @@ use l15_testkit::bench::{black_box, Bench};
 use l15_testkit::rng::SmallRng;
 
 fn main() {
+    l15_bench::parse_cli("bench_alg1", &["--samples", "--warmup"]);
     let bench = Bench::from_args("alg1_plan");
     let etm = ExecutionTimeModel::new(2048).expect("valid way size");
     for p in [9usize, 15, 21] {

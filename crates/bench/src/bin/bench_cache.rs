@@ -16,6 +16,7 @@ fn fresh_cache() -> L15Cache {
 }
 
 fn main() {
+    l15_bench::parse_cli("bench_cache", &["--samples", "--warmup"]);
     let bench = Bench::from_args("l15");
 
     {
@@ -77,6 +78,26 @@ fn main() {
                 age: 0,
             });
             black_box(buf.issue().len());
+        });
+    }
+
+    {
+        // Scaling probe: 16 independent caches filled and probed on the
+        // deterministic pool (one item per cache, index-ordered results).
+        bench.run("par_fill_read_16x", || {
+            let hits = l15_bench::par_sweep(16, |i| {
+                let mut cache = fresh_cache();
+                let line = vec![i as u8; 64];
+                let mut hits = 0u64;
+                for k in 0..64u64 {
+                    let addr = k * 64;
+                    cache.fill(0, addr, addr, &line, false).expect("core 0 owns ways");
+                    let mut buf = [0u8; 8];
+                    hits += cache.read(0, addr, addr, &mut buf).expect("core in range").hit as u64;
+                }
+                hits
+            });
+            black_box(hits.iter().sum::<u64>());
         });
     }
 

@@ -11,6 +11,7 @@ use l15_testkit::bench::{black_box, Bench};
 use l15_testkit::rng::SmallRng;
 
 fn main() {
+    l15_bench::parse_cli("bench_makespan", &["--samples", "--warmup"]);
     let bench = Bench::from_args("makespan");
 
     for (name, model) in [("proposed", SystemModel::proposed()), ("cmp_l1", SystemModel::cmp_l1())]
@@ -22,6 +23,24 @@ fn main() {
         let mut r = SmallRng::seed_from_u64(5);
         bench.run(&format!("instance/{name}/8c"), || {
             black_box(model.simulate_instance(black_box(&task), 8, &plan, 1, &mut r));
+        });
+    }
+
+    {
+        // The Fig. 7 inner loop at batch granularity: 8 DAG instances
+        // simulated as independent sweep items with per-item seeds.
+        let model = SystemModel::proposed();
+        let gen = DagGenerator::new(DagGenParams::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let tasks: Vec<_> = (0..8).map(|_| gen.generate(&mut rng).expect("valid params")).collect();
+        let plans: Vec<_> = tasks.iter().map(|t| model.plan(t)).collect();
+        bench.run("instance_batch_par/8", || {
+            let spans = l15_bench::par_sweep(tasks.len(), |i| {
+                let seed = l15_testkit::pool::item_seed(5, i);
+                let mut r = SmallRng::seed_from_u64(seed);
+                model.simulate_instance(&tasks[i], 8, &plans[i], 1, &mut r).makespan
+            });
+            black_box(spans.iter().sum::<f64>());
         });
     }
 

@@ -39,6 +39,7 @@ fn diamond() -> DagTask {
 }
 
 fn main() {
+    l15_bench::parse_cli("bench_rvcore", &["--samples", "--warmup"]);
     let bench = Bench::from_args("rvcore");
 
     {

@@ -48,26 +48,39 @@ fn evaluate(dir: &Path) -> std::io::Result<()> {
         ("CMP|L2", SystemModel::cmp_l2()),
     ];
     println!("{:>16} {:>9} {:>9}  avg makespan per system", "file", "nodes", "edges");
+    // One sweep item per corpus file; every file's evaluation is seeded
+    // independently (fixed seed 7, as before), so the parallel sweep
+    // prints exactly what the sequential loop printed.
+    let rows = l15_bench::par_sweep(paths.len(), |i| {
+        let path = &paths[i];
+        let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let task = textio::parse_task(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let averages: Vec<f64> = systems
+            .iter()
+            .map(|(_, m)| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let spans = m.evaluate(&task, 8, 10, &mut rng);
+                spans.iter().sum::<f64>() / spans.len() as f64
+            })
+            .collect();
+        Ok::<_, String>((task.graph().node_count(), task.graph().edge_count(), averages))
+    });
     let mut totals = vec![0.0f64; systems.len()];
-    for path in &paths {
-        let text = fs::read_to_string(path)?;
-        let task = match textio::parse_task(&text) {
-            Ok(t) => t,
+    for (path, row) in paths.iter().zip(rows) {
+        let (nodes, edges, averages) = match row {
+            Ok(r) => r,
             Err(e) => {
-                eprintln!("{}: {e}", path.display());
+                eprintln!("{e}");
                 continue;
             }
         };
         print!(
             "{:>16} {:>9} {:>9} ",
             path.file_name().unwrap_or_default().to_string_lossy(),
-            task.graph().node_count(),
-            task.graph().edge_count()
+            nodes,
+            edges
         );
-        for (i, (_, m)) in systems.iter().enumerate() {
-            let mut rng = SmallRng::seed_from_u64(7);
-            let spans = m.evaluate(&task, 8, 10, &mut rng);
-            let avg = spans.iter().sum::<f64>() / spans.len() as f64;
+        for (i, avg) in averages.iter().enumerate() {
             totals[i] += avg;
             print!(" {avg:>10.2}");
         }
@@ -84,24 +97,32 @@ fn evaluate(dir: &Path) -> std::io::Result<()> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage: corpus gen <dir> <count> | corpus eval <dir> | corpus --quick";
+    let usage = "usage: corpus gen <dir> [count] | corpus eval <dir> | corpus --quick";
+    // Unknown subcommands, trailing arguments and malformed counts all
+    // exit non-zero with the usage line (no silently ignored typos).
     let result = match args.get(1).map(String::as_str) {
         // CI smoke: round-trip a tiny corpus through a temp dir.
-        Some("--quick") => {
+        Some("--quick") if args.len() == 2 => {
             let dir = std::env::temp_dir().join(format!("l15-corpus-quick-{}", std::process::id()));
             let r = generate(&dir, 3, env_seed()).and_then(|()| evaluate(&dir));
             let _ = fs::remove_dir_all(&dir);
             r
         }
-        Some("gen") => {
-            let dir = Path::new(args.get(2).map(String::as_str).unwrap_or("./corpus"));
-            let count = args.get(3).and_then(|c| c.parse().ok()).unwrap_or(20usize);
+        Some("gen") if (3..=4).contains(&args.len()) => {
+            let dir = Path::new(&args[2]);
+            let count = match args.get(3) {
+                None => 20usize,
+                Some(c) => match c.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("corpus: count must be a number, got {c:?}\n{usage}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
             generate(dir, count, env_seed())
         }
-        Some("eval") => {
-            let dir = Path::new(args.get(2).map(String::as_str).unwrap_or("./corpus"));
-            evaluate(dir)
-        }
+        Some("eval") if args.len() == 3 => evaluate(Path::new(&args[2])),
         _ => {
             eprintln!("{usage}");
             return ExitCode::FAILURE;

@@ -9,6 +9,7 @@ use l15_bench::{env_seed, env_usize, makespan_sweep, normalise, scaled, Sweep};
 use l15_core::baseline::SystemModel;
 
 fn main() {
+    l15_bench::parse_quick("fig7");
     let n_dags = env_usize("L15_DAGS", scaled(500, 8));
     let instances = env_usize("L15_INSTANCES", scaled(10, 3));
     let cores = env_usize("L15_CORES", 8);

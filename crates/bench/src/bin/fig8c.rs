@@ -9,6 +9,7 @@
 use l15_bench::{env_seed, env_usize, scaled, side_effects_at};
 
 fn main() {
+    l15_bench::parse_quick("fig8c");
     let trials = env_usize("L15_TRIALS", scaled(200, 2));
     let seed = env_seed();
     println!("Fig. 8(c) — L1.5 side effects ({trials} trials/point)");

@@ -30,6 +30,7 @@ fn workloads(data: u64) -> Vec<(&'static str, DagTask)> {
 }
 
 fn main() {
+    l15_bench::parse_quick("fullstack");
     let compute = env_usize("L15_COMPUTE_ITERS", scaled(32, 4)) as u32;
     let etm = ExecutionTimeModel::new(2048).expect("valid way size");
     println!("Full-stack cycle counts (compute_iters = {compute}):");

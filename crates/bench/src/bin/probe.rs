@@ -3,6 +3,7 @@ use l15_dag::gen::{DagGenParams, DagGenerator};
 use l15_testkit::rng::SmallRng;
 
 fn main() {
+    l15_bench::parse_quick("probe");
     let n_dags = l15_bench::scaled(100, 5);
     let instances = 10;
     let cores = 8;

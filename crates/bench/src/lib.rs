@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use l15_testkit::pool;
 use l15_testkit::rng::SmallRng;
 
 use l15_core::baseline::SystemModel;
@@ -42,6 +43,66 @@ pub fn env_seed() -> u64 {
 /// workload to a seconds-scale smoke run (CI bit-rot protection).
 pub fn quick() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Deterministic parallel map over `n` independent sweep items on the
+/// [`l15_testkit::pool`] workers (`L15_JOBS`; 1 = sequential). Results
+/// come back in index order, so aggregation matches a sequential loop
+/// bit-for-bit; per-item randomness must come from
+/// [`pool::item_seed`], never a shared stream.
+pub fn par_sweep<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    pool::run(n, f)
+}
+
+/// The common CLI flags of the experiment binaries, validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CliFlags {
+    /// `--quick` was given.
+    pub quick: bool,
+}
+
+/// Parses binary arguments (program name already stripped). `value_flags`
+/// lists extra flags that consume one numeric value (the timing binaries'
+/// `--samples`/`--warmup`). Unknown arguments are an error — no more
+/// silently ignored typos.
+pub fn parse_cli_from(args: &[String], value_flags: &[&str]) -> Result<CliFlags, String> {
+    let mut flags = CliFlags::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--quick" {
+            flags.quick = true;
+        } else if value_flags.contains(&arg) {
+            let v = args.get(i + 1).ok_or_else(|| format!("`{arg}` needs a value"))?;
+            v.parse::<u64>().map_err(|_| format!("`{arg}` needs a number, got {v:?}"))?;
+            i += 1;
+        } else {
+            return Err(format!("unknown argument {arg:?}"));
+        }
+        i += 1;
+    }
+    Ok(flags)
+}
+
+/// [`parse_cli_from`] over the real command line; prints usage and exits
+/// with status 2 on invalid arguments. Every experiment binary calls this
+/// (directly or via [`parse_quick`]) as its first statement.
+pub fn parse_cli(bin: &str, value_flags: &[&str]) -> CliFlags {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_cli_from(&args, value_flags) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{bin}: {e}");
+            let extras: String = value_flags.iter().map(|f| format!(" [{f} N]")).collect();
+            eprintln!("usage: {bin} [--quick]{extras}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// CLI entry for the figure/table binaries, which accept only `--quick`.
+pub fn parse_quick(bin: &str) -> bool {
+    parse_cli(bin, &[]).quick
 }
 
 /// `full` normally, `quick` under [`quick`] — the standard pattern for
@@ -118,7 +179,10 @@ pub struct SweepPoint {
 
 /// Evaluates `systems` over `points`, generating `n_dags` DAGs per point
 /// and simulating the first `instances` releases of each (the paper: 500
-/// DAGs × 10 instances, 8 cores).
+/// DAGs × 10 instances, 8 cores). DAGs are sweep items on the
+/// deterministic pool: each is generated and evaluated from its own
+/// (seed, index)-derived streams, so the output is independent of
+/// `L15_JOBS`.
 pub fn makespan_sweep(
     points: &[Sweep],
     systems: &[SystemModel],
@@ -133,20 +197,33 @@ pub fn makespan_sweep(
             let mut params = DagGenParams::default();
             pt.apply(&mut params);
             let gen = DagGenerator::new(params);
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let tasks: Vec<DagTask> = (0..n_dags)
-                .map(|_| gen.generate(&mut rng).expect("paper parameters are valid"))
-                .collect();
-            let stats = systems
-                .iter()
-                .map(|m| {
-                    let mut r = SmallRng::seed_from_u64(seed.wrapping_add(17));
+            // One work item per DAG. Generation and evaluation draws are
+            // seeded from (seed, DAG index) alone, so the sweep is
+            // byte-identical at every L15_JOBS worker count; every system
+            // evaluates a DAG under the same contention stream (the
+            // paper's identical-trials setup).
+            let per_dag: Vec<Vec<(f64, f64)>> = par_sweep(n_dags, |i| {
+                let mut rng = SmallRng::seed_from_u64(pool::item_seed(seed, i));
+                let task: DagTask = gen.generate(&mut rng).expect("paper parameters are valid");
+                systems
+                    .iter()
+                    .map(|m| {
+                        let eval_seed = pool::item_seed(seed.wrapping_add(17), i);
+                        let mut r = SmallRng::seed_from_u64(eval_seed);
+                        let spans = m.evaluate(&task, cores, instances, &mut r);
+                        let avg = spans.iter().sum::<f64>() / spans.len() as f64;
+                        let wc = spans.iter().cloned().fold(f64::MIN, f64::max);
+                        (avg, wc)
+                    })
+                    .collect()
+            });
+            let stats = (0..systems.len())
+                .map(|s| {
                     let mut avg = 0.0;
                     let mut wc = 0.0;
-                    for t in &tasks {
-                        let spans = m.evaluate(t, cores, instances, &mut r);
-                        avg += spans.iter().sum::<f64>() / spans.len() as f64;
-                        wc += spans.iter().cloned().fold(f64::MIN, f64::max);
+                    for dag in &per_dag {
+                        avg += dag[s].0;
+                        wc += dag[s].1;
                     }
                     MakespanStat { average: avg / n_dags as f64, worst_case: wc / n_dags as f64 }
                 })
@@ -185,8 +262,9 @@ pub fn success_at(
         way_config_time: 0.0005,
     };
     let cs = CaseStudyParams { width: cores, ..Default::default() };
-    let mut ok = 0usize;
-    for trial in 0..trials {
+    // Trials were already seeded independently from (seed, trial), so the
+    // parallel sweep reproduces the sequential results exactly.
+    let outcomes = par_sweep(trials, |trial| {
         // Identical task sets across systems: the set depends only on
         // (seed, trial), the contention draws on the model's own stream.
         let mut set_rng = SmallRng::seed_from_u64(seed ^ (trial as u64) << 16);
@@ -194,10 +272,9 @@ pub fn success_at(
         let tasks = generate_case_study(n_tasks, target_util * cores as f64, &cs, &mut set_rng)
             .expect("case-study parameters are valid");
         let mut sim_rng = SmallRng::seed_from_u64(seed.wrapping_add(trial as u64));
-        if simulate_taskset(&tasks, model, &params, &mut sim_rng).success() {
-            ok += 1;
-        }
-    }
+        simulate_taskset(&tasks, model, &params, &mut sim_rng).success()
+    });
+    let ok = outcomes.into_iter().filter(|&s| s).count();
     ok as f64 / trials.max(1) as f64
 }
 
@@ -218,16 +295,20 @@ pub fn side_effects_at(
         way_config_time: 0.0005,
     };
     let cs = CaseStudyParams { width: cores, ..Default::default() };
-    let mut agg = PeriodicOutcome::default();
-    let mut util_sum = 0.0;
-    let mut phi_sum = 0.0;
-    for trial in 0..trials {
+    // Per-trial seeding as before; the index-ordered fold keeps the f64
+    // sums bit-identical to the sequential loop at any worker count.
+    let outs = par_sweep(trials, |trial| {
         let mut set_rng = SmallRng::seed_from_u64(seed ^ (trial as u64) << 16);
         let n_tasks = (cores / 2).max(2);
         let tasks = generate_case_study(n_tasks, target_util * cores as f64, &cs, &mut set_rng)
             .expect("case-study parameters are valid");
         let mut sim_rng = SmallRng::seed_from_u64(seed.wrapping_add(trial as u64));
-        let out = simulate_taskset(&tasks, &model, &params, &mut sim_rng);
+        simulate_taskset(&tasks, &model, &params, &mut sim_rng)
+    });
+    let mut agg = PeriodicOutcome::default();
+    let mut util_sum = 0.0;
+    let mut phi_sum = 0.0;
+    for out in &outs {
         agg.jobs += out.jobs;
         agg.misses += out.misses;
         util_sum += out.l15_utilisation;
@@ -269,6 +350,44 @@ mod tests {
         assert_eq!(r[0].stats.len(), 2);
         assert!(r[0].stats[0].average > 0.0);
         assert!(r[0].stats[0].worst_case >= r[0].stats[0].average - 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        // The public entry points read L15_JOBS; drive the pool explicitly
+        // here so the test is environment-independent: the same per-item
+        // seeding must yield identical results at 1 and 4 workers.
+        let eval = |jobs: usize| {
+            l15_testkit::pool::run_on(jobs, 6, |i| {
+                let mut rng = SmallRng::seed_from_u64(pool::item_seed(11, i));
+                let gen = DagGenerator::new(DagGenParams::default());
+                let task = gen.generate(&mut rng).expect("valid params");
+                let mut r = SmallRng::seed_from_u64(pool::item_seed(28, i));
+                SystemModel::proposed().evaluate(&task, 8, 2, &mut r)
+            })
+        };
+        assert_eq!(eval(1), eval(4));
+    }
+
+    #[test]
+    fn cli_accepts_quick_and_value_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_cli_from(&args(&[]), &[]), Ok(CliFlags { quick: false }));
+        assert_eq!(parse_cli_from(&args(&["--quick"]), &[]), Ok(CliFlags { quick: true }));
+        let timing = ["--samples", "--warmup"];
+        assert_eq!(
+            parse_cli_from(&args(&["--samples", "30", "--quick"]), &timing),
+            Ok(CliFlags { quick: true })
+        );
+    }
+
+    #[test]
+    fn cli_rejects_unknown_and_malformed_arguments() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(parse_cli_from(&args(&["--qiuck"]), &[]).is_err(), "typo must not be ignored");
+        assert!(parse_cli_from(&args(&["--samples", "30"]), &[]).is_err());
+        assert!(parse_cli_from(&args(&["--samples"]), &["--samples"]).is_err());
+        assert!(parse_cli_from(&args(&["--samples", "many"]), &["--samples"]).is_err());
     }
 
     #[test]

@@ -194,6 +194,66 @@ mod tests {
     }
 
     #[test]
+    fn mask_confined_to_the_padded_half() {
+        // 6 ways pad the tree to 8 leaves: leaves 6 and 7 exist but only
+        // way-index < 6 is real. A mask living entirely in the padded
+        // right half ({4, 5}) must still resolve — the walk has to treat
+        // phantom leaves 6/7 as "not allowed" rather than descend into
+        // them and return an out-of-range victim.
+        let mut p = TreePlru::new(6);
+        let allowed: WayMask = [4usize, 5].into_iter().collect();
+        for round in 0..16 {
+            let v = p.victim_in(allowed).expect("mask holds valid ways");
+            assert!(allowed.contains(v), "round {round}: victim {v} outside mask");
+            assert!(v < 6, "round {round}: phantom way {v}");
+            p.touch(v);
+        }
+        // With both allowed ways touched, PLRU must not evict the most
+        // recent of the pair.
+        p.touch(4);
+        p.touch(5);
+        assert_eq!(p.victim_in(allowed), Some(4));
+    }
+
+    #[test]
+    fn exhaustive_small_geometries() {
+        // Every ways count 1..=8 × every mask × a round-robin touch
+        // history: the victim must lie in mask ∩ range, and when the mask
+        // allows more than one way the most recently touched allowed way
+        // must be protected.
+        for ways in 1usize..=8 {
+            for mask_bits in 0u32..(1 << 8) {
+                let allowed: WayMask = (0..8usize).filter(|w| mask_bits & (1 << w) != 0).collect();
+                let n_valid = (0..ways).filter(|&w| allowed.contains(w)).count();
+                let mut p = TreePlru::new(ways);
+                for step in 0..(2 * ways) {
+                    p.touch(step % ways);
+                    match p.victim_in(allowed) {
+                        Some(v) => {
+                            assert!(
+                                v < ways && allowed.contains(v),
+                                "ways={ways} mask={mask_bits:#b} step={step}: victim {v}"
+                            );
+                            if n_valid > 1 && allowed.contains(step % ways) {
+                                assert_ne!(
+                                    v,
+                                    step % ways,
+                                    "ways={ways} mask={mask_bits:#b} step={step}: \
+                                     evicted the way just touched"
+                                );
+                            }
+                        }
+                        None => assert_eq!(
+                            n_valid, 0,
+                            "ways={ways} mask={mask_bits:#b}: None despite valid ways"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn plru_tracks_true_lru_for_two_ways() {
         // With 2 ways, tree-PLRU is exact LRU.
         let mut p = TreePlru::new(2);

@@ -285,6 +285,23 @@ mod tests {
     }
 
     #[test]
+    fn huge_wcets_simulate_exactly() {
+        // Guard against narrowing: times near and above u32::MAX must
+        // accumulate exactly through the event loop's f64 arithmetic
+        // (any `as u32` truncation on the way would corrupt the sum).
+        let big = u32::MAX as f64;
+        let bigger = (u64::from(u32::MAX) + 11) as f64;
+        let t = chain(&[(big, 0.0), (bigger, big), (big, 2.0)]);
+        let p = uniform_priorities(&t);
+        // Two cores force cross-core data waits to be paid in full.
+        let r = simulate(&t, 2, &p, |v| t.graph().node(v).wcet, |e, _| t.graph().edge(e).cost);
+        assert_eq!(r.makespan, big + big + bigger + 2.0 + big);
+        for v in t.graph().node_ids() {
+            assert!(r.finish[v.0].is_finite());
+        }
+    }
+
+    #[test]
     fn higher_priority_dispatches_first_under_contention() {
         // Two parallel nodes, one core: the higher-priority one runs first.
         let mut b = DagBuilder::new();

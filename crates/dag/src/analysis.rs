@@ -321,6 +321,29 @@ mod tests {
     }
 
     #[test]
+    fn huge_wcets_accumulate_exactly() {
+        // Guard against narrowing: WCETs near and above u32::MAX must
+        // flow through the path analysis as exact f64 sums (integers up
+        // to 2^53 are exactly representable, so any `as u32`/`as i32`
+        // sneaking into the sweeps would show up as a wrong total here).
+        let big = u32::MAX as f64; // 4294967295
+        let bigger = (u64::from(u32::MAX) + 7) as f64;
+        let mut b = DagBuilder::new();
+        let a = b.add_node(Node::new(big, 1024));
+        let c = b.add_node(Node::new(bigger, 1024));
+        let d = b.add_node(Node::new(big, 0));
+        b.add_edge(a, c, big, 0.5).unwrap();
+        b.add_edge(c, d, 3.0, 0.5).unwrap();
+        let dag = b.build().unwrap();
+        let expected = big + big + bigger + 3.0 + big;
+        let l = lambda(&dag);
+        assert_eq!(l.critical_path_length(), expected);
+        assert_eq!(l.lambda_of(NodeId(1)), expected);
+        assert_eq!(makespan_upper_bound(&dag), expected);
+        assert_eq!(makespan_lower_bound(&dag, 1), expected);
+    }
+
+    #[test]
     fn single_node_dag() {
         let mut b = DagBuilder::new();
         b.add_node(Node::new(5.0, 0));

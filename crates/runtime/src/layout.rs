@@ -37,29 +37,56 @@ impl TaskLayout {
         }
     }
 
+    /// Builds a layout with explicit bases and strides (tests and
+    /// experiments with non-default geometries).
+    pub fn with_geometry(
+        code_base: u32,
+        code_stride: u32,
+        data_base: u32,
+        data_stride: u32,
+        n_nodes: usize,
+    ) -> Self {
+        TaskLayout { code_base, code_stride, data_base, data_stride, n_nodes }
+    }
+
     /// Number of nodes covered.
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
+    }
+
+    /// `base + v * stride`, refusing to wrap the 32-bit address space.
+    /// Release builds wrap silently on plain `+`/`*`, which used to alias
+    /// distinct nodes' regions for layouts past `u32::MAX`.
+    fn region_base(&self, region: &str, base: u32, stride: u32, v: NodeId) -> u32 {
+        u32::try_from(v.0)
+            .ok()
+            .and_then(|i| i.checked_mul(stride))
+            .and_then(|off| base.checked_add(off))
+            .unwrap_or_else(|| {
+                panic!("{region} region for node {v} exceeds the 32-bit address space")
+            })
     }
 
     /// Entry point of node `v`'s program.
     ///
     /// # Panics
     ///
-    /// Panics if `v` is out of range.
+    /// Panics if `v` is out of range or its region would wrap past
+    /// `u32::MAX`.
     pub fn code_of(&self, v: NodeId) -> u32 {
         assert!(v.0 < self.n_nodes, "node {v} out of range");
-        self.code_base + (v.0 as u32) * self.code_stride
+        self.region_base("code", self.code_base, self.code_stride, v)
     }
 
     /// Base address of node `v`'s output (dependent-data) buffer.
     ///
     /// # Panics
     ///
-    /// Panics if `v` is out of range.
+    /// Panics if `v` is out of range or its region would wrap past
+    /// `u32::MAX`.
     pub fn output_of(&self, v: NodeId) -> u32 {
         assert!(v.0 < self.n_nodes, "node {v} out of range");
-        self.data_base + (v.0 as u32) * self.data_stride
+        self.region_base("data", self.data_base, self.data_stride, v)
     }
 
     /// Maximum code bytes available per node.
@@ -102,5 +129,30 @@ mod tests {
     fn out_of_range_node_panics() {
         let dag = two_node_dag();
         TaskLayout::new(&dag).code_of(NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32-bit address space")]
+    fn address_space_wrap_is_refused() {
+        // Regression: with the default 64 KiB data stride, ~66 000 nodes
+        // push the data region past u32::MAX; release builds silently
+        // wrapped the address, aliasing node buffers onto low memory.
+        let l = TaskLayout::with_geometry(
+            TaskLayout::CODE_BASE,
+            0x1000,
+            TaskLayout::DATA_BASE,
+            0x1_0000,
+            66_000,
+        );
+        l.output_of(NodeId(65_999));
+    }
+
+    #[test]
+    fn with_geometry_respects_custom_strides() {
+        let l = TaskLayout::with_geometry(0x100, 0x10, 0x1000, 0x20, 4);
+        assert_eq!(l.code_of(NodeId(3)), 0x130);
+        assert_eq!(l.output_of(NodeId(3)), 0x1060);
+        assert_eq!(l.code_capacity(), 0x10);
+        assert_eq!(l.data_capacity(), 0x20);
     }
 }

@@ -46,4 +46,4 @@ pub mod workgen;
 pub use kernel::{run_task, KernelConfig, KernelError, RunReport};
 pub use layout::TaskLayout;
 pub use multitask::{run_taskset, MultiTaskConfig, MultiTaskReport, TaskOutcome};
-pub use workgen::{node_program, WorkScale};
+pub use workgen::{node_program, WorkScale, WorkgenError};

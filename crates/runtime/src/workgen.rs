@@ -14,10 +14,66 @@
 //!    the data flow is end-to-end checkable);
 //! 4. halts (`ebreak`) — the kernel's completion signal.
 
+use std::fmt;
+
 use l15_dag::{Dag, NodeId};
 use l15_rvcore::asm::{AsmError, Assembler};
 
 use crate::layout::TaskLayout;
+
+/// Why a node program could not be generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkgenError {
+    /// The assembler rejected the program (branch out of range, …).
+    Asm(AsmError),
+    /// A node's dependent data does not fit its per-node buffer. Before
+    /// this check the word count was narrowed `u64 → i32` silently, so a
+    /// δ ≥ 4 GiB wrapped and δ above the 64 KiB stride quietly overran
+    /// neighbouring buffers.
+    DataTooLarge {
+        /// The offending node.
+        node: NodeId,
+        /// Its declared `data_bytes`.
+        bytes: u64,
+        /// The layout's per-node data capacity.
+        capacity: u32,
+    },
+}
+
+impl fmt::Display for WorkgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkgenError::Asm(e) => write!(f, "{e}"),
+            WorkgenError::DataTooLarge { node, bytes, capacity } => write!(
+                f,
+                "node {node} declares {bytes} dependent-data bytes but the \
+                 layout provides {capacity} bytes per node"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkgenError {}
+
+impl From<AsmError> for WorkgenError {
+    fn from(e: AsmError) -> Self {
+        WorkgenError::Asm(e)
+    }
+}
+
+/// Word count of `v`'s output buffer, checked against the layout.
+fn checked_words(dag: &Dag, v: NodeId, layout: &TaskLayout) -> Result<i32, WorkgenError> {
+    let bytes = dag.node(v).data_bytes;
+    if bytes > u64::from(layout.data_capacity()) {
+        return Err(WorkgenError::DataTooLarge {
+            node: v,
+            bytes,
+            capacity: layout.data_capacity(),
+        });
+    }
+    // capacity is u32, so bytes/4 fits i32 (≤ 0x3FFF_FFFF).
+    Ok((bytes / 4).max(1) as i32)
+}
 
 /// Compute-loop weight per node (iterations of the inner MAC loop).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,20 +95,21 @@ impl Default for WorkScale {
 ///
 /// # Errors
 ///
-/// Returns [`AsmError`] if a loop body exceeds branch range (cannot happen
-/// for the generated shapes).
+/// Returns [`WorkgenError::DataTooLarge`] if any touched node's `δ` exceeds
+/// the layout's per-node data capacity, and [`WorkgenError::Asm`] if a loop
+/// body exceeds branch range (cannot happen for the generated shapes).
 pub fn node_program(
     dag: &Dag,
     v: NodeId,
     layout: &TaskLayout,
     scale: WorkScale,
-) -> Result<Vec<u32>, AsmError> {
+) -> Result<Vec<u32>, WorkgenError> {
     let mut a = Assembler::new();
     a.li(10, 0); // checksum
 
     // 1. Consume every predecessor's dependent data.
     for (pi, &(_, p)) in dag.predecessors(v).iter().enumerate() {
-        let words = (dag.node(p).data_bytes / 4).max(1) as i32;
+        let words = checked_words(dag, p, layout)?;
         let base = layout.output_of(p) as i32;
         let lread = format!("read_{pi}");
         a.li(5, base);
@@ -79,7 +136,7 @@ pub fn node_program(
     // 3. Produce this node's dependent data.
     let out_bytes = dag.node(v).data_bytes;
     if out_bytes > 0 {
-        let words = (out_bytes / 4).max(1) as i32;
+        let words = checked_words(dag, v, layout)?;
         a.li(5, layout.output_of(v) as i32);
         a.li(30, words);
         a.label("write");
@@ -91,7 +148,7 @@ pub fn node_program(
     }
 
     a.ebreak();
-    a.finish()
+    Ok(a.finish()?)
 }
 
 #[cfg(test)]
@@ -146,6 +203,44 @@ mod tests {
         core1.run(&mut bus, 100_000);
         assert!(core1.is_halted());
         assert_ne!(core1.reg(10), 0, "consumer checksum reflects input data");
+    }
+
+    #[test]
+    fn oversized_dependent_data_is_rejected() {
+        // Regression: δ ≥ 4 GiB used to wrap in a silent `u64 as i32`
+        // narrowing, and anything above the 64 KiB stride overran the
+        // next node's buffer. Both producer (write loop) and consumer
+        // (read loop) must now refuse.
+        let huge = u64::from(u32::MAX) + 1;
+        let mut b = DagBuilder::new();
+        let p = b.add_node(Node::new(1.0, huge));
+        let c = b.add_node(Node::new(1.0, 0));
+        b.add_edge(p, c, 1.0, 0.5).unwrap();
+        let dag = b.build().unwrap();
+        let layout = TaskLayout::new(&dag);
+
+        let producer = node_program(&dag, NodeId(0), &layout, WorkScale::default());
+        let consumer = node_program(&dag, NodeId(1), &layout, WorkScale::default());
+        for (who, r) in [("producer", producer), ("consumer", consumer)] {
+            match r {
+                Err(WorkgenError::DataTooLarge { node, bytes, capacity }) => {
+                    assert_eq!(node, NodeId(0), "{who}");
+                    assert_eq!(bytes, huge, "{who}");
+                    assert_eq!(capacity, layout.data_capacity(), "{who}");
+                }
+                other => panic!("{who}: expected DataTooLarge, got {other:?}"),
+            }
+        }
+
+        // Just over the stride (no u64→i32 wrap involved) must fail too.
+        let mut b = DagBuilder::new();
+        b.add_node(Node::new(1.0, u64::from(layout.data_capacity()) + 4));
+        let dag = b.build().unwrap();
+        let layout = TaskLayout::new(&dag);
+        assert!(matches!(
+            node_program(&dag, NodeId(0), &layout, WorkScale::default()),
+            Err(WorkgenError::DataTooLarge { .. })
+        ));
     }
 
     #[test]

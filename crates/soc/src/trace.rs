@@ -111,6 +111,8 @@ pub struct TraceCounters {
     pub grants: u64,
     /// Way revocations.
     pub revokes: u64,
+    /// Globally-visible-set updates (`gv_set` taking effect).
+    pub gv_updates: u64,
 }
 
 impl TraceCounters {
@@ -215,7 +217,10 @@ impl Trace {
             TraceEventKind::Ctrl { .. } => self.counters.ctrl_ops += 1,
             TraceEventKind::WayGrant { .. } => self.counters.grants += 1,
             TraceEventKind::WayRevoke { .. } => self.counters.revokes += 1,
-            TraceEventKind::GvUpdate { .. } => {}
+            // Pre-fix, gv updates advanced no counter at all: with the
+            // ring disabled the event vanished, contradicting the
+            // "always-on aggregate counters" contract above.
+            TraceEventKind::GvUpdate { .. } => self.counters.gv_updates += 1,
         }
         if self.enabled {
             if self.ring.len() >= self.capacity {
@@ -262,6 +267,33 @@ mod tests {
         t.clear();
         assert_eq!(t.counters().grants, 0);
         assert_eq!(t.events().count(), 0);
+    }
+
+    #[test]
+    fn every_event_kind_advances_a_counter_when_disabled() {
+        // Regression: GvUpdate used to advance no counter, so with the
+        // ring off (the default) gv_set activity was invisible.
+        let mut t = Trace::new(4);
+        assert!(!t.is_enabled());
+        t.record(TraceEventKind::Fetch { core: 0, served: ServedBy::L1 });
+        t.record(TraceEventKind::Load { core: 0, served: ServedBy::Memory });
+        t.record(TraceEventKind::Store { core: 0, via_l15: false });
+        t.record(TraceEventKind::Ctrl { core: 0, op: L15Op::Demand, arg: 2 });
+        t.record(TraceEventKind::WayGrant { cluster: 0, lane: 0, way: 1 });
+        t.record(TraceEventKind::WayRevoke { cluster: 0, way: 1 });
+        t.record(TraceEventKind::GvUpdate { cluster: 0, lane: 0, mask: WayMask::single(1) });
+        let c = *t.counters();
+        let total = c.loads.iter().sum::<u64>()
+            + c.fetches.iter().sum::<u64>()
+            + c.stores_via_l15
+            + c.stores_conventional
+            + c.ctrl_ops
+            + c.grants
+            + c.revokes
+            + c.gv_updates;
+        assert_eq!(total, 7, "each recorded event must land in exactly one counter: {c:?}");
+        assert_eq!(c.gv_updates, 1);
+        assert_eq!(t.events().count(), 0, "ring stays empty when disabled");
     }
 
     #[test]

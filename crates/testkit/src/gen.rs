@@ -2,7 +2,9 @@
 //! `Strategy` combinators, built on top of the [`crate::prop::G`] draw
 //! context.
 //!
-//! A `Gen<T>` is just a shared closure `Fn(&mut G) -> T`; everything it
+//! A `Gen<T>` is just a shared thread-safe closure `Fn(&mut G) -> T`
+//! (so properties holding generators run on the parallel case runner);
+//! everything it
 //! draws goes through the choice stream, so any value built from
 //! combinators shrinks automatically.
 //!
@@ -19,31 +21,31 @@
 //! });
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::prop::G;
 
 /// A reusable, composable generator of `T` values.
 pub struct Gen<T> {
-    f: Rc<dyn Fn(&mut G) -> T>,
+    f: Arc<dyn Fn(&mut G) -> T + Send + Sync>,
 }
 
 impl<T> Clone for Gen<T> {
     fn clone(&self) -> Self {
-        Gen { f: Rc::clone(&self.f) }
+        Gen { f: Arc::clone(&self.f) }
     }
 }
 
 impl<T: 'static> Gen<T> {
     /// Wraps a draw closure as a generator.
-    pub fn new(f: impl Fn(&mut G) -> T + 'static) -> Self {
-        Gen { f: Rc::new(f) }
+    pub fn new(f: impl Fn(&mut G) -> T + Send + Sync + 'static) -> Self {
+        Gen { f: Arc::new(f) }
     }
 
     /// A generator that always produces `value`.
     pub fn just(value: T) -> Self
     where
-        T: Clone,
+        T: Clone + Send + Sync,
     {
         Gen::new(move |_| value.clone())
     }
@@ -54,14 +56,14 @@ impl<T: 'static> Gen<T> {
     }
 
     /// Applies `f` to every generated value.
-    pub fn map<U: 'static>(&self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+    pub fn map<U: 'static>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Gen<U> {
         let inner = self.clone();
         Gen::new(move |g| f(inner.generate(g)))
     }
 
     /// Feeds each generated value into a dependent generator
     /// (`prop_flat_map`).
-    pub fn flat_map<U: 'static>(&self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+    pub fn flat_map<U: 'static>(&self, f: impl Fn(T) -> Gen<U> + Send + Sync + 'static) -> Gen<U> {
         let inner = self.clone();
         Gen::new(move |g| f(inner.generate(g)).generate(g))
     }
@@ -134,15 +136,16 @@ mod tests {
 
     #[test]
     fn one_of_covers_all_alternatives() {
-        use std::cell::Cell;
+        use std::sync::atomic::{AtomicBool, Ordering};
         let gen = Gen::one_of(vec![Gen::just(1u8), Gen::just(2), Gen::just(3)]);
-        let seen: [Cell<bool>; 4] = Default::default();
+        let seen: [AtomicBool; 4] = Default::default();
         prop::run_with(Config::with_cases(100), "one_of_cover", |g| {
             let v = g.draw(&gen);
             assert!((1..=3).contains(&v));
-            seen[v as usize].set(true);
+            seen[v as usize].store(true, Ordering::Relaxed);
         });
-        assert!(seen[1].get() && seen[2].get() && seen[3].get());
+        assert!(seen[1].load(Ordering::Relaxed) && seen[2].load(Ordering::Relaxed));
+        assert!(seen[3].load(Ordering::Relaxed));
     }
 
     #[test]

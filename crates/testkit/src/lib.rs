@@ -18,6 +18,11 @@
 //! * [`gen`] — composable [`gen::Gen`] value combinators
 //!   (`map`/`flat_map`/`vec`/`one_of`/`weighted_of`), the analogue of
 //!   proptest strategies.
+//! * [`pool`] — a deterministic std-only thread pool (`L15_JOBS`
+//!   workers, per-item SplitMix64 seeds, index-ordered results) driving
+//!   the experiment sweeps, the differential harness and the parallel
+//!   property runner; `L15_JOBS=1` reproduces the sequential behaviour
+//!   bit-for-bit.
 //! * [`bench`] — a wall-clock timing harness with a `--quick` smoke
 //!   mode, replacing the criterion benches.
 //! * [`diff`] — bookkeeping for the differential harness in
@@ -53,5 +58,6 @@
 pub mod bench;
 pub mod diff;
 pub mod gen;
+pub mod pool;
 pub mod prop;
 pub mod rng;

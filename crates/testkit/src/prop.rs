@@ -5,7 +5,9 @@
 //! A property is a closure `|g: &mut G|` that *draws* random values from
 //! `g` and panics (any `assert!`) when the property is violated. The
 //! runner executes the closure for a configurable number of cases, each
-//! seeded deterministically. Every raw 64-bit draw a case makes is
+//! seeded deterministically from (base seed, case index) alone — which is
+//! what lets the exploration fan out over the [`crate::pool`] workers
+//! (`L15_JOBS`) without changing which case fails or how it shrinks. Every raw 64-bit draw a case makes is
 //! recorded as a *choice stream*; on failure the runner shrinks the
 //! stream itself — deleting, zeroing and halving draws — and replays the
 //! closure on each candidate. Because values are decoded from the stream
@@ -34,6 +36,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
 
 use crate::gen::Gen;
+use crate::pool::{self, payload_message};
 use crate::rng::{splitmix64, Xoshiro256pp};
 
 /// Runner configuration.
@@ -282,16 +285,6 @@ fn install_hook() {
     });
 }
 
-fn payload_message(payload: &dyn std::any::Any) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_owned()
-    }
-}
-
 /// Runs `f` with panics silenced and captured. Returns the recorded
 /// choice stream plus `Some(message)` if the run panicked.
 fn run_case(f: &impl Fn(&mut G), src: Source) -> (Vec<u64>, Option<String>) {
@@ -453,19 +446,27 @@ fn env_seed() -> Option<u64> {
 }
 
 /// Runs `property` for [`Config::default`] cases. See [`run_with`].
-pub fn run(name: &str, property: impl Fn(&mut G)) {
+pub fn run(name: &str, property: impl Fn(&mut G) + Sync) {
     run_with(Config::default(), name, property);
 }
 
 /// Runs `property` under `cfg`, shrinking and reporting the first
 /// failure.
 ///
+/// Cases are explored on the [`pool`] workers (`L15_JOBS`; 1 runs the
+/// classic sequential scan). Each case draws from its own seeded stream,
+/// derived from (base seed, case index) alone, so the failing case — the
+/// lowest-index failure, exactly what a sequential scan reports — its
+/// seed and its shrunk counterexample are identical for every worker
+/// count. Shrinking itself stays sequential, and `L15_PROP_SEED` replay
+/// bypasses the pool entirely.
+///
 /// # Panics
 ///
 /// Panics (failing the enclosing `#[test]`) when any case fails, after
 /// shrinking; the message contains the repro seed and the shrunk
 /// counterexample's assertion message.
-pub fn run_with(cfg: Config, name: &str, property: impl Fn(&mut G)) {
+pub fn run_with(cfg: Config, name: &str, property: impl Fn(&mut G) + Sync) {
     install_hook();
 
     if let Some(seed) = env_seed() {
@@ -478,12 +479,39 @@ pub fn run_with(cfg: Config, name: &str, property: impl Fn(&mut G)) {
     }
 
     let base = cfg.seed.unwrap_or_else(|| fixed_base_seed(name));
-    for case in 0..cfg.cases {
-        let case_seed = splitmix64(base.wrapping_add(case as u64));
-        let (stream, failure) = run_case(&property, Source::fresh(case_seed));
-        if let Some(message) = failure {
-            fail(name, case_seed, case + 1, cfg.cases, &property, stream, message, cfg);
+    let case_seed = |case: u32| splitmix64(base.wrapping_add(case as u64));
+    let jobs = pool::jobs();
+    if jobs <= 1 {
+        for case in 0..cfg.cases {
+            let seed = case_seed(case);
+            let (stream, failure) = run_case(&property, Source::fresh(seed));
+            if let Some(message) = failure {
+                fail(name, seed, case + 1, cfg.cases, &property, stream, message, cfg);
+            }
         }
+        return;
+    }
+
+    // Parallel exploration, scanned in blocks: every case of a block runs
+    // (each on its own seeded stream), then failures are inspected in
+    // index order — so the reported case is the lowest-index failure, the
+    // one the sequential scan finds, at most a block's worth of extra
+    // property executions later.
+    let block = (jobs as u32).saturating_mul(4).max(16);
+    let mut start = 0u32;
+    while start < cfg.cases {
+        let count = block.min(cfg.cases - start);
+        let outcomes = pool::run_on(jobs, count as usize, |k| {
+            let seed = case_seed(start + k as u32);
+            run_case(&property, Source::fresh(seed))
+        });
+        for (k, (stream, failure)) in outcomes.into_iter().enumerate() {
+            if let Some(message) = failure {
+                let case = start + k as u32;
+                fail(name, case_seed(case), case + 1, cfg.cases, &property, stream, message, cfg);
+            }
+        }
+        start += count;
     }
 }
 
@@ -536,12 +564,13 @@ mod tests {
 
     #[test]
     fn passing_property_runs_all_cases() {
-        let count = std::cell::Cell::new(0u32);
+        // Atomic, not Cell: cases may run on pool worker threads.
+        let count = std::sync::atomic::AtomicU32::new(0);
         run_with(Config::with_cases(17), "always_true", |g| {
             let _ = g.u32_in(0..100);
-            count.set(count.get() + 1);
+            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         });
-        assert_eq!(count.get(), 17);
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 17);
     }
 
     #[test]

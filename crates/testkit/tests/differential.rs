@@ -17,8 +17,14 @@
 //!
 //! The whole suite runs as one test so the [`DiffSummary`] aggregates and
 //! `assert_coverage` can fail loudly if an invariant is silently skipped.
+//!
+//! The property runner shards cases over the `L15_JOBS` pool workers:
+//! every case constructs its own `Soc`/`L15Cache` instances on whichever
+//! worker thread runs it (no simulator state is ever shared between
+//! threads), and the summary is a `Mutex` tally, so the suite is
+//! parallel yet byte-identically reproducible at any worker count.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 use l15_cache::l15::{L15Cache, L15Config};
 use l15_core::alg1::schedule_with_l15;
@@ -61,7 +67,7 @@ fn gen_task(g: &mut G, layers: (usize, usize), width: usize, data_range: (u64, u
 /// loses to the baseline priorities simulated on the same system — the
 /// paper's claim that the co-designed plan dominates on workloads whose
 /// dependent data fits the allocated ways.
-fn check_makespan_dominance(g: &mut G, summary: &RefCell<DiffSummary>) {
+fn check_makespan_dominance(g: &mut G, summary: &Mutex<DiffSummary>) {
     // Cache-fit: every node's dependent data fits a single 2 KiB way.
     let width = g.usize_in(2..=5);
     let task = gen_task(g, (2, 4), width, (256, 2048));
@@ -78,7 +84,7 @@ fn check_makespan_dominance(g: &mut G, summary: &RefCell<DiffSummary>) {
             Invariant::MakespanDominance.label()
         );
     }
-    summary.borrow_mut().record(Invariant::MakespanDominance);
+    summary.lock().expect("summary lock poisoned").record(Invariant::MakespanDominance);
 }
 
 fn image_of(soc: &mut Soc, task: &DagTask, layout: &TaskLayout) -> Vec<Vec<u8>> {
@@ -110,7 +116,7 @@ fn check_level(stats: &l15_cache::stats::CacheStats, level: &str) {
 /// proposed SoC (L1.5 path) and on the capacity-equalised legacy SoC
 /// (flush-to-L2 path). At quiesce the dependent-data images must match
 /// byte for byte, and the hierarchy counters must add up.
-fn check_memory_equivalence(g: &mut G, summary: &RefCell<DiffSummary>) {
+fn check_memory_equivalence(g: &mut G, summary: &Mutex<DiffSummary>) {
     // Small topologies: each case is two cycle-accurate whole-SoC runs.
     let width = g.usize_in(2..=3);
     let task = gen_task(g, (2, 3), width, (2048, 4096));
@@ -140,7 +146,7 @@ fn check_memory_equivalence(g: &mut G, summary: &RefCell<DiffSummary>) {
             Invariant::MemoryEquivalence.label()
         );
     }
-    summary.borrow_mut().record(Invariant::MemoryEquivalence);
+    summary.lock().expect("summary lock poisoned").record(Invariant::MemoryEquivalence);
 
     // 2. Counter conservation on both hierarchies.
     for (soc, rep, l15_expected) in [(&soc_p, &rep_p, true), (&soc_b, &rep_b, false)] {
@@ -155,7 +161,7 @@ fn check_memory_equivalence(g: &mut G, summary: &RefCell<DiffSummary>) {
             assert_eq!(h.l15.accesses(), 0, "legacy SoC has no L1.5 traffic");
         }
     }
-    summary.borrow_mut().record(Invariant::StatsConservation);
+    summary.lock().expect("summary lock poisoned").record(Invariant::StatsConservation);
 }
 
 /// One step of the TID workload on its 4-line pool (all in one set, so a
@@ -213,7 +219,7 @@ fn protected_cache() -> L15Cache {
 /// Invariant 3 (+2 at cache level): core 0's hit/miss sequence and final
 /// data are identical whether or not core 1 runs an arbitrary interleaved
 /// workload under a different TID on its own ways.
-fn check_tid_non_interference(g: &mut G, summary: &RefCell<DiffSummary>) {
+fn check_tid_non_interference(g: &mut G, summary: &Mutex<DiffSummary>) {
     let arb_op = |g: &mut G| -> TidOp {
         let k = g.usize_in(0..4);
         if g.bool() {
@@ -255,7 +261,7 @@ fn check_tid_non_interference(g: &mut G, summary: &RefCell<DiffSummary>) {
             assert_eq!(buf, [k as u8; 8], "core 0 data corrupted by core 1");
         }
     }
-    summary.borrow_mut().record(Invariant::TidNonInterference);
+    summary.lock().expect("summary lock poisoned").record(Invariant::TidNonInterference);
 
     // Cache-level counter conservation: per-core tallies sum to the
     // aggregate.
@@ -269,17 +275,17 @@ fn check_tid_non_interference(g: &mut G, summary: &RefCell<DiffSummary>) {
     }
     assert_eq!(agg.hits(), hits, "per-core hits must sum to the aggregate");
     assert_eq!(agg.misses(), misses, "per-core misses must sum to the aggregate");
-    summary.borrow_mut().record(Invariant::StatsConservation);
+    summary.lock().expect("summary lock poisoned").record(Invariant::StatsConservation);
 }
 
 /// 100 generated DAG workloads through the analytic planners.
 #[test]
 fn differential_makespan_dominance() {
-    let summary = RefCell::new(DiffSummary::new());
+    let summary = Mutex::new(DiffSummary::new());
     prop::run_with(Config::with_cases(100), "diff_makespan_dominance", |g| {
         check_makespan_dominance(g, &summary);
     });
-    let summary = summary.into_inner();
+    let summary = summary.into_inner().expect("summary lock poisoned");
     println!("{summary}");
     assert!(
         summary.checked(Invariant::MakespanDominance) >= 100,
@@ -292,12 +298,12 @@ fn differential_makespan_dominance() {
 /// so a failure reports quickly instead of re-simulating for minutes.
 #[test]
 fn differential_memory_equivalence() {
-    let summary = RefCell::new(DiffSummary::new());
+    let summary = Mutex::new(DiffSummary::new());
     let cfg = Config { max_shrink_iters: 16, ..Config::with_cases(4) };
     prop::run_with(cfg, "diff_memory_equivalence", |g| {
         check_memory_equivalence(g, &summary);
     });
-    let summary = summary.into_inner();
+    let summary = summary.into_inner().expect("summary lock poisoned");
     println!("{summary}");
     assert!(summary.checked(Invariant::MemoryEquivalence) >= 4);
     assert!(summary.checked(Invariant::StatsConservation) >= 4);
@@ -305,11 +311,11 @@ fn differential_memory_equivalence() {
 
 #[test]
 fn differential_tid_non_interference() {
-    let summary = RefCell::new(DiffSummary::new());
+    let summary = Mutex::new(DiffSummary::new());
     prop::run_with(Config::with_cases(32), "diff_tid_non_interference", |g| {
         check_tid_non_interference(g, &summary);
     });
-    let summary = summary.into_inner();
+    let summary = summary.into_inner().expect("summary lock poisoned");
     println!("{summary}");
     assert!(summary.checked(Invariant::TidNonInterference) >= 32);
 }

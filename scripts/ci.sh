@@ -9,11 +9,23 @@ cd "$(dirname "$0")/.."
 echo "==> build (release)"
 cargo build --release --offline
 
-echo "==> test (workspace)"
-cargo test -q --offline --workspace
+echo "==> test (workspace, sequential pool: L15_JOBS=1)"
+L15_JOBS=1 cargo test -q --offline --workspace
+
+echo "==> test (workspace, parallel pool: L15_JOBS=4)"
+L15_JOBS=4 cargo test -q --offline --workspace
 
 echo "==> rustfmt"
 cargo fmt --check
+
+echo "==> sweep determinism (fig7 --quick, L15_JOBS=1 vs 4)"
+seq_out=$(mktemp)
+par_out=$(mktemp)
+trap 'rm -f "$seq_out" "$par_out"' EXIT
+L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$seq_out"
+L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$par_out"
+diff -u "$seq_out" "$par_out"
+echo "fig7 output is byte-identical across worker counts"
 
 echo "==> bench binaries (--quick smoke)"
 for bin in crates/bench/src/bin/*.rs; do
