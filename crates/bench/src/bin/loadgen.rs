@@ -1,0 +1,279 @@
+//! `loadgen` — the load generator for a running `l15-serve` instance.
+//!
+//! ```text
+//! loadgen --port N [--quick|--smoke] [--open] [--shutdown] [--conns N]
+//!         [--requests N] [--seed N] [--rate N]
+//! ```
+//!
+//! Drives a seeded corpus of synthetic DAG tasks (the Sec. 5.1 generator)
+//! against the service, closed-loop (`--conns` workers, the default) or
+//! open-loop (`--open`, paced at `--rate` requests/s), and reports
+//! throughput and latency percentiles.
+//!
+//! **Determinism contract.** Which task and endpoint request `j` uses is
+//! derived from `--seed`, and a `503` (backpressure or queue expiry) is
+//! retried until the request completes — so the *set of completed work*
+//! and every response body are identical across runs regardless of timing,
+//! connection count or the server's `L15_JOBS`. Output lines starting with
+//! `~` carry timing (nondeterministic); everything else is byte-stable for
+//! a given seed, which is what CI diffs.
+//!
+//! On exit the client-side tally is reconciled against the server's
+//! `/metrics` deltas; a mismatch is a hard failure (exit 1).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use l15_dag::gen::{DagGenParams, DagGenerator};
+use l15_dag::textio;
+use l15_serve::client::{self, ClientResponse};
+use l15_serve::metrics::scrape;
+use l15_testkit::cli;
+use l15_testkit::pool;
+use l15_testkit::rng::SmallRng;
+
+const BIN: &str = "loadgen";
+const BOOL_FLAGS: &[&str] = &["--smoke", "--open", "--shutdown"];
+const VALUE_FLAGS: &[&str] = &["--port", "--conns", "--requests", "--seed", "--rate"];
+const TIMEOUT: Duration = Duration::from_secs(30);
+/// Hard cap on 503-retries per request before declaring the server stuck.
+const MAX_ATTEMPTS: u64 = 100_000;
+
+/// FNV-1a over bytes: the digest CI diffs across `L15_JOBS` settings.
+fn fnv1a(acc: u64, bytes: &[u8]) -> u64 {
+    let mut h = acc;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Plan {
+    addr: SocketAddr,
+    requests: usize,
+    conns: usize,
+    open: bool,
+    rate: u64,
+    seed: u64,
+    corpus: Vec<String>,
+    targets: Vec<&'static str>,
+}
+
+/// What one finished request contributes to the report.
+struct Outcome {
+    status: u16,
+    digest: u64,
+    attempts: u64,
+    latency_us: u64,
+}
+
+fn build_plan(args: &cli::Parsed) -> Plan {
+    let Some(port) = args.value("--port") else {
+        eprintln!("{BIN}: --port is required (start l15-serve first)");
+        eprintln!("{}", cli::usage(BIN, BOOL_FLAGS, VALUE_FLAGS));
+        std::process::exit(2);
+    };
+    let quick = args.quick || args.flag("--smoke");
+    let requests = args.value_or("--requests", if quick { 48 } else { 512 }) as usize;
+    let conns = args.value_or("--conns", if quick { 8 } else { 16 }) as usize;
+    let seed = args.value_or("--seed", 42);
+    let rate = args.value_or("--rate", 200);
+
+    // A small seeded corpus: every run with the same seed drives the exact
+    // same bodies. Tasks are kept modest so a schedule round trip is fast.
+    let corpus_size = if quick { 8 } else { 16 };
+    let gen =
+        DagGenerator::new(DagGenParams { layers: (3, 5), max_width: 6, ..DagGenParams::default() });
+    let corpus: Vec<String> = (0..corpus_size)
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(pool::item_seed(seed, i));
+            let task = gen.generate(&mut rng).expect("generator params are valid");
+            textio::write_task(&task)
+        })
+        .collect();
+    // Endpoint mix is seed-derived, never timing-derived.
+    let targets: Vec<&'static str> = (0..requests)
+        .map(|j| {
+            if pool::item_seed(seed ^ 0x6c6f_6164, j) & 1 == 0 {
+                "/schedule?cores=8"
+            } else {
+                "/analyze?cores=8"
+            }
+        })
+        .collect();
+    Plan {
+        addr: SocketAddr::from(([127, 0, 0, 1], port as u16)),
+        requests,
+        conns: conns.max(1),
+        open: args.flag("--open"),
+        rate: rate.max(1),
+        seed,
+        corpus,
+        targets,
+    }
+}
+
+/// Issues request `j`, retrying 503s (and transient I/O hiccups) until it
+/// completes; 503 is backpressure, not an answer.
+fn run_request(plan: &Plan, j: usize) -> Outcome {
+    let body = plan.corpus[j % plan.corpus.len()].as_bytes();
+    let target = plan.targets[j];
+    let t0 = Instant::now();
+    let mut attempts = 0u64;
+    loop {
+        attempts += 1;
+        if attempts > MAX_ATTEMPTS {
+            eprintln!("{BIN}: request {j} still rejected after {MAX_ATTEMPTS} attempts");
+            std::process::exit(1);
+        }
+        match client::post(plan.addr, target, body, TIMEOUT) {
+            Ok(ClientResponse { status: 503, .. }) => {
+                // Brief, growing backoff; the server said Retry-After but a
+                // local bench drains queues in milliseconds.
+                std::thread::sleep(Duration::from_millis((attempts).min(20)));
+            }
+            Ok(resp) => {
+                let mut digest = fnv1a(0xcbf2_9ce4_8422_2325, &resp.status.to_be_bytes());
+                digest = fnv1a(digest, &resp.body);
+                return Outcome {
+                    status: resp.status,
+                    digest,
+                    attempts,
+                    latency_us: t0.elapsed().as_micros() as u64,
+                };
+            }
+            Err(e) => {
+                eprintln!("{BIN}: request {j} I/O error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn fetch_counters(addr: SocketAddr) -> (u64, u64) {
+    let page = match client::get(addr, "/metrics", TIMEOUT) {
+        Ok(r) if r.status == 200 => r.text(),
+        _ => {
+            eprintln!("{BIN}: cannot fetch /metrics from {addr}");
+            std::process::exit(1);
+        }
+    };
+    let admitted = ["schedule", "analyze", "simulate"]
+        .iter()
+        .map(|ep| scrape(&page, &format!("l15_requests_total{{endpoint=\"{ep}\"}}")).unwrap_or(0))
+        .sum();
+    let shed = scrape(&page, "l15_rejected_total").unwrap_or(0)
+        + scrape(&page, "l15_expired_total").unwrap_or(0);
+    (admitted, shed)
+}
+
+fn main() {
+    let args = cli::parse_or_exit(BIN, BOOL_FLAGS, VALUE_FLAGS);
+    let plan = build_plan(&args);
+
+    if !matches!(client::get(plan.addr, "/healthz", TIMEOUT), Ok(r) if r.status == 200) {
+        eprintln!("{BIN}: no healthy l15-serve at {}", plan.addr);
+        std::process::exit(1);
+    }
+    let (admitted_before, shed_before) = fetch_counters(plan.addr);
+
+    let outcomes: Mutex<Vec<(usize, Outcome)>> = Mutex::new(Vec::with_capacity(plan.requests));
+    let t0 = Instant::now();
+    if plan.open {
+        // Open loop: fire at the configured rate, independent of responses.
+        std::thread::scope(|s| {
+            for j in 0..plan.requests {
+                let due = t0 + Duration::from_micros(j as u64 * 1_000_000 / plan.rate);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let (plan, outcomes) = (&plan, &outcomes);
+                s.spawn(move || {
+                    let o = run_request(plan, j);
+                    outcomes.lock().unwrap().push((j, o));
+                });
+            }
+        });
+    } else {
+        // Closed loop: `conns` workers pull the next index off a cursor.
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..plan.conns {
+                let (plan, outcomes, cursor) = (&plan, &outcomes, &cursor);
+                s.spawn(move || loop {
+                    let j = cursor.fetch_add(1, Ordering::Relaxed);
+                    if j >= plan.requests {
+                        break;
+                    }
+                    let o = run_request(plan, j);
+                    outcomes.lock().unwrap().push((j, o));
+                });
+            }
+        });
+    }
+    let wall = t0.elapsed();
+
+    let mut outcomes = outcomes.into_inner().unwrap();
+    outcomes.sort_by_key(|&(j, _)| j);
+    assert_eq!(outcomes.len(), plan.requests, "every request must complete");
+
+    // --- Deterministic section (CI diffs these lines across L15_JOBS) ---
+    let ok = outcomes.iter().filter(|(_, o)| o.status == 200).count();
+    let err4xx = outcomes.iter().filter(|(_, o)| (400..500).contains(&o.status)).count();
+    let digest = outcomes.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, (j, o)| {
+        fnv1a(fnv1a(acc, &(*j as u64).to_be_bytes()), &o.digest.to_be_bytes())
+    });
+    let corpus_digest =
+        plan.corpus.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, t| fnv1a(acc, t.as_bytes()));
+    println!(
+        "loadgen seed={} requests={} corpus={} mode={}",
+        plan.seed,
+        plan.requests,
+        plan.corpus.len(),
+        if plan.open { "open" } else { "closed" }
+    );
+    println!("corpus_digest=0x{corpus_digest:016x}");
+    println!("completed={} ok={ok} err4xx={err4xx}", outcomes.len());
+    println!("digest=0x{digest:016x}");
+
+    // --- Reconciliation against the server's own accounting -------------
+    let (admitted_after, shed_after) = fetch_counters(plan.addr);
+    let admitted = admitted_after - admitted_before;
+    let shed = shed_after - shed_before;
+    let retries: u64 = outcomes.iter().map(|(_, o)| o.attempts - 1).sum();
+    let reconciled = admitted == plan.requests as u64 && shed == retries;
+    println!("reconcile={}", if reconciled { "ok" } else { "MISMATCH" });
+    println!(
+        "~reconcile admitted={admitted} expected={} shed={shed} retries={retries}",
+        plan.requests
+    );
+
+    // --- Timing section (nondeterministic, `~`-prefixed) ----------------
+    let mut lat: Vec<u64> = outcomes.iter().map(|(_, o)| o.latency_us).collect();
+    lat.sort_unstable();
+    let pct = |q: f64| lat[((q * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)];
+    println!("~wall_ms={}", wall.as_millis());
+    println!("~throughput_rps={:.1}", plan.requests as f64 / wall.as_secs_f64().max(1e-9));
+    println!("~latency_us p50={} p95={} p99={}", pct(0.50), pct(0.95), pct(0.99));
+    println!("~attempts_total={} retried_503={retries}", retries + plan.requests as u64);
+
+    if !reconciled {
+        eprintln!("{BIN}: client/server accounting mismatch");
+        std::process::exit(1);
+    }
+
+    // `--shutdown`: drain the server once the run is accounted for (CI
+    // uses this to end its smoke stage gracefully).
+    if args.flag("--shutdown") {
+        match client::post(plan.addr, "/shutdown", b"", TIMEOUT) {
+            Ok(r) if r.status == 200 => println!("~server draining"),
+            other => {
+                eprintln!("{BIN}: shutdown request failed: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

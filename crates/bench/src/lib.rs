@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use l15_testkit::cli;
 use l15_testkit::pool;
 use l15_testkit::rng::SmallRng;
 
@@ -65,39 +66,19 @@ pub struct CliFlags {
 /// lists extra flags that consume one numeric value (the timing binaries'
 /// `--samples`/`--warmup`). Unknown arguments are an error — no more
 /// silently ignored typos.
+///
+/// Thin wrapper over [`l15_testkit::cli::parse_args`], the unified flag
+/// grammar shared with the `l15-serve`/`loadgen` binaries.
 pub fn parse_cli_from(args: &[String], value_flags: &[&str]) -> Result<CliFlags, String> {
-    let mut flags = CliFlags::default();
-    let mut i = 0;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        if arg == "--quick" {
-            flags.quick = true;
-        } else if value_flags.contains(&arg) {
-            let v = args.get(i + 1).ok_or_else(|| format!("`{arg}` needs a value"))?;
-            v.parse::<u64>().map_err(|_| format!("`{arg}` needs a number, got {v:?}"))?;
-            i += 1;
-        } else {
-            return Err(format!("unknown argument {arg:?}"));
-        }
-        i += 1;
-    }
-    Ok(flags)
+    cli::parse_args(args, &[], value_flags).map(|p| CliFlags { quick: p.quick })
 }
 
 /// [`parse_cli_from`] over the real command line; prints usage and exits
 /// with status 2 on invalid arguments. Every experiment binary calls this
 /// (directly or via [`parse_quick`]) as its first statement.
 pub fn parse_cli(bin: &str, value_flags: &[&str]) -> CliFlags {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_cli_from(&args, value_flags) {
-        Ok(flags) => flags,
-        Err(e) => {
-            eprintln!("{bin}: {e}");
-            let extras: String = value_flags.iter().map(|f| format!(" [{f} N]")).collect();
-            eprintln!("usage: {bin} [--quick]{extras}");
-            std::process::exit(2);
-        }
-    }
+    let p = cli::parse_or_exit(bin, &[], value_flags);
+    CliFlags { quick: p.quick }
 }
 
 /// CLI entry for the figure/table binaries, which accept only `--quick`.
@@ -379,6 +360,36 @@ mod tests {
             parse_cli_from(&args(&["--samples", "30", "--quick"]), &timing),
             Ok(CliFlags { quick: true })
         );
+    }
+
+    #[test]
+    fn cli_covers_the_service_binaries() {
+        // The `l15-serve` and `loadgen` binaries share the unified flag
+        // grammar (l15_testkit::cli). Keep their declared flag sets
+        // parsing here so a drive-by rename cannot silently break them.
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let serve_flags = ["--port", "--queue", "--batch", "--deadline-ms", "--max-body"];
+        let p = cli::parse_args(
+            &args(&["--port", "0", "--queue", "8", "--batch", "4", "--quick"]),
+            &[],
+            &serve_flags,
+        )
+        .unwrap();
+        assert!(p.quick);
+        assert_eq!(p.value("--queue"), Some(8));
+        assert_eq!(p.value_or("--deadline-ms", 2000), 2000);
+
+        let loadgen_bools = ["--smoke", "--open", "--shutdown"];
+        let loadgen_values = ["--port", "--conns", "--requests", "--seed", "--rate"];
+        let p = cli::parse_args(
+            &args(&["--port", "8080", "--open", "--rate", "200", "--seed", "7"]),
+            &loadgen_bools,
+            &loadgen_values,
+        )
+        .unwrap();
+        assert!(p.flag("--open") && !p.flag("--smoke"));
+        assert_eq!(p.value("--rate"), Some(200));
+        assert!(cli::parse_args(&args(&["--prot", "1"]), &loadgen_bools, &loadgen_values).is_err());
     }
 
     #[test]

@@ -18,6 +18,21 @@ use std::fmt;
 use crate::model::{DagBuilder, DagTask, Node, NodeId};
 use crate::DagError;
 
+/// Maximum number of `node` lines [`parse_task`] accepts.
+///
+/// The text format is network-facing (the `l15-serve` request path), so
+/// the parser enforces explicit resource caps: a hostile body can make it
+/// allocate at most `MAX_NODES` nodes and [`MAX_EDGES`] edges, never an
+/// amount proportional to an attacker-chosen number. The caps are far
+/// above anything the paper's workloads (or the generator) produce.
+pub const MAX_NODES: usize = 65_536;
+
+/// Maximum number of `edge` lines [`parse_task`] accepts.
+pub const MAX_EDGES: usize = 1_048_576;
+
+/// Maximum byte length of a single line accepted by [`parse_task`].
+pub const MAX_LINE_BYTES: usize = 4096;
+
 /// Errors from parsing the `.dag` text format.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -31,6 +46,16 @@ pub enum ParseDagError {
     },
     /// The `task` header is missing.
     MissingHeader,
+    /// An input resource cap was exceeded (see [`MAX_NODES`],
+    /// [`MAX_EDGES`], [`MAX_LINE_BYTES`]).
+    TooLarge {
+        /// 1-based line number at which the cap was hit.
+        line: usize,
+        /// What overflowed (`"nodes"`, `"edges"`, `"line bytes"`).
+        what: &'static str,
+        /// The enforced limit.
+        limit: usize,
+    },
     /// The graph violated a model invariant.
     Model(DagError),
 }
@@ -42,6 +67,9 @@ impl fmt::Display for ParseDagError {
                 write!(f, "line {line}: {reason}")
             }
             ParseDagError::MissingHeader => write!(f, "missing `task` header line"),
+            ParseDagError::TooLarge { line, what, limit } => {
+                write!(f, "line {line}: {what} cap exceeded (limit {limit})")
+            }
             ParseDagError::Model(e) => write!(f, "invalid task: {e}"),
         }
     }
@@ -94,14 +122,25 @@ fn num<T: std::str::FromStr>(text: &str, line: usize) -> Result<T, ParseDagError
 ///
 /// # Errors
 ///
-/// Returns [`ParseDagError`] describing the offending line, or the model
-/// violation (cycle, multiple sources, …).
+/// Returns [`ParseDagError`] describing the offending line, the exceeded
+/// resource cap ([`MAX_NODES`] / [`MAX_EDGES`] / [`MAX_LINE_BYTES`] — the
+/// format is network-facing, so allocation is bounded regardless of
+/// input), or the model violation (cycle, multiple sources, …). Malformed
+/// input never panics.
 pub fn parse_task(text: &str) -> Result<DagTask, ParseDagError> {
     let mut period: Option<(f64, f64)> = None;
     let mut b = DagBuilder::new();
 
+    let mut edges = 0usize;
     for (ix, raw) in text.lines().enumerate() {
         let line = ix + 1;
+        if raw.len() > MAX_LINE_BYTES {
+            return Err(ParseDagError::TooLarge {
+                line,
+                what: "line bytes",
+                limit: MAX_LINE_BYTES,
+            });
+        }
         let trimmed = raw.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -114,6 +153,9 @@ pub fn parse_task(text: &str) -> Result<DagTask, ParseDagError> {
                 period = Some((p, d));
             }
             Some("node") => {
+                if b.node_count() >= MAX_NODES {
+                    return Err(ParseDagError::TooLarge { line, what: "nodes", limit: MAX_NODES });
+                }
                 let ix: usize = num(tok.next().unwrap_or(""), line)?;
                 if ix != b.node_count() {
                     return Err(ParseDagError::Syntax {
@@ -135,10 +177,23 @@ pub fn parse_task(text: &str) -> Result<DagTask, ParseDagError> {
                 b.add_node(Node::new(wcet, data));
             }
             Some("edge") => {
+                if edges >= MAX_EDGES {
+                    return Err(ParseDagError::TooLarge { line, what: "edges", limit: MAX_EDGES });
+                }
+                edges += 1;
                 let from: usize = num(tok.next().unwrap_or(""), line)?;
                 let to: usize = num(tok.next().unwrap_or(""), line)?;
                 let cost: f64 = num(kv(tok.next().unwrap_or(""), "cost", line)?, line)?;
                 let alpha: f64 = num(kv(tok.next().unwrap_or(""), "alpha", line)?, line)?;
+                // A NaN/infinite cost would poison the downstream path
+                // analysis (which expects finite λ); reject it here, at the
+                // trust boundary.
+                if !(cost.is_finite() && cost >= 0.0) {
+                    return Err(ParseDagError::Syntax {
+                        line,
+                        reason: format!("cost must be finite and >= 0, got {cost}"),
+                    });
+                }
                 b.add_edge(NodeId(from), NodeId(to), cost, alpha)?;
             }
             Some(other) => {
@@ -220,6 +275,51 @@ edge 2 3 cost=1 alpha=0.6
     #[test]
     fn missing_header_detected() {
         assert_eq!(parse_task("node 0 wcet=1 data=0\n").unwrap_err(), ParseDagError::MissingHeader);
+    }
+
+    #[test]
+    fn line_length_cap_is_enforced() {
+        let mut text = String::from("task period=10 deadline=10\n");
+        text.push_str("# ");
+        text.push_str(&"x".repeat(MAX_LINE_BYTES + 1));
+        text.push('\n');
+        match parse_task(&text).unwrap_err() {
+            ParseDagError::TooLarge { line: 2, what: "line bytes", limit } => {
+                assert_eq!(limit, MAX_LINE_BYTES);
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn node_count_cap_is_enforced() {
+        // Build a body one node over the cap; the parser must stop at the
+        // cap, not allocate through it.
+        let mut text = String::from("task period=10 deadline=10\n");
+        for i in 0..=MAX_NODES {
+            text.push_str(&format!("node {i} wcet=1 data=0\n"));
+        }
+        match parse_task(&text).unwrap_err() {
+            ParseDagError::TooLarge { what: "nodes", limit, .. } => assert_eq!(limit, MAX_NODES),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_costs_are_rejected() {
+        for bad in ["NaN", "inf", "-1"] {
+            let text = format!(
+                "task period=10 deadline=10\nnode 0 wcet=1 data=0\nnode 1 wcet=1 data=0\n\
+                 edge 0 1 cost={bad} alpha=0.5\n"
+            );
+            assert!(
+                matches!(parse_task(&text).unwrap_err(), ParseDagError::Syntax { line: 4, .. }),
+                "cost={bad} must be rejected"
+            );
+        }
+        let nan_alpha = "task period=10 deadline=10\nnode 0 wcet=1 data=0\nnode 1 wcet=1 data=0\n\
+                         edge 0 1 cost=1 alpha=NaN\n";
+        assert!(matches!(parse_task(nan_alpha).unwrap_err(), ParseDagError::Model(_)));
     }
 
     #[test]

@@ -156,6 +156,115 @@ fn text_format_roundtrips_bit_exactly() {
     });
 }
 
+/// One adversarial token for the malformed-input fuzzer: numbers in every
+/// pathological flavour, directive keywords, key=value fragments and junk.
+fn arb_token(g: &mut G) -> String {
+    match g.usize_in(0..12) {
+        0 => "task".to_owned(),
+        1 => "node".to_owned(),
+        2 => "edge".to_owned(),
+        3 => format!("period={}", arb_number(g)),
+        4 => format!("deadline={}", arb_number(g)),
+        5 => format!("wcet={}", arb_number(g)),
+        6 => format!("data={}", arb_number(g)),
+        7 => format!("cost={}", arb_number(g)),
+        8 => format!("alpha={}", arb_number(g)),
+        9 => arb_number(g),
+        10 => "#".to_owned(),
+        _ => {
+            let junk = ["", "=", "node=", "èdge", "-", "e", "task=1", "\u{7f}", "wcet"];
+            junk[g.usize_in(0..junk.len())].to_owned()
+        }
+    }
+}
+
+fn arb_number(g: &mut G) -> String {
+    match g.usize_in(0..8) {
+        0 => format!("{}", g.u64_in(0..100)),
+        1 => format!("{}", g.any_u64()),
+        2 => format!("-{}", g.u64_in(0..1000)),
+        3 => "NaN".to_owned(),
+        4 => "inf".to_owned(),
+        5 => "1e999".to_owned(),
+        6 => format!("{:e}", g.f64_in_incl(-1e300, 1e300)),
+        _ => format!("{}", g.f64_in_incl(-100.0, 100.0)),
+    }
+}
+
+#[test]
+fn malformed_text_errors_never_panic() {
+    // textio is a network-facing parser (the l15-serve request path):
+    // arbitrary hostile bodies must produce Ok or ParseDagError, never a
+    // panic — and never allocation proportional to attacker-chosen
+    // numbers. Replay a failure with L15_PROP_SEED as usual.
+    prop::run_with(Config::with_cases(256), "malformed_text_errors_never_panic", |g| {
+        let lines = g.usize_in(0..12);
+        let mut text = String::new();
+        for _ in 0..lines {
+            let tokens = g.usize_in(0..6);
+            for t in 0..tokens {
+                if t > 0 {
+                    text.push(' ');
+                }
+                let tok = arb_token(g);
+                text.push_str(&tok);
+            }
+            text.push('\n');
+        }
+        let _ = textio::parse_task(&text);
+    });
+}
+
+#[test]
+fn mutated_valid_tasks_error_not_panic() {
+    // Start from a genuinely valid serialisation and corrupt it the way a
+    // flaky client would: truncation, line deletion/duplication/swap and
+    // byte substitution. The parser must return a ParseDagError (or an
+    // equivalent valid task), never panic.
+    prop::run_with(Config::with_cases(128), "mutated_valid_tasks_error_not_panic", |g| {
+        let params = arb_params(g);
+        let seed = g.u64_in(0..500);
+        let task = DagGenerator::new(params)
+            .generate(&mut SmallRng::seed_from_u64(seed))
+            .expect("valid params generate");
+        let mut text = textio::write_task(&task);
+        match g.usize_in(0..4) {
+            0 => {
+                // Truncate mid-stream (char-boundary safe: output is ASCII).
+                let cut = g.usize_in(0..=text.len());
+                text.truncate(cut);
+            }
+            1 => {
+                let mut lines: Vec<&str> = text.lines().collect();
+                if !lines.is_empty() {
+                    lines.remove(g.usize_in(0..lines.len()));
+                }
+                text = lines.join("\n");
+            }
+            2 => {
+                let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+                if !lines.is_empty() {
+                    let i = g.usize_in(0..lines.len());
+                    let dup = lines[i].clone();
+                    lines.insert(g.usize_in(0..=lines.len()), dup);
+                }
+                text = lines.join("\n");
+            }
+            _ => {
+                // Replace one byte with printable junk.
+                if !text.is_empty() {
+                    let i = g.usize_in(0..text.len());
+                    let replacement = [b' ', b'=', b'x', b'9', b'-', b'.'];
+                    let mut bytes = text.into_bytes();
+                    bytes[i] = replacement[g.usize_in(0..replacement.len())];
+                    text = String::from_utf8(bytes).expect("replacement is ASCII");
+                }
+            }
+        }
+        let _ = textio::parse_task(&text);
+    });
+}
+
 #[test]
 fn series_parallel_topologies_are_valid() {
     prop::run_with(Config::with_cases(CASES), "series_parallel_topologies_are_valid", |g| {

@@ -1,0 +1,444 @@
+//! The service endpoints: request routing, validation and the pure
+//! handlers over the existing pipeline (`l15-dag` parsing and analysis,
+//! `l15-core` Alg. 1 / baselines / RTA, `l15-runtime` + `l15-soc` for the
+//! cycle-accurate run).
+//!
+//! Handlers are **deterministic**: no RNG, no clocks — a response is a
+//! pure function of the request bytes. The makespan predictions therefore
+//! use the worst-case closures (cold, fully contended baselines; the
+//! proposed system is deterministic by construction, Sec. 4.2), and two
+//! identical requests always produce byte-identical responses, which is
+//! what lets `loadgen` diff whole runs across `L15_JOBS` worker counts.
+
+use l15_core::alg1::schedule_with_l15;
+use l15_core::baseline::baseline_priorities;
+use l15_core::makespan::simulate;
+use l15_core::rta;
+use l15_dag::{analysis, textio, DagTask, ExecutionTimeModel};
+use l15_runtime::kernel::{run_task, KernelConfig, KernelError};
+use l15_runtime::WorkScale;
+use l15_soc::{Soc, SocConfig};
+
+use crate::http::{Request, Response};
+use crate::json::{self, Obj};
+use crate::metrics::Endpoint;
+
+/// Validation caps of the compute endpoints (the HTTP-level body cap lives
+/// in [`crate::ServeConfig`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Limits {
+    /// Node cap for `/schedule` and `/analyze` (analytic pipeline).
+    pub max_nodes: usize,
+    /// Node cap for `/simulate` (cycle-accurate, far more expensive).
+    pub max_sim_nodes: usize,
+    /// Per-node data cap for `/simulate`, bytes.
+    pub max_sim_data_bytes: u64,
+    /// Cycle budget cap for `/simulate`.
+    pub max_sim_cycles: u64,
+    /// Cap on the `cores` query parameter.
+    pub max_cores: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_nodes: 4096,
+            max_sim_nodes: 64,
+            max_sim_data_bytes: 32 * 1024,
+            max_sim_cycles: 20_000_000,
+            max_cores: 64,
+        }
+    }
+}
+
+/// Where a request goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Served on the connection thread (cheap, never queued).
+    Healthz,
+    /// Served on the connection thread.
+    Metrics,
+    /// Starts the graceful drain.
+    Shutdown,
+    /// Admitted to the queue, executed in a batch on the pool.
+    Compute(Endpoint),
+    /// Unknown path (404).
+    NotFound,
+    /// Known path, wrong method (405).
+    MethodNotAllowed,
+}
+
+/// Routes a request by method and path.
+pub fn route(method: &str, path: &str) -> Route {
+    match (method, path) {
+        ("GET", "/healthz") => Route::Healthz,
+        ("GET", "/metrics") => Route::Metrics,
+        ("POST", "/shutdown") => Route::Shutdown,
+        ("POST", "/schedule") => Route::Compute(Endpoint::Schedule),
+        ("POST", "/analyze") => Route::Compute(Endpoint::Analyze),
+        ("POST", "/simulate") => Route::Compute(Endpoint::Simulate),
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/schedule" | "/analyze" | "/simulate") => {
+            Route::MethodNotAllowed
+        }
+        _ => Route::NotFound,
+    }
+}
+
+/// Executes a compute endpoint. Pure and deterministic; called from pool
+/// workers, one call per admitted request.
+pub fn handle_compute(endpoint: Endpoint, req: &Request, limits: &Limits) -> Response {
+    match handle_inner(endpoint, req, limits) {
+        Ok(resp) => resp,
+        Err(resp) => resp,
+    }
+}
+
+fn handle_inner(endpoint: Endpoint, req: &Request, limits: &Limits) -> Result<Response, Response> {
+    let task = parse_body(&req.body, limits)?;
+    match endpoint {
+        Endpoint::Schedule => schedule(&task, req, limits),
+        Endpoint::Analyze => analyze(&task, req, limits),
+        Endpoint::Simulate => simulate_soc(&task, req, limits),
+    }
+}
+
+fn parse_body(body: &[u8], limits: &Limits) -> Result<DagTask, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "body must be UTF-8 `.dag` task text"))?;
+    let task = textio::parse_task(text).map_err(|e| match e {
+        textio::ParseDagError::TooLarge { .. } => Response::error(413, &format!("{e}")),
+        e => Response::error(422, &format!("{e}")),
+    })?;
+    if task.graph().node_count() > limits.max_nodes {
+        return Err(Response::error(
+            413,
+            &format!("task has {} nodes; limit {}", task.graph().node_count(), limits.max_nodes),
+        ));
+    }
+    Ok(task)
+}
+
+/// Parses an integer query parameter in `[1, max]`, with a default.
+fn int_param(req: &Request, key: &str, default: u64, max: u64) -> Result<u64, Response> {
+    match req.query_param(key) {
+        None => Ok(default),
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) if (1..=max).contains(&v) => Ok(v),
+            _ => Err(Response::error(400, &format!("`{key}` must be an integer in [1, {max}]"))),
+        },
+    }
+}
+
+fn schedule(task: &DagTask, req: &Request, limits: &Limits) -> Result<Response, Response> {
+    let cores = int_param(req, "cores", 8, limits.max_cores as u64)? as usize;
+    let zeta = int_param(req, "zeta", 16, 64)? as usize;
+    let etm = ExecutionTimeModel::new(2048).expect("2 KiB is a valid way size");
+    let dag = task.graph();
+
+    let plan = schedule_with_l15(task, zeta, &etm);
+    let proposed = simulate(
+        task,
+        cores,
+        &plan.priorities,
+        |v| dag.node(v).wcet,
+        |e, _| etm.edge_cost_in(dag, e, plan.local_ways[dag.edge(e).from.0]),
+    );
+    let proposed_bound = rta::makespan_bound(
+        task,
+        cores,
+        |v| dag.node(v).wcet,
+        |e| etm.edge_cost_in(dag, e, plan.local_ways[dag.edge(e).from.0]),
+    );
+
+    let base = baseline_priorities(task);
+    let baseline =
+        simulate(task, cores, &base.priorities, |v| dag.node(v).wcet, |e, _| dag.edge(e).cost);
+    let baseline_bound =
+        rta::makespan_bound(task, cores, |v| dag.node(v).wcet, |e| dag.edge(e).cost);
+
+    let mut p = Obj::new();
+    p.num("makespan", proposed.makespan);
+    p.num("bound", proposed_bound.bound);
+    p.bool("schedulable", proposed_bound.bound <= task.deadline() + 1e-9);
+    p.raw("priorities", &json::int_array(plan.priorities.iter().map(|&x| u64::from(x))));
+    p.raw("ways", &json::int_array(plan.local_ways.iter().map(|&x| x as u64)));
+    let mut b = Obj::new();
+    b.num("makespan", baseline.makespan);
+    b.num("bound", baseline_bound.bound);
+    b.bool("schedulable", baseline_bound.bound <= task.deadline() + 1e-9);
+    b.raw("priorities", &json::int_array(base.priorities.iter().map(|&x| u64::from(x))));
+
+    let improvement = if baseline.makespan > 0.0 {
+        (1.0 - proposed.makespan / baseline.makespan) * 100.0
+    } else {
+        0.0
+    };
+    let mut o = Obj::new();
+    o.int("nodes", dag.node_count() as u64);
+    o.int("edges", dag.edge_count() as u64);
+    o.int("cores", cores as u64);
+    o.int("zeta", zeta as u64);
+    o.raw("proposed", &p.finish());
+    o.raw("baseline", &b.finish());
+    o.num("improvement_pct", improvement);
+    Ok(Response::json(200, o.finish()))
+}
+
+fn analyze(task: &DagTask, req: &Request, limits: &Limits) -> Result<Response, Response> {
+    let cores = int_param(req, "cores", 8, limits.max_cores as u64)? as usize;
+    let dag = task.graph();
+    let lengths = analysis::lambda(dag);
+    let path = analysis::critical_path(dag);
+    let bound = rta::makespan_bound(task, cores, |v| dag.node(v).wcet, |e| dag.edge(e).cost);
+
+    let mut o = Obj::new();
+    o.int("nodes", dag.node_count() as u64);
+    o.int("edges", dag.edge_count() as u64);
+    o.int("cores", cores as u64);
+    o.num("period", task.period());
+    o.num("deadline", task.deadline());
+    o.num("utilisation", task.utilisation());
+    o.num("total_work", dag.total_work());
+    o.num("total_comm_cost", dag.total_comm_cost());
+    o.num("critical_path_length", lengths.critical_path_length());
+    o.raw("critical_path", &json::int_array(path.iter().map(|v| v.0 as u64)));
+    o.raw(
+        "width_profile",
+        &json::int_array(analysis::width_profile(dag).into_iter().map(|w| w as u64)),
+    );
+    o.int("max_parallelism", analysis::max_parallelism(dag) as u64);
+    o.num("makespan_lower_bound", analysis::makespan_lower_bound(dag, cores));
+    o.num("makespan_upper_bound", analysis::makespan_upper_bound(dag));
+    let mut r = Obj::new();
+    r.num("bound", bound.bound);
+    r.num("path_term", bound.path_term);
+    r.num("interference_term", bound.interference_term);
+    r.bool("schedulable", bound.bound <= task.deadline() + 1e-9);
+    o.raw("rta", &r.finish());
+    Ok(Response::json(200, o.finish()))
+}
+
+fn simulate_soc(task: &DagTask, req: &Request, limits: &Limits) -> Result<Response, Response> {
+    let dag = task.graph();
+    if dag.node_count() > limits.max_sim_nodes {
+        return Err(Response::error(
+            413,
+            &format!(
+                "simulate accepts at most {} nodes (cycle-accurate run), got {}",
+                limits.max_sim_nodes,
+                dag.node_count()
+            ),
+        ));
+    }
+    for v in dag.node_ids() {
+        if dag.node(v).data_bytes > limits.max_sim_data_bytes {
+            return Err(Response::error(
+                413,
+                &format!(
+                    "node {v} carries {} data bytes; simulate caps at {}",
+                    dag.node(v).data_bytes,
+                    limits.max_sim_data_bytes
+                ),
+            ));
+        }
+    }
+    let preset_name = req.query_param("preset").unwrap_or("proposed_8core");
+    let Some(cfg) = SocConfig::preset(preset_name) else {
+        return Err(Response::error(
+            400,
+            &format!(
+                "unknown preset {:?}; valid: {}",
+                preset_name,
+                SocConfig::preset_names().join(", ")
+            ),
+        ));
+    };
+    let max_cycles = int_param(req, "max_cycles", 5_000_000, limits.max_sim_cycles)?;
+    let compute_iters = int_param(req, "compute_iters", 8, 256)? as u32;
+
+    let use_l15 = cfg.l15.is_some();
+    let plan = if use_l15 {
+        let etm = ExecutionTimeModel::new(2048).expect("valid way size");
+        let zeta = cfg.l15.map(|c| c.ways).unwrap_or(16);
+        schedule_with_l15(task, zeta, &etm)
+    } else {
+        baseline_priorities(task)
+    };
+    let mut soc = Soc::new(cfg, 0);
+    let kcfg = KernelConfig { cluster: 0, use_l15, scale: WorkScale { compute_iters }, max_cycles };
+    let report = run_task(&mut soc, task, &plan, &kcfg).map_err(|e| match e {
+        KernelError::Timeout { completed, total } => Response::error(
+            422,
+            &format!("run exceeded {max_cycles} cycles ({completed}/{total} nodes completed)"),
+        ),
+        e => Response::error(422, &format!("kernel error: {e}")),
+    })?;
+
+    let mut o = Obj::new();
+    o.str("preset", preset_name);
+    o.int("nodes", dag.node_count() as u64);
+    o.int("makespan_cycles", report.makespan_cycles);
+    o.raw("node_finish", &json::int_array(report.node_finish.iter().copied()));
+    o.int("l15_hits", report.l15_hits);
+    o.int("l15_misses", report.l15_misses);
+    o.num("l15_utilisation", report.l15_utilisation);
+    o.num("phi", report.phi);
+    o.bool("dataflow_ok", report.dataflow_ok);
+    Ok(Response::json(200, o.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+task period=100 deadline=90
+node 0 wcet=1 data=2048
+node 1 wcet=2 data=2048
+node 2 wcet=3 data=2048
+node 3 wcet=1 data=0
+edge 0 1 cost=1.5 alpha=0.5
+edge 0 2 cost=1.5 alpha=0.5
+edge 1 3 cost=1 alpha=0.6
+edge 2 3 cost=1 alpha=0.6
+";
+
+    fn post(path: &str, query: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: query.into(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn routing_table() {
+        assert_eq!(route("GET", "/healthz"), Route::Healthz);
+        assert_eq!(route("GET", "/metrics"), Route::Metrics);
+        assert_eq!(route("POST", "/shutdown"), Route::Shutdown);
+        assert_eq!(route("POST", "/schedule"), Route::Compute(Endpoint::Schedule));
+        assert_eq!(route("POST", "/analyze"), Route::Compute(Endpoint::Analyze));
+        assert_eq!(route("POST", "/simulate"), Route::Compute(Endpoint::Simulate));
+        assert_eq!(route("POST", "/healthz"), Route::MethodNotAllowed);
+        assert_eq!(route("GET", "/schedule"), Route::MethodNotAllowed);
+        assert_eq!(route("GET", "/nope"), Route::NotFound);
+    }
+
+    #[test]
+    fn schedule_beats_baseline_on_the_sample() {
+        let req = post("/schedule", "cores=4", SAMPLE);
+        let resp = handle_compute(Endpoint::Schedule, &req, &Limits::default());
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"nodes\":4"), "{body}");
+        assert!(body.contains("\"proposed\""));
+        assert!(body.contains("\"baseline\""));
+        // The L1.5 plan can only shrink edge costs → improvement >= 0.
+        let imp = body
+            .split("\"improvement_pct\":")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches('}').parse::<f64>().ok())
+            .expect("improvement field");
+        assert!(imp >= 0.0, "{imp}");
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let req = post("/schedule", "", SAMPLE);
+        let a = handle_compute(Endpoint::Schedule, &req, &Limits::default());
+        let b = handle_compute(Endpoint::Schedule, &req, &Limits::default());
+        assert_eq!(a, b, "handlers must be pure functions of the request");
+    }
+
+    #[test]
+    fn analyze_reports_critical_path() {
+        let req = post("/analyze", "cores=2", SAMPLE);
+        let resp = handle_compute(Endpoint::Analyze, &req, &Limits::default());
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        // Sample: 0 → 2 (wcet 3) → 3 is the longest path: 1+1.5+3+1+1 = 7.5.
+        assert!(body.contains("\"critical_path_length\":7.5"), "{body}");
+        assert!(body.contains("\"critical_path\":[0,2,3]"), "{body}");
+        assert!(body.contains("\"rta\""));
+    }
+
+    #[test]
+    fn simulate_runs_on_presets_with_and_without_l15() {
+        for preset in ["proposed_8core", "cmp_l2_8core"] {
+            let req = post("/simulate", &format!("preset={preset}&compute_iters=4"), SAMPLE);
+            let resp = handle_compute(Endpoint::Simulate, &req, &Limits::default());
+            assert_eq!(resp.status, 200, "{preset}: {:?}", String::from_utf8(resp.body));
+            let body = String::from_utf8(resp.body).unwrap();
+            assert!(body.contains("\"dataflow_ok\":true"), "{preset}: {body}");
+            if preset == "cmp_l2_8core" {
+                assert!(body.contains("\"l15_hits\":0"), "{body}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_presets_and_oversized_tasks() {
+        let req = post("/simulate", "preset=warp_drive", SAMPLE);
+        let resp = handle_compute(Endpoint::Simulate, &req, &Limits::default());
+        assert_eq!(resp.status, 400);
+
+        let tight = Limits { max_sim_nodes: 2, ..Limits::default() };
+        let resp = handle_compute(Endpoint::Simulate, &post("/simulate", "", SAMPLE), &tight);
+        assert_eq!(resp.status, 413);
+
+        let fat = "task period=10 deadline=10\nnode 0 wcet=1 data=999999999\n";
+        let resp =
+            handle_compute(Endpoint::Simulate, &post("/simulate", "", fat), &Limits::default());
+        assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn malformed_bodies_are_4xx_never_5xx() {
+        let cases = [
+            ("", 422),          // missing header
+            ("garbage\n", 422), // unknown directive
+            ("task period=10 deadline=10\nnode 0 wcet=1 data=0\nedge 0 9 cost=1 alpha=0.5\n", 422),
+        ];
+        for (body, want) in cases {
+            for ep in Endpoint::ALL {
+                let resp = handle_compute(ep, &post("/x", "", body), &Limits::default());
+                assert_eq!(resp.status, want, "{ep:?} body {body:?}");
+            }
+        }
+        let non_utf8 = Request {
+            method: "POST".into(),
+            path: "/schedule".into(),
+            query: String::new(),
+            body: vec![0xff, 0xfe],
+        };
+        let resp = handle_compute(Endpoint::Schedule, &non_utf8, &Limits::default());
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn bad_query_params_are_400() {
+        for q in ["cores=0", "cores=abc", "cores=9999", "zeta=0"] {
+            let resp = handle_compute(
+                Endpoint::Schedule,
+                &post("/schedule", q, SAMPLE),
+                &Limits::default(),
+            );
+            assert_eq!(resp.status, 400, "{q}");
+        }
+    }
+
+    #[test]
+    fn node_cap_applies_to_analytic_endpoints() {
+        let mut body = String::from("task period=1000 deadline=1000\n");
+        for i in 0..10 {
+            body.push_str(&format!("node {i} wcet=1 data=0\n"));
+        }
+        for i in 0..9 {
+            body.push_str(&format!("edge {i} {} cost=1 alpha=0.5\n", i + 1));
+        }
+        let tight = Limits { max_nodes: 5, ..Limits::default() };
+        let resp = handle_compute(Endpoint::Analyze, &post("/analyze", "", &body), &tight);
+        assert_eq!(resp.status, 413);
+    }
+}

@@ -1,0 +1,134 @@
+//! A minimal blocking HTTP client over `std::net::TcpStream` — the test,
+//! CI-smoke and `loadgen` counterpart of the server's HTTP subset. One
+//! request per connection (the server sends `Connection: close`), so the
+//! body is framed by end-of-stream.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find_map(|(n, v)| (*n == name).then_some(v.as_str()))
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// `target` is the path plus optional query (`/schedule?cores=8`).
+///
+/// # Errors
+///
+/// Connection, timeout and malformed-response errors as `io::Error`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// `GET {target}` with no body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> io::Result<ClientResponse> {
+    request(addr, "GET", target, b"", timeout)
+}
+
+/// `POST {target}` with a body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(
+    addr: SocketAddr,
+    target: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    request(addr, "POST", target, body, timeout)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("head is not UTF-8"))?;
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers = lines
+        .filter_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            Some((n.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        })
+        .collect();
+    Ok(ClientResponse { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nRetry-After: 1\r\n\r\nbusy";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.header("retry-after"), Some("1"));
+        assert_eq!(r.header("Retry-After"), Some("1"));
+        assert_eq!(r.header("x-nope"), None);
+        assert_eq!(r.text(), "busy");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! `l15-serve` — scheduling-as-a-service over the L1.5 pipeline.
+//!
+//! A long-running, zero-dependency HTTP/1.1 service (std `TcpListener`
+//! only) that exposes the repo's scheduling and analysis pipeline:
+//!
+//! | Endpoint          | Body            | Result                                      |
+//! |-------------------|-----------------|---------------------------------------------|
+//! | `POST /schedule`  | `.dag` text     | Alg. 1 vs baseline plan + predicted makespan |
+//! | `POST /analyze`   | `.dag` text     | RTA bound + critical-path analysis           |
+//! | `POST /simulate`  | `.dag` text     | bounded cycle-accurate run on a SoC preset   |
+//! | `GET /metrics`    | —               | plaintext counters + latency histograms      |
+//! | `GET /healthz`    | —               | liveness probe                               |
+//! | `POST /shutdown`  | —               | graceful drain and exit                      |
+//!
+//! Operational properties (see `crates/serve/README.md` for the wire
+//! protocol):
+//!
+//! * **validated & capped** — body size, node/edge counts and query
+//!   parameters are bounded; every rejection is a 4xx, never a panic;
+//! * **backpressure** — a bounded admission queue; full ⇒ `503` with
+//!   `Retry-After`, so overload degrades predictably;
+//! * **batched** — a dispatcher drains the queue in batches and fans them
+//!   onto the deterministic `l15_testkit::pool` workers (`L15_JOBS`);
+//! * **deterministic** — handlers are pure functions of the request
+//!   bytes (no RNG, no clocks), so identical requests produce
+//!   byte-identical responses at any worker count;
+//! * **graceful shutdown** — `POST /shutdown` closes admission, drains
+//!   every admitted job, then exits; admitted work is never dropped.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use api::Limits;
+pub use metrics::{scrape, Endpoint, ServeMetrics};
+pub use server::{start, Handle, ServeConfig};

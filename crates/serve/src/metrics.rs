@@ -1,0 +1,299 @@
+//! The service metrics registry: lock-free counters and latency
+//! histograms, rendered as a plaintext exposition page on `GET /metrics`.
+//!
+//! Patterned after [`l15_cache::stats::CacheStats`] — a fixed, explicit
+//! set of counters rather than a dynamic map — but atomic, because the
+//! request path touches them from acceptor, dispatcher and pool threads.
+//! The exposition format is the Prometheus text convention
+//! (`name{label="value"} 1234`), served without any external dependency.
+//!
+//! Counter semantics (the contract `loadgen` reconciles against):
+//!
+//! * `l15_requests_total{endpoint}` — requests **admitted** to an endpoint
+//!   (compute endpoints: accepted into the queue; inline endpoints:
+//!   served);
+//! * `l15_responses_total{status}` — every response written, by status;
+//! * `l15_rejected_total` — backpressure 503s (queue full);
+//! * `l15_expired_total` — queued requests whose deadline passed before a
+//!   worker picked them up (503 after admission — the *only* way admitted
+//!   work does not produce a 200/4xx result);
+//! * `l15_batches_total` / `l15_batch_jobs_total` — dispatcher batches and
+//!   the jobs they carried;
+//! * `l15_queue_depth` — instantaneous queue occupancy (gauge);
+//! * `l15_latency_us{endpoint,phase=queue|handle}` — histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The compute endpoints (queued, batched); indexes into per-endpoint
+/// counter arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /schedule`.
+    Schedule = 0,
+    /// `POST /analyze`.
+    Analyze = 1,
+    /// `POST /simulate`.
+    Simulate = 2,
+}
+
+impl Endpoint {
+    /// All compute endpoints, in render order.
+    pub const ALL: [Endpoint; 3] = [Endpoint::Schedule, Endpoint::Analyze, Endpoint::Simulate];
+
+    /// The label value used on the exposition page.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Schedule => "schedule",
+            Endpoint::Analyze => "analyze",
+            Endpoint::Simulate => "simulate",
+        }
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// unbounded (`+Inf`). Roughly log-spaced from 100 µs to 10 s.
+pub const LATENCY_BUCKETS_US: [u64; 10] =
+    [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// A fixed-bucket latency histogram with sum and count.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [Counter; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: Counter,
+    count: Counter,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let ix = LATENCY_BUCKETS_US.partition_point(|&b| b < us);
+        self.buckets[ix].inc();
+        self.sum_us.add(us);
+        self.count.inc();
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Sum of observations in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.get()
+    }
+
+    /// The approximate `q`-quantile in microseconds (bucket upper bound the
+    /// quantile falls into; `u64::MAX` for the overflow bucket). Zero when
+    /// empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count.get();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.get();
+            if seen >= target {
+                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    fn render_into(&self, out: &mut String, name: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for (i, upper) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.buckets[i].get();
+            out.push_str(&format!("{name}_bucket{{{labels},le=\"{upper}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_US.len()].get();
+        out.push_str(&format!("{name}_bucket{{{labels},le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum{{{labels}}} {}\n", self.sum_us.get()));
+        out.push_str(&format!("{name}_count{{{labels}}} {}\n", self.count.get()));
+    }
+}
+
+/// Every metric the service exposes.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Admitted requests per compute endpoint.
+    pub requests: [Counter; 3],
+    /// Served inline `GET /healthz` requests.
+    pub healthz: Counter,
+    /// Served inline `GET /metrics` requests (incremented *before*
+    /// rendering, so the page includes the request that fetched it).
+    pub metrics_fetches: Counter,
+    /// Responses by status code class — exact codes the service emits.
+    pub responses_200: Counter,
+    /// 4xx responses (bad request, not found, oversized, …).
+    pub responses_4xx: Counter,
+    /// 500 responses.
+    pub responses_500: Counter,
+    /// 503 responses (backpressure + expired deadlines).
+    pub responses_503: Counter,
+    /// Backpressure rejections (queue full at admission).
+    pub rejected: Counter,
+    /// Admitted requests that expired in the queue.
+    pub expired: Counter,
+    /// Dispatcher batches executed.
+    pub batches: Counter,
+    /// Jobs carried by those batches.
+    pub batch_jobs: Counter,
+    /// Instantaneous queue depth (set by the queue, read by the page).
+    pub queue_depth: AtomicU64,
+    /// Time from admission to dispatch, per endpoint.
+    pub queue_wait: [Histogram; 3],
+    /// Handler execution time, per endpoint.
+    pub handle_time: [Histogram; 3],
+}
+
+impl ServeMetrics {
+    /// Records a response status.
+    pub fn record_status(&self, status: u16) {
+        match status {
+            200 => self.responses_200.inc(),
+            503 => self.responses_503.inc(),
+            500 => self.responses_500.inc(),
+            _ => self.responses_4xx.inc(),
+        }
+    }
+
+    /// Renders the exposition page.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("# TYPE l15_requests_total counter\n");
+        for ep in Endpoint::ALL {
+            out.push_str(&format!(
+                "l15_requests_total{{endpoint=\"{}\"}} {}\n",
+                ep.name(),
+                self.requests[ep as usize].get()
+            ));
+        }
+        out.push_str(&format!(
+            "l15_requests_total{{endpoint=\"healthz\"}} {}\n",
+            self.healthz.get()
+        ));
+        out.push_str(&format!(
+            "l15_requests_total{{endpoint=\"metrics\"}} {}\n",
+            self.metrics_fetches.get()
+        ));
+        out.push_str("# TYPE l15_responses_total counter\n");
+        for (label, c) in [
+            ("200", &self.responses_200),
+            ("4xx", &self.responses_4xx),
+            ("500", &self.responses_500),
+            ("503", &self.responses_503),
+        ] {
+            out.push_str(&format!("l15_responses_total{{status=\"{label}\"}} {}\n", c.get()));
+        }
+        out.push_str("# TYPE l15_rejected_total counter\n");
+        out.push_str(&format!("l15_rejected_total {}\n", self.rejected.get()));
+        out.push_str("# TYPE l15_expired_total counter\n");
+        out.push_str(&format!("l15_expired_total {}\n", self.expired.get()));
+        out.push_str("# TYPE l15_batches_total counter\n");
+        out.push_str(&format!("l15_batches_total {}\n", self.batches.get()));
+        out.push_str("# TYPE l15_batch_jobs_total counter\n");
+        out.push_str(&format!("l15_batch_jobs_total {}\n", self.batch_jobs.get()));
+        out.push_str("# TYPE l15_queue_depth gauge\n");
+        out.push_str(&format!("l15_queue_depth {}\n", self.queue_depth.load(Ordering::Relaxed)));
+        out.push_str("# TYPE l15_latency_us histogram\n");
+        for ep in Endpoint::ALL {
+            let q = format!("endpoint=\"{}\",phase=\"queue\"", ep.name());
+            self.queue_wait[ep as usize].render_into(&mut out, "l15_latency_us", &q);
+            let h = format!("endpoint=\"{}\",phase=\"handle\"", ep.name());
+            self.handle_time[ep as usize].render_into(&mut out, "l15_latency_us", &h);
+        }
+        out
+    }
+}
+
+/// Parses one counter value back out of an exposition page — shared by
+/// `loadgen`'s reconciliation and the tests. `selector` is the full line
+/// prefix, e.g. `l15_requests_total{endpoint="schedule"}`.
+pub fn scrape(page: &str, selector: &str) -> Option<u64> {
+    page.lines().find_map(|l| {
+        let rest = l.strip_prefix(selector)?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::default();
+        m.requests[Endpoint::Schedule as usize].inc();
+        m.requests[Endpoint::Schedule as usize].add(2);
+        m.record_status(200);
+        m.record_status(503);
+        m.record_status(404);
+        assert_eq!(m.requests[0].get(), 3);
+        assert_eq!(m.responses_200.get(), 1);
+        assert_eq!(m.responses_503.get(), 1);
+        assert_eq!(m.responses_4xx.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(50)); // bucket le=100
+        h.observe(Duration::from_micros(100)); // le=100 (inclusive bound)
+        h.observe(Duration::from_micros(700)); // le=1000
+        h.observe(Duration::from_secs(100)); // +Inf
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_us(), 50 + 100 + 700 + 100_000_000);
+        assert_eq!(h.quantile_us(0.5), 100);
+        assert_eq!(h.quantile_us(0.75), 1_000);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+        assert_eq!(Histogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn render_and_scrape_round_trip() {
+        let m = ServeMetrics::default();
+        m.requests[Endpoint::Analyze as usize].add(7);
+        m.rejected.add(3);
+        m.queue_wait[0].observe(Duration::from_micros(42));
+        let page = m.render();
+        assert_eq!(scrape(&page, "l15_requests_total{endpoint=\"analyze\"}"), Some(7));
+        assert_eq!(scrape(&page, "l15_requests_total{endpoint=\"schedule\"}"), Some(0));
+        assert_eq!(scrape(&page, "l15_rejected_total"), Some(3));
+        assert_eq!(
+            scrape(&page, "l15_latency_us_count{endpoint=\"schedule\",phase=\"queue\"}"),
+            Some(1)
+        );
+        assert_eq!(scrape(&page, "l15_nope"), None);
+    }
+
+    #[test]
+    fn scrape_requires_exact_selector_prefix() {
+        let page = "l15_rejected_total 5\nl15_rejected_total_extra 9\n";
+        assert_eq!(scrape(page, "l15_rejected_total"), Some(5));
+    }
+}

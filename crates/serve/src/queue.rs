@@ -1,0 +1,210 @@
+//! The bounded admission queue between connection threads and the batch
+//! dispatcher: `Mutex<VecDeque>` + `Condvar`, with explicit backpressure
+//! (a full queue rejects at admission — it never blocks the acceptor) and
+//! a close/drain protocol for graceful shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why [`BoundedQueue::try_push`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — the caller should shed load (503).
+    Full,
+    /// The queue is closed — the server is draining for shutdown.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    nonempty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            capacity,
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// The capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `item` if there is room.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]. The item is returned inside the error's
+    /// position so callers can respond to the peer.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        if s.closed {
+            return Err((PushError::Closed, item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Pops up to `max` items, waiting up to `patience` for the first one.
+    ///
+    /// Returns `None` only when the queue is closed **and** drained — the
+    /// dispatcher's termination signal. An empty `Vec` is never returned:
+    /// on timeout with an open queue it keeps waiting, so the dispatcher
+    /// loop stays a simple `while let Some(batch)`.
+    pub fn pop_batch(&self, max: usize, patience: Duration) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if !s.items.is_empty() {
+                let n = s.items.len().min(max);
+                return Some(s.items.drain(..n).collect());
+            }
+            if s.closed {
+                return None;
+            }
+            let (next, _timeout) =
+                self.nonempty.wait_timeout(s, patience).expect("queue lock poisoned");
+            s = next;
+        }
+    }
+
+    /// Closes the queue: future pushes fail, waiting poppers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const TICK: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn backpressure_rejects_at_capacity_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err((PushError::Full, 3)));
+        assert_eq!(q.len(), 2);
+        // Draining makes room again.
+        assert_eq!(q.pop_batch(1, TICK), Some(vec![1]));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop_batch(8, TICK), Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn pop_batch_respects_max_and_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3, TICK), Some(vec![0, 1, 2]));
+        assert_eq!(q.pop_batch(3, TICK), Some(vec![3, 4]));
+    }
+
+    #[test]
+    fn close_drains_then_terminates() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err((PushError::Closed, 8)));
+        // The queued item is still delivered before termination.
+        assert_eq!(q.pop_batch(4, TICK), Some(vec![7]));
+        assert_eq!(q.pop_batch(4, TICK), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn close_wakes_a_waiting_popper() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop_batch(4, Duration::from_secs(60)));
+        // Give the waiter time to block, then close; it must wake with None.
+        std::thread::sleep(TICK);
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn producers_and_consumers_agree_on_totals() {
+        let q = Arc::new(BoundedQueue::<usize>::new(16));
+        let total = 500usize;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut sent = 0;
+                    for i in 0..total / 4 {
+                        let mut item = p * 10_000 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err((PushError::Full, back)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                                Err((PushError::Closed, _)) => panic!("closed early"),
+                            }
+                        }
+                        sent += 1;
+                    }
+                    sent
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = 0usize;
+                while let Some(batch) = q.pop_batch(7, TICK) {
+                    got += batch.len();
+                }
+                got
+            })
+        };
+        let sent: usize = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(sent, total);
+        assert_eq!(got, total, "every admitted item is delivered exactly once");
+    }
+}

@@ -1,0 +1,315 @@
+//! The server runtime: acceptor, per-connection threads, the bounded
+//! admission queue and the batch dispatcher.
+//!
+//! ```text
+//!  TcpListener ── acceptor ── connection threads ──┐
+//!                   (inline: /healthz /metrics     │ try_push  (503 when full)
+//!                            /shutdown)            ▼
+//!                                            BoundedQueue
+//!                                                  │ pop_batch
+//!                                             dispatcher ── pool::run ── reply
+//! ```
+//!
+//! Compute requests (`/schedule`, `/analyze`, `/simulate`) are admitted to
+//! a bounded queue — a full queue sheds load with `503 Retry-After` at
+//! admission, so the acceptor never blocks on slow handlers. A dispatcher
+//! thread pops batches and fans them onto the `l15_testkit::pool` workers
+//! (`L15_JOBS`); each job replies to its connection thread over a
+//! one-shot channel. Graceful shutdown (`POST /shutdown` or
+//! [`Handle::shutdown`]) closes the queue, drains every admitted job, and
+//! joins all threads — admitted work is never dropped.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use l15_testkit::pool;
+
+use crate::api::{self, Limits, Route};
+use crate::http::{read_request, Request, RequestError, Response};
+use crate::metrics::{Endpoint, ServeMetrics};
+use crate::queue::{BoundedQueue, PushError};
+
+/// How long the dispatcher waits for a first job before re-checking.
+const BATCH_PATIENCE: Duration = Duration::from_millis(20);
+
+/// Server tuning knobs; the bin maps its flags onto this.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Maximum jobs per dispatcher batch.
+    pub batch_max: usize,
+    /// Queue residency deadline: jobs older than this when dispatched get
+    /// `503` instead of being executed.
+    pub deadline: Duration,
+    /// Request body cap in bytes.
+    pub max_body: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Validation caps of the compute endpoints.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            queue_capacity: 64,
+            batch_max: 8,
+            deadline: Duration::from_secs(2),
+            max_body: 256 * 1024,
+            io_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// An admitted compute request waiting for a worker.
+struct Job {
+    endpoint: Endpoint,
+    request: Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Counts live connection threads so shutdown can wait for them.
+#[derive(Default)]
+struct WaitGroup {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl WaitGroup {
+    fn add(&self) {
+        *self.count.lock().expect("waitgroup lock poisoned") += 1;
+    }
+
+    fn done(&self) {
+        let mut n = self.count.lock().expect("waitgroup lock poisoned");
+        *n -= 1;
+        if *n == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut n = self.count.lock().expect("waitgroup lock poisoned");
+        while *n > 0 {
+            n = self.zero.wait(n).expect("waitgroup lock poisoned");
+        }
+    }
+}
+
+/// State shared by the acceptor, connection threads and the dispatcher.
+struct Shared {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    metrics: ServeMetrics,
+    queue: BoundedQueue<Job>,
+    stopping: AtomicBool,
+    conns: WaitGroup,
+}
+
+impl Shared {
+    /// Starts the drain: close the queue, then poke the acceptor loose
+    /// from `accept()` with a throwaway connection. Idempotent.
+    fn trigger_shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        drop(TcpStream::connect(self.addr));
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`Handle::shutdown`] (or `POST /shutdown` + [`Handle::join`]).
+pub struct Handle {
+    shared: Arc<Shared>,
+    acceptor: thread::JoinHandle<()>,
+    dispatcher: thread::JoinHandle<()>,
+}
+
+impl Handle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Initiates the drain and waits for full termination.
+    pub fn shutdown(self) {
+        self.shared.trigger_shutdown();
+        self.join();
+    }
+
+    /// Waits until the server terminates (e.g. via `POST /shutdown`):
+    /// acceptor gone, queue drained, every connection answered.
+    pub fn join(self) {
+        self.acceptor.join().expect("acceptor panicked");
+        self.dispatcher.join().expect("dispatcher panicked");
+        self.shared.conns.wait();
+    }
+}
+
+/// Binds `127.0.0.1:{port}` and starts the acceptor + dispatcher threads.
+///
+/// # Errors
+///
+/// The bind error, if the port is taken.
+pub fn start(cfg: ServeConfig) -> std::io::Result<Handle> {
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(cfg.queue_capacity),
+        cfg,
+        addr,
+        metrics: ServeMetrics::default(),
+        stopping: AtomicBool::new(false),
+        conns: WaitGroup::default(),
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || accept_loop(&listener, &shared))
+    };
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || dispatch_loop(&shared))
+    };
+    Ok(Handle { shared, acceptor, dispatcher })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) if shared.stopping.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            // The shutdown poke (or a late client, who sees a reset).
+            break;
+        }
+        shared.conns.add();
+        let shared = Arc::clone(shared);
+        thread::spawn(move || {
+            serve_connection(stream, &shared);
+            shared.conns.done();
+        });
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader, shared.cfg.max_body) {
+        Ok(r) => r,
+        Err(RequestError::Io(_)) => return, // peer gone; nobody to answer
+        Err(e) => {
+            let resp = match e {
+                RequestError::BadRequest(msg) => Response::error(400, &msg),
+                RequestError::HeadTooLarge => Response::error(431, "request head too large"),
+                RequestError::BodyTooLarge { limit } => {
+                    Response::error(413, &format!("body exceeds {limit} bytes"))
+                }
+                RequestError::Io(_) => unreachable!("handled above"),
+            };
+            write_response(reader.into_inner(), &resp, shared);
+            return;
+        }
+    };
+    let stream = reader.into_inner();
+    let route = api::route(&request.method, &request.path);
+    let resp = match route {
+        Route::Healthz => {
+            shared.metrics.healthz.inc();
+            Response::text(200, "ok\n")
+        }
+        Route::Metrics => {
+            // Count first so the page includes the fetch that produced it.
+            shared.metrics.metrics_fetches.inc();
+            Response::text(200, shared.metrics.render())
+        }
+        Route::Shutdown => Response::json(200, "{\"draining\":true}".to_owned()),
+        Route::NotFound => Response::error(404, "no such endpoint"),
+        Route::MethodNotAllowed => Response::error(405, "method not allowed for this path"),
+        Route::Compute(endpoint) => {
+            let (tx, rx) = mpsc::channel();
+            let job = Job { endpoint, request, enqueued: Instant::now(), reply: tx };
+            match shared.queue.try_push(job) {
+                Ok(()) => {
+                    shared.metrics.requests[endpoint as usize].inc();
+                    shared.metrics.queue_depth.store(shared.queue.len() as u64, Ordering::Relaxed);
+                    // The dispatcher answers every admitted job (handled or
+                    // expired); a dropped sender means it died — 500.
+                    rx.recv().unwrap_or_else(|_| Response::error(500, "dispatcher gone"))
+                }
+                Err((PushError::Full, _)) => {
+                    shared.metrics.rejected.inc();
+                    Response::error(503, "queue full, retry later")
+                        .with_header("Retry-After", "1".to_owned())
+                }
+                Err((PushError::Closed, _)) => Response::error(503, "server is draining")
+                    .with_header("Retry-After", "1".to_owned()),
+            }
+        }
+    };
+    // Answer first, then start the drain — the shutdown caller always gets
+    // its acknowledgement.
+    write_response(stream, &resp, shared);
+    if route == Route::Shutdown {
+        shared.trigger_shutdown();
+    }
+}
+
+fn write_response(mut stream: TcpStream, resp: &Response, shared: &Shared) {
+    shared.metrics.record_status(resp.status);
+    let _ = resp.write_to(&mut stream);
+}
+
+fn dispatch_loop(shared: &Arc<Shared>) {
+    while let Some(batch) = shared.queue.pop_batch(shared.cfg.batch_max, BATCH_PATIENCE) {
+        shared.metrics.queue_depth.store(shared.queue.len() as u64, Ordering::Relaxed);
+        shared.metrics.batches.inc();
+        shared.metrics.batch_jobs.add(batch.len() as u64);
+
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            let waited = job.enqueued.elapsed();
+            if waited > shared.cfg.deadline {
+                shared.metrics.expired.inc();
+                let resp = Response::error(503, "deadline expired in queue")
+                    .with_header("Retry-After", "1".to_owned());
+                let _ = job.reply.send(resp);
+            } else {
+                shared.metrics.queue_wait[job.endpoint as usize].observe(waited);
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let limits = &shared.cfg.limits;
+        let results = pool::run(live.len(), |i| {
+            let t0 = Instant::now();
+            let resp = api::handle_compute(live[i].endpoint, &live[i].request, limits);
+            (resp, t0.elapsed())
+        });
+        for (job, (resp, took)) in live.iter().zip(results) {
+            shared.metrics.handle_time[job.endpoint as usize].observe(took);
+            let _ = job.reply.send(resp);
+        }
+    }
+}

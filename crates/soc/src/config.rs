@@ -120,6 +120,40 @@ impl SocConfig {
         cfg
     }
 
+    /// The named derived presets, for callers that select a configuration
+    /// from untrusted text (the `l15-serve` `/simulate` endpoint, CLI
+    /// tools): `(name, constructor)` in a stable, documented order.
+    pub fn preset_names() -> &'static [&'static str] {
+        &[
+            "proposed_8core",
+            "proposed_16core",
+            "cmp_l1_8core",
+            "cmp_l2_8core",
+            "cmp_l1_16core",
+            "cmp_l2_16core",
+        ]
+    }
+
+    /// Looks a derived preset up by its [`Self::preset_names`] name.
+    pub fn preset(name: &str) -> Option<SocConfig> {
+        match name {
+            "proposed_8core" => Some(Self::proposed_8core()),
+            "proposed_16core" => Some(Self::proposed_16core()),
+            "cmp_l1_8core" => Some(Self::cmp_l1_8core()),
+            "cmp_l2_8core" => Some(Self::cmp_l2_8core()),
+            "cmp_l1_16core" => Some(Self::cmp_l1_16core()),
+            "cmp_l2_16core" => Some(Self::cmp_l2_16core()),
+            _ => None,
+        }
+    }
+
+    /// Per-cluster L1.5 capacity in bytes (zero without an L1.5). The
+    /// paper's configuration: 16 ways × 2 KiB = 32 KiB, the budget the
+    /// CMP|L1 / CMP|L2 presets fold into conventional levels.
+    pub fn l15_bytes_per_cluster(&self) -> u64 {
+        self.l15.map(|c| c.way_bytes * c.ways as u64).unwrap_or(0)
+    }
+
     /// Total number of cores.
     pub fn total_cores(&self) -> usize {
         self.clusters * self.cores_per_cluster
@@ -165,6 +199,62 @@ mod tests {
         // Geometries must build.
         let _ = crate::uncore::Uncore::new(l1);
         let _ = crate::uncore::Uncore::new(l2);
+    }
+
+    #[test]
+    fn preset_registry_is_complete_and_consistent() {
+        for &name in SocConfig::preset_names() {
+            let cfg = SocConfig::preset(name).expect("every listed preset resolves");
+            assert!(cfg.total_cores() == 8 || cfg.total_cores() == 16, "{name}");
+            // The derived CMP presets drop the L1.5; the proposed keep it.
+            assert_eq!(cfg.l15.is_some(), name.starts_with("proposed"), "{name}");
+        }
+        assert!(SocConfig::preset("bogus").is_none());
+        assert!(SocConfig::preset("").is_none());
+    }
+
+    #[test]
+    fn cmp_l1_folds_the_cluster_l15_budget_into_private_l1d() {
+        // The paper's per-cluster L1.5 budget is 16 ways × 2 KiB = 32 KiB.
+        let prop = SocConfig::proposed_8core();
+        assert_eq!(prop.l15_bytes_per_cluster(), 32 * 1024);
+
+        // CMP|L1 spreads that budget over the cluster's 4 cores: each L1D
+        // grows by 32 KiB / 4 = 8 KiB (4 → 12 KiB), associativity 2 → 6.
+        for (cfg, name) in
+            [(SocConfig::cmp_l1_8core(), "8core"), (SocConfig::cmp_l1_16core(), "16core")]
+        {
+            let per_core = prop.l15_bytes_per_cluster() / prop.cores_per_cluster as u64;
+            assert_eq!(per_core, 8 * 1024, "{name}");
+            assert_eq!(cfg.l1d.capacity, prop.l1d.capacity + per_core, "{name}");
+            assert_eq!(cfg.l1d.capacity, 12 * 1024, "{name}");
+            assert_eq!(cfg.l1d.ways, 6, "{name}");
+            // L1I is untouched; the budget goes to data caches only.
+            assert_eq!(cfg.l1i, prop.l1i, "{name}");
+        }
+    }
+
+    #[test]
+    fn cmp_l2_folds_all_cluster_budgets_into_the_shared_l2() {
+        // CMP|L2 grows the one shared L2 by clusters × 32 KiB, absorbing
+        // the extra capacity into associativity so the set count stays a
+        // power of two: 8c → 576 KiB = 9 ways × 1024 sets × 64 B,
+        // 16c → 640 KiB = 10 ways × 1024 sets × 64 B.
+        let cases = [
+            (SocConfig::cmp_l2_8core(), 2u64, 576u64, 9usize),
+            (SocConfig::cmp_l2_16core(), 4, 640, 10),
+        ];
+        for (cfg, clusters, kib, ways) in cases {
+            assert_eq!(cfg.clusters as u64, clusters);
+            assert_eq!(cfg.l2.capacity, 512 * 1024 + clusters * 32 * 1024);
+            assert_eq!(cfg.l2.capacity, kib * 1024);
+            assert_eq!(cfg.l2.ways, ways);
+            // ways × sets × line reconstructs the capacity exactly, with
+            // sets = 1024 (a power of two).
+            let sets = cfg.l2.capacity / (cfg.l2.ways as u64 * cfg.l2.line_bytes);
+            assert_eq!(sets, 1024);
+            assert_eq!(cfg.l2.ways as u64 * sets * cfg.l2.line_bytes, cfg.l2.capacity);
+        }
     }
 
     #[test]

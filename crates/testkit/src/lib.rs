@@ -25,6 +25,9 @@
 //!   bit-for-bit.
 //! * [`bench`] — a wall-clock timing harness with a `--quick` smoke
 //!   mode, replacing the criterion benches.
+//! * [`cli`] — the unified flag grammar of every workspace binary
+//!   (`--quick`, declared boolean and numeric value flags; unknown flags
+//!   exit 2 with usage).
 //! * [`diff`] — bookkeeping for the differential harness in
 //!   `tests/differential.rs`, which runs generated DAG workloads through
 //!   both the L1.5 SoC path and the shared-L1 baseline and checks the
@@ -56,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cli;
 pub mod diff;
 pub mod gen;
 pub mod pool;

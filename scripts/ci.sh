@@ -21,15 +21,47 @@ cargo fmt --check
 echo "==> sweep determinism (fig7 --quick, L15_JOBS=1 vs 4)"
 seq_out=$(mktemp)
 par_out=$(mktemp)
-trap 'rm -f "$seq_out" "$par_out"' EXIT
+serve_log=$(mktemp)
+lg_seq=$(mktemp)
+lg_par=$(mktemp)
+trap 'rm -f "$seq_out" "$par_out" "$serve_log" "$lg_seq" "$lg_par" "$lg_seq.det" "$lg_par.det"' EXIT
 L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$seq_out"
 L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$par_out"
 diff -u "$seq_out" "$par_out"
 echo "fig7 output is byte-identical across worker counts"
 
+echo "==> serve smoke (l15-serve + loadgen, L15_JOBS=1 vs 4 determinism)"
+# A deliberately tiny queue so the loadgen burst saturates it: the run must
+# shed load (503 + Retry-After) and still complete with exact accounting.
+cargo run --release --offline -q -p l15-serve --bin l15-serve -- \
+    --queue 4 --batch 2 > "$serve_log" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$serve_log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "l15-serve did not come up"; cat "$serve_log"; exit 1; }
+L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin loadgen -- \
+    --smoke --port "$port" > "$lg_seq"
+L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin loadgen -- \
+    --smoke --port "$port" --shutdown > "$lg_par"
+wait "$serve_pid"
+grep -q "drained and stopped" "$serve_log" || { echo "server did not drain cleanly"; cat "$serve_log"; exit 1; }
+grep -q "^reconcile=ok$" "$lg_seq"
+grep -q "^reconcile=ok$" "$lg_par"
+# Timing lines (prefixed ~) differ run to run; everything else must not.
+grep -v '^~' "$lg_seq" > "$lg_seq.det"
+grep -v '^~' "$lg_par" > "$lg_par.det"
+diff -u "$lg_seq.det" "$lg_par.det"
+echo "loadgen deterministic output is byte-identical across worker counts"
+
 echo "==> bench binaries (--quick smoke)"
 for bin in crates/bench/src/bin/*.rs; do
     name=$(basename "$bin" .rs)
+    # loadgen needs a live server; it is exercised by the serve smoke above.
+    [ "$name" = "loadgen" ] && continue
     echo "--- $name --quick"
     cargo run --release --offline -q -p l15-bench --bin "$name" -- --quick
 done

@@ -11,6 +11,8 @@
 //!   makespan and success-ratio simulators.
 //! * [`runtime`] — the programming model (dispatch-time reconfiguration).
 //! * [`area`] — the Sec. 5.4 area model.
+//! * [`serve`] — scheduling-as-a-service: a zero-dependency HTTP layer
+//!   exposing the pipeline with batching, backpressure and metrics.
 //! * [`testkit`] — in-tree PRNG, property-testing engine and differential
 //!   harness (the workspace has no external dependencies).
 //!
@@ -25,5 +27,6 @@ pub use l15_core as core;
 pub use l15_dag as dag;
 pub use l15_runtime as runtime;
 pub use l15_rvcore as rvcore;
+pub use l15_serve as serve;
 pub use l15_soc as soc;
 pub use l15_testkit as testkit;
