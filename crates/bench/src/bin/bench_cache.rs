@@ -21,7 +21,7 @@ fn main() {
 
     {
         let mut cache = fresh_cache();
-        cache.fill(0, 0x1000, 0x1000, &vec![7u8; 64], false).expect("core 0 owns ways");
+        cache.fill(0, 0x1000, 0x1000, &[7u8; 64], false).expect("core 0 owns ways");
         let mut buf = [0u8; 8];
         bench.run("read_hit", || {
             let out = cache.read(0, black_box(0x1000), 0x1000, &mut buf).expect("core in range");
@@ -73,7 +73,7 @@ fn main() {
                 core: (i % 4) as usize,
                 vaddr: i * 64,
                 paddr: i * 64,
-                is_store: i % 3 == 0,
+                is_store: i.is_multiple_of(3),
                 priority: (i % 4) as u8,
                 age: 0,
             });

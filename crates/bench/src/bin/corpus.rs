@@ -7,6 +7,8 @@
 //! cargo run --release -p l15-bench --bin corpus -- gen ./corpus 20
 //! # evaluate them
 //! cargo run --release -p l15-bench --bin corpus -- eval ./corpus
+//! # lint them against the l15-check protocol rules
+//! cargo run --release -p l15-bench --bin corpus -- lint ./corpus
 //! ```
 
 use std::fs;
@@ -14,9 +16,13 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use l15_bench::env_seed;
+use l15_check::{parse_program_text, CheckProgram, Finding};
+use l15_core::alg1::schedule_with_l15;
 use l15_core::baseline::SystemModel;
 use l15_dag::gen::{DagGenParams, DagGenerator};
-use l15_dag::textio;
+use l15_dag::{textio, ExecutionTimeModel};
+use l15_runtime::emit::EmitOptions;
+use l15_testkit::diag::format_report;
 use l15_testkit::rng::SmallRng;
 
 fn generate(dir: &Path, count: usize, seed: u64) -> std::io::Result<()> {
@@ -95,16 +101,77 @@ fn evaluate(dir: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Lints every corpus file against the `l15-check` protocol rules, one
+/// parallel sweep item per file; returns the total finding count so the
+/// process can exit non-zero when the corpus is dirty.
+fn lint(dir: &Path) -> std::io::Result<usize> {
+    let mut paths: Vec<_> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "dag"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no .dag files in {}", dir.display());
+        return Ok(0);
+    }
+    let reports = l15_bench::par_sweep(paths.len(), |i| {
+        let path = &paths[i];
+        let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        let text = fs::read_to_string(path).map_err(|e| format!("{name}: {e}"))?;
+        let spec = parse_program_text(&text).map_err(|e| format!("{name}: {e}"))?;
+        let opts = EmitOptions { tids: spec.tids.clone(), ..EmitOptions::default() };
+        let plan = match spec.plan {
+            Some(p) => p,
+            None => {
+                let etm = ExecutionTimeModel::new(2048).expect("2 KiB is a valid way size");
+                schedule_with_l15(&spec.task, opts.ways, &etm)
+            }
+        };
+        let findings = CheckProgram::new(spec.task, plan, &opts).check();
+        let diags: Vec<_> = findings.iter().map(Finding::diagnostic).collect();
+        Ok::<_, String>((format_report(&name, &diags), findings.len()))
+    });
+    let mut total = 0;
+    for report in reports {
+        match report {
+            Ok((text, count)) => {
+                print!("{text}");
+                total += count;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                total += 1;
+            }
+        }
+    }
+    if total == 0 {
+        println!("corpus lint: all programs clean");
+    } else {
+        println!("corpus lint: {total} finding(s)");
+    }
+    Ok(total)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage: corpus gen <dir> [count] | corpus eval <dir> | corpus --quick";
+    let usage =
+        "usage: corpus gen <dir> [count] | corpus eval <dir> | corpus lint <dir> | corpus --quick";
     // Unknown subcommands, trailing arguments and malformed counts all
     // exit non-zero with the usage line (no silently ignored typos).
     let result = match args.get(1).map(String::as_str) {
         // CI smoke: round-trip a tiny corpus through a temp dir.
         Some("--quick") if args.len() == 2 => {
             let dir = std::env::temp_dir().join(format!("l15-corpus-quick-{}", std::process::id()));
-            let r = generate(&dir, 3, env_seed()).and_then(|()| evaluate(&dir));
+            let r = generate(&dir, 3, env_seed())
+                .and_then(|()| evaluate(&dir))
+                .and_then(|()| lint(&dir))
+                .and_then(|n| {
+                    if n == 0 {
+                        Ok(())
+                    } else {
+                        Err(std::io::Error::other(format!("{n} lint finding(s) in quick corpus")))
+                    }
+                });
             let _ = fs::remove_dir_all(&dir);
             r
         }
@@ -123,6 +190,16 @@ fn main() -> ExitCode {
             generate(dir, count, env_seed())
         }
         Some("eval") if args.len() == 3 => evaluate(Path::new(&args[2])),
+        Some("lint") if args.len() == 3 => {
+            return match lint(Path::new(&args[2])) {
+                Ok(0) => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         _ => {
             eprintln!("{usage}");
             return ExitCode::FAILURE;

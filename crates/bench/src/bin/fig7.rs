@@ -35,16 +35,16 @@ fn main() {
         println!();
         for (i, pt) in sweep.iter().enumerate() {
             print!("{:>8.2}", pt.x);
-            for s in 0..systems.len() {
-                print!("{:>10.3}", series[s][i]);
+            for row in &series {
+                print!("{:>10.3}", row[i]);
             }
             println!();
         }
         // Headline deltas, as the paper reports for Fig. 7(a).
         let avg_gain = |s: usize| -> f64 {
             let mut g = 0.0;
-            for i in 0..series[0].len() {
-                g += 1.0 - series[0][i] / series[s][i];
+            for (prop, other) in series[0].iter().zip(&series[s]) {
+                g += 1.0 - prop / other;
             }
             g / series[0].len() as f64 * 100.0
         };

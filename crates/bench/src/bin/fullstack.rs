@@ -69,7 +69,7 @@ fn main() {
     let mut a = l15_rvcore::asm::Assembler::new();
     a.li(1, 0x8000);
     for i in 0..48 {
-        a.lw((2 + (i % 6)) as u8, 1, (i * 4) as i32);
+        a.lw((2 + (i % 6)) as u8, 1, i * 4);
     }
     a.ebreak();
     let words = a.finish().expect("assembles");

@@ -184,7 +184,7 @@ impl Geometry {
         line_bytes: u64,
         ways: usize,
     ) -> Result<Self, CacheError> {
-        if ways == 0 || line_bytes == 0 || total_bytes % (ways as u64 * line_bytes) != 0 {
+        if ways == 0 || line_bytes == 0 || !total_bytes.is_multiple_of(ways as u64 * line_bytes) {
             return Err(CacheError::BadGeometry {
                 name: "total_bytes",
                 reason: format!(

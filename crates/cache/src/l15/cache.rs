@@ -135,7 +135,7 @@ impl L15Cache {
                 reason: format!("latency band inverted: {} > {}", cfg.lat_min, cfg.lat_max),
             });
         }
-        if cfg.line_bytes == 0 || cfg.way_bytes % cfg.line_bytes != 0 {
+        if cfg.line_bytes == 0 || !cfg.way_bytes.is_multiple_of(cfg.line_bytes) {
             return Err(CacheError::BadGeometry {
                 name: "way_bytes",
                 reason: format!(

@@ -18,10 +18,15 @@
 //!   `ip_set`);
 //! * [`RequestBuffer`] — the Sec. 3.3 in-flight request buffer that lets
 //!   superscalar out-of-order cores present multiple simultaneous
-//!   requests to the mask logic.
+//!   requests to the mask logic;
+//! * [`protocol`] — the checkable event/instruction vocabulary
+//!   ([`ProtocolOp`]) shared by the static kernel-stream emitter
+//!   (`l15-runtime`), the protocol verifier (`l15-check`) and trace
+//!   replay.
 
 mod cache;
 mod mask;
+pub mod protocol;
 mod regs;
 mod reqbuf;
 mod sdu;
@@ -29,6 +34,7 @@ mod selector;
 
 pub use cache::{InclusionPolicy, L15Cache, L15Config, L15ConfigState, L15Outcome};
 pub use mask::MaskLogic;
+pub use protocol::ProtocolOp;
 pub use regs::ControlRegs;
 pub use reqbuf::{PendingReq, RequestBuffer};
 pub use sdu::{Sdu, SduEvent};

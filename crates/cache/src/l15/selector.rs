@@ -41,7 +41,7 @@ impl HitChecker {
     ///
     /// Panics if `tag_bits` is 0 or exceeds 64.
     pub fn new(tag_bits: u32) -> Self {
-        assert!(tag_bits >= 1 && tag_bits <= 64, "tag width out of range");
+        assert!((1..=64).contains(&tag_bits), "tag width out of range");
         HitChecker { tag_mask: if tag_bits == 64 { u64::MAX } else { (1u64 << tag_bits) - 1 } }
     }
 

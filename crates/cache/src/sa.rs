@@ -387,7 +387,7 @@ mod tests {
         let mut c = SetAssocCache::new(Geometry::new(64, 32, 4).unwrap(), 15, 25);
         let out = c.access(0x0, AccessKind::Read);
         assert!(out.latency >= 15 && out.latency <= 25);
-        c.fill(0x0, &vec![0; 64], None);
+        c.fill(0x0, &[0; 64], None);
         let out = c.access(0x0, AccessKind::Read);
         assert!(out.latency >= 15 && out.latency <= 25);
     }

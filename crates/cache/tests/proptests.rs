@@ -183,9 +183,9 @@ fn sdu_converges_to_feasible_demands() {
         }
         let total: usize = want.iter().sum();
         if total <= ways {
-            for core in 0..4 {
-                assert_eq!(regs.ow(core).unwrap().count(), want[core]);
-                assert_eq!(sdu.supply_of(core).unwrap(), want[core]);
+            for (core, &w) in want.iter().enumerate() {
+                assert_eq!(regs.ow(core).unwrap().count(), w);
+                assert_eq!(sdu.supply_of(core).unwrap(), w);
             }
         }
         // Ownership is always disjoint.

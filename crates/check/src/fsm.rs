@@ -1,0 +1,274 @@
+//! R6: bounded model check of the one-way-at-a-time Walloc FSM.
+//!
+//! The SDU promises that any *feasible* demand vector (Σ demand ≤ ζ) is
+//! eventually satisfied, one grant or revocation per cycle, even across a
+//! resize (new demands while ways are still owned). This module checks
+//! that promise exhaustively over small geometries: every demand vector,
+//! followed by every characteristic second-phase vector (reversed,
+//! all-zero, one-core-takes-all), must converge within a cycle bound
+//! without ever revisiting an ownership state.
+//!
+//! Two failure shapes are distinguished in the witness:
+//!
+//! * **stall** — the FSM takes no action while supply ≠ demand (the
+//!   pre-seed SDU starved cores this way when revocations never freed a
+//!   way);
+//! * **livelock** — the FSM keeps acting but revisits an ownership state,
+//!   so it can cycle forever (grant/revoke oscillation).
+//!
+//! The check is sound for the real [`Sdu`] because every productive
+//! action strictly reduces the L1 distance between supply and demand —
+//! a revisited state therefore proves an unproductive cycle.
+
+use l15_cache::l15::{ControlRegs, Sdu};
+
+use crate::rules::{Finding, RuleId};
+
+/// The FSM surface the model check drives. Implemented by the real
+/// [`Sdu`]; tests implement it with broken doubles to prove the check
+/// fires.
+pub trait WallocModel {
+    /// Records that `core` wants `n` ways in total (the `demand`
+    /// instruction). The driver only issues in-range demands.
+    fn demand(&mut self, regs: &ControlRegs, core: usize, n: usize);
+
+    /// One FSM cycle: at most one grant or revocation applied to `regs`.
+    /// Returns whether the FSM acted.
+    fn tick(&mut self, regs: &mut ControlRegs) -> bool;
+}
+
+impl WallocModel for Sdu {
+    fn demand(&mut self, regs: &ControlRegs, core: usize, n: usize) {
+        Sdu::demand(self, regs, core, n).expect("model-check demands are in range");
+    }
+
+    fn tick(&mut self, regs: &mut ControlRegs) -> bool {
+        Sdu::tick(self, regs).is_some()
+    }
+}
+
+/// Geometry bounds of the exhaustive check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsmBounds {
+    /// Cores per cluster, checked for `1..=max_cores`.
+    pub max_cores: usize,
+    /// Ways per cluster (ζ), checked for `1..=max_ways`.
+    pub max_ways: usize,
+}
+
+impl Default for FsmBounds {
+    fn default() -> Self {
+        FsmBounds { max_cores: 3, max_ways: 4 }
+    }
+}
+
+/// Model-checks the real SDU over every geometry within `bounds`.
+pub fn check_walloc(bounds: &FsmBounds) -> Vec<Finding> {
+    check_walloc_model(Sdu::new, bounds)
+}
+
+/// Model-checks an arbitrary [`WallocModel`] (constructed per geometry by
+/// `make` from the core count). At most one finding is reported per
+/// geometry — the first broken (demand, resize) pair found.
+pub fn check_walloc_model<M: WallocModel>(
+    make: impl Fn(usize) -> M,
+    bounds: &FsmBounds,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for cores in 1..=bounds.max_cores {
+        'geometry: for ways in 1..=bounds.max_ways {
+            for d1 in feasible_demands(cores, ways) {
+                for d2 in resize_vectors(&d1, ways) {
+                    let mut regs = ControlRegs::new(cores, ways);
+                    let mut model = make(cores);
+                    let phases = [("demand", &d1), ("resize", &d2)];
+                    for (phase, target) in phases {
+                        if let Some(f) = drive(&mut model, &mut regs, target, cores, ways, phase) {
+                            findings.push(f);
+                            continue 'geometry;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Every demand vector with entries in `0..=ways` and a feasible sum
+/// (Σ ≤ ways), in lexicographic order.
+fn feasible_demands(cores: usize, ways: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = vec![0usize; cores];
+    loop {
+        if cur.iter().sum::<usize>() <= ways {
+            out.push(cur.clone());
+        }
+        // Odometer increment.
+        let mut i = cores;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if cur[i] < ways {
+                cur[i] += 1;
+                break;
+            }
+            cur[i] = 0;
+        }
+    }
+}
+
+/// Characteristic second-phase vectors for a resize after `d1`.
+fn resize_vectors(d1: &[usize], ways: usize) -> Vec<Vec<usize>> {
+    let cores = d1.len();
+    let reversed: Vec<usize> = d1.iter().rev().copied().collect();
+    let zeros = vec![0usize; cores];
+    let mut hog = vec![0usize; cores];
+    hog[0] = ways;
+    let mut out = vec![reversed, zeros, hog];
+    out.dedup();
+    out
+}
+
+/// Issues `target` as the demands and ticks the FSM until every core's
+/// owned-way count matches, within the bound. Returns the finding on a
+/// stall, a revisited state, or an exhausted bound.
+fn drive<M: WallocModel>(
+    model: &mut M,
+    regs: &mut ControlRegs,
+    target: &[usize],
+    cores: usize,
+    ways: usize,
+    phase: &str,
+) -> Option<Finding> {
+    for (c, &n) in target.iter().enumerate() {
+        model.demand(regs, c, n);
+    }
+    let finding = |witness: String| {
+        Some(Finding { rule: RuleId::WallocLiveness, nodes: Vec::new(), line: None, witness })
+    };
+    let ctx = |regs: &ControlRegs, cycle: usize| {
+        format!(
+            "cores={cores} ways={ways} {phase} demand={target:?} supply={:?} cycle={cycle}",
+            supply(regs, cores)
+        )
+    };
+    // Any converging run needs at most one revocation plus one grant per
+    // way; double that and pad for slack.
+    let bound = 2 * ways * cores + 4;
+    let mut seen: Vec<Vec<u64>> = vec![fingerprint(regs, cores)];
+    for cycle in 0..bound {
+        if satisfied(regs, target) {
+            return None;
+        }
+        if !model.tick(regs) {
+            return finding(format!("{}: FSM stalls (no action towards demand)", ctx(regs, cycle)));
+        }
+        let fp = fingerprint(regs, cores);
+        if seen.contains(&fp) {
+            return finding(format!(
+                "{}: FSM revisits an ownership state (livelock)",
+                ctx(regs, cycle)
+            ));
+        }
+        seen.push(fp);
+    }
+    if satisfied(regs, target) {
+        None
+    } else {
+        finding(format!("{}: demand unsatisfied within the cycle bound {bound}", ctx(regs, bound)))
+    }
+}
+
+fn satisfied(regs: &ControlRegs, target: &[usize]) -> bool {
+    target
+        .iter()
+        .enumerate()
+        .all(|(c, &n)| regs.ow(c).map(|m| m.count()).unwrap_or(usize::MAX) == n)
+}
+
+fn supply(regs: &ControlRegs, cores: usize) -> Vec<usize> {
+    (0..cores).map(|c| regs.ow(c).map(|m| m.count()).unwrap_or(0)).collect()
+}
+
+/// Per-core owned-way bit masks — the ownership state the livelock check
+/// fingerprints.
+fn fingerprint(regs: &ControlRegs, cores: usize) -> Vec<u64> {
+    (0..cores)
+        .map(|c| regs.ow(c).map(|m| m.iter().fold(0u64, |acc, w| acc | (1u64 << w))).unwrap_or(0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_real_sdu_is_live_over_all_small_geometries() {
+        let findings = check_walloc(&FsmBounds::default());
+        assert_eq!(findings, Vec::new());
+    }
+
+    /// A Walloc that never acts: every feasible non-zero demand stalls.
+    struct StuckWalloc;
+
+    impl WallocModel for StuckWalloc {
+        fn demand(&mut self, _: &ControlRegs, _: usize, _: usize) {}
+        fn tick(&mut self, _: &mut ControlRegs) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn a_stuck_walloc_is_reported_as_a_stall() {
+        let findings =
+            check_walloc_model(|_| StuckWalloc, &FsmBounds { max_cores: 1, max_ways: 2 });
+        assert!(!findings.is_empty());
+        for f in &findings {
+            assert_eq!(f.rule, RuleId::WallocLiveness);
+            assert_eq!(f.line, None);
+            assert!(f.witness.contains("stalls"), "{}", f.witness);
+        }
+    }
+
+    /// A Walloc that grants and immediately revokes way 0 forever.
+    struct OscillatingWalloc {
+        granted: bool,
+    }
+
+    impl WallocModel for OscillatingWalloc {
+        fn demand(&mut self, _: &ControlRegs, _: usize, _: usize) {}
+        fn tick(&mut self, regs: &mut ControlRegs) -> bool {
+            if self.granted {
+                regs.revoke(0).expect("way 0 owned");
+            } else {
+                regs.grant(0, 0).expect("way 0 free");
+            }
+            self.granted = !self.granted;
+            true
+        }
+    }
+
+    #[test]
+    fn an_oscillating_walloc_is_reported_as_a_livelock() {
+        // Two ways matter: against demand=[2] the oscillator's revoke
+        // returns ownership to the empty starting state mid-climb.
+        let findings = check_walloc_model(
+            |_| OscillatingWalloc { granted: false },
+            &FsmBounds { max_cores: 1, max_ways: 2 },
+        );
+        assert!(!findings.is_empty());
+        assert!(findings.iter().any(|f| f.witness.contains("livelock")), "{findings:?}");
+    }
+
+    #[test]
+    fn feasible_demand_enumeration_is_exhaustive_and_capped() {
+        let ds = feasible_demands(2, 2);
+        // Entries in 0..=2 with sum <= 2: (0,0),(0,1),(0,2),(1,0),(1,1),(2,0).
+        assert_eq!(ds.len(), 6);
+        assert!(ds.iter().all(|d| d.iter().sum::<usize>() <= 2));
+        assert!(ds.contains(&vec![2, 0]) && ds.contains(&vec![0, 2]));
+    }
+}

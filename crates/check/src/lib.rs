@@ -1,0 +1,70 @@
+//! # l15-check — static protocol verifier for L1.5 programs
+//!
+//! The paper's programming model (Sec. 4.3) is a protocol: `set_tid` →
+//! `demand` → `ip_set` → grants → `ip_set` re-issue → reads/writes →
+//! `gv_set` → release-when-consumers-done. Getting any step wrong does
+//! not crash — it silently produces stale reads, leaked ways or
+//! cross-application leaks, exactly the bug classes earlier PRs fixed
+//! dynamically. This crate verifies the protocol *statically*, over the
+//! kernel streams `l15-runtime` emits for a (task, plan) pair, plus a
+//! trace-replay mode over the SoC's always-on counters:
+//!
+//! | Rule | Checks |
+//! |------|--------|
+//! | `R1_IPSET_BEFORE_GRANT` | every grant is covered by a later `ip_set` before data accesses |
+//! | `R2_WAY_BALANCE` | grant/release ownership balances; no double grant, no leak |
+//! | `R3_GV_STALENESS` | reads of L1.5-held lines have an ordered `gv_set` |
+//! | `R4_TID_PROTECTOR` | TID bound at dispatch; no cross-application reads |
+//! | `R5_HB_RACE` | no conflicting accesses by clock-concurrent nodes |
+//! | `R6_WALLOC_LIVENESS` | the Walloc FSM satisfies every feasible demand (bounded model check) |
+//!
+//! * [`program::CheckProgram`] — task + plan + emitted streams + vector
+//!   clocks; [`program::Mutation`] injects seeded PR-1-class bugs;
+//! * [`rules::check_streams`] — R1–R5 over the streams;
+//! * [`fsm::check_walloc`] — R6, exhaustive over small geometries;
+//! * [`replay::check_counters`] — the trace-replay conservation checks;
+//! * the `l15-check` binary lints generated corpora, case-study programs
+//!   and `.dag` files (with optional embedded `plan` lines).
+//!
+//! Findings render through the shared `l15-testkit` diagnostic formatter,
+//! so the binary, the `POST /check` endpoint of `l15-serve` and the tests
+//! print byte-identical lines.
+//!
+//! # Example
+//!
+//! ```
+//! use l15_check::program::{CheckProgram, Mutation};
+//! use l15_core::alg1::schedule_with_l15;
+//! use l15_dag::{DagBuilder, DagTask, ExecutionTimeModel, Node};
+//! use l15_runtime::emit::EmitOptions;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DagBuilder::new();
+//! let p = b.add_node(Node::new(1.0, 2048));
+//! let c = b.add_node(Node::new(1.0, 0));
+//! b.add_edge(p, c, 1.0, 0.5)?;
+//! let task = DagTask::new(b.build()?, 1e6, 1e6)?;
+//! let plan = schedule_with_l15(&task, 16, &ExecutionTimeModel::new(2048)?);
+//!
+//! let mut prog = CheckProgram::new(task, plan, &EmitOptions::default());
+//! assert!(prog.check().is_empty(), "a valid program is clean");
+//!
+//! // Replicate the pre-PR-1 kernel bug: drop the ip_set re-issue.
+//! prog.apply(&Mutation::DropIpSetReissue { node: p });
+//! assert_eq!(prog.check()[0].rule.name(), "R1_IPSET_BEFORE_GRANT");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fsm;
+pub mod program;
+pub mod replay;
+pub mod rules;
+
+pub use fsm::{check_walloc, FsmBounds, WallocModel};
+pub use program::{parse_program_text, write_program, CheckProgram, Mutation, ProgramSpec};
+pub use replay::{check_counters, TraceExpectation};
+pub use rules::{check_streams, sort_findings, Finding, RuleId};

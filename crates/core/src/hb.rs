@@ -1,0 +1,232 @@
+//! Plan → happens-before: the deterministic dispatch order, per-node core
+//! assignment and per-core vector clocks implied by a schedule plan.
+//!
+//! The checker (`l15-check`) must reason about *orderings the schedule
+//! guarantees*, not orderings one simulated run happened to produce
+//! (Tessler et al.'s observation that the schedule is part of the cache
+//! correctness argument). This module derives those guarantees from a
+//! [`SchedulePlan`]: the fixed-priority list schedule of
+//! [`crate::makespan::simulate`] is deterministic, so its per-node core
+//! assignment and start times are a pure function of (task, plan, cores).
+//! Two orderings follow:
+//!
+//! * **program order** — nodes dispatched to the same core execute in
+//!   start-time order;
+//! * **dependency order** — a DAG edge orders producer before consumer.
+//!
+//! [`vector_clocks`] closes both under transitivity with per-core vector
+//! clocks: node `a` happens-before node `b` iff `b`'s clock has seen
+//! `a`'s tick on `a`'s core. Accesses by clock-unordered nodes on
+//! different cores are genuinely concurrent — the precondition of the
+//! checker's data-race rule.
+
+use l15_dag::{DagTask, NodeId};
+
+use crate::makespan::simulate;
+use crate::plan::SchedulePlan;
+
+/// The schedule facts happens-before is derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HbSchedule {
+    /// Core count the plan was laid out on.
+    pub cores: usize,
+    /// Per-node executing core.
+    pub core: Vec<usize>,
+    /// Nodes in dispatch order (start time, ties by node id — the list
+    /// scheduler never starts two nodes of one core at the same time).
+    pub order: Vec<NodeId>,
+    /// Per-node start times of the underlying list schedule.
+    pub start: Vec<f64>,
+    /// Per-node finish times of the underlying list schedule.
+    pub finish: Vec<f64>,
+}
+
+/// Lays the plan out on `cores` identical cores with the repo's list
+/// scheduler (WCET execution times, full edge costs) and extracts the
+/// dispatch order and core assignment.
+///
+/// # Panics
+///
+/// Panics if `cores == 0` or the plan length mismatches the task.
+pub fn hb_schedule(task: &DagTask, plan: &SchedulePlan, cores: usize) -> HbSchedule {
+    let dag = task.graph();
+    assert_eq!(plan.len(), dag.node_count(), "one plan entry per node");
+    let sim =
+        simulate(task, cores, &plan.priorities, |v| dag.node(v).wcet, |e, _| dag.edge(e).cost);
+    let mut order: Vec<NodeId> = dag.node_ids().collect();
+    order.sort_by(|&a, &b| {
+        sim.start[a.0].partial_cmp(&sim.start[b.0]).expect("finite start times").then(a.0.cmp(&b.0))
+    });
+    HbSchedule { cores, core: sim.core, order, start: sim.start, finish: sim.finish }
+}
+
+/// Per-node vector clocks over the schedule's cores.
+///
+/// Clocks are built by walking [`HbSchedule::order`]: each node joins the
+/// clocks of its DAG predecessors and of the previous node on its core,
+/// then ticks its own core component. The result supports O(cores)
+/// happens-before queries via [`VectorClocks::happens_before`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClocks {
+    cores: usize,
+    core_of: Vec<usize>,
+    /// Flattened `node × core` clock matrix.
+    clock: Vec<u64>,
+}
+
+impl VectorClocks {
+    /// The clock row of `v`.
+    pub fn of(&self, v: NodeId) -> &[u64] {
+        &self.clock[v.0 * self.cores..(v.0 + 1) * self.cores]
+    }
+
+    /// Whether `a` happens-before `b` under program order + dependency
+    /// order (false for `a == b`).
+    pub fn happens_before(&self, a: NodeId, b: NodeId) -> bool {
+        let ca = self.core_of[a.0];
+        a != b && self.of(b)[ca] >= self.of(a)[ca]
+    }
+
+    /// Whether `a` and `b` are concurrent: distinct, on different cores,
+    /// ordered neither way.
+    pub fn concurrent(&self, a: NodeId, b: NodeId) -> bool {
+        a != b
+            && self.core_of[a.0] != self.core_of[b.0]
+            && !self.happens_before(a, b)
+            && !self.happens_before(b, a)
+    }
+}
+
+/// Builds the per-node vector clocks of `sched` (see [`VectorClocks`]).
+pub fn vector_clocks(task: &DagTask, sched: &HbSchedule) -> VectorClocks {
+    let dag = task.graph();
+    let n = dag.node_count();
+    let cores = sched.cores;
+    let mut clock = vec![0u64; n * cores];
+    let mut core_clock = vec![vec![0u64; cores]; cores];
+    for &v in &sched.order {
+        let c = sched.core[v.0];
+        let mut row = core_clock[c].clone();
+        for &(_, p) in dag.predecessors(v) {
+            for k in 0..cores {
+                row[k] = row[k].max(clock[p.0 * cores + k]);
+            }
+        }
+        row[c] += 1;
+        clock[v.0 * cores..(v.0 + 1) * cores].copy_from_slice(&row);
+        core_clock[c] = row;
+    }
+    VectorClocks { cores, core_of: sched.core.clone(), clock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg1::schedule_with_l15;
+    use l15_dag::topology;
+    use l15_dag::{analysis, DagBuilder, ExecutionTimeModel, Node};
+
+    fn diamond() -> DagTask {
+        let mut b = DagBuilder::new();
+        let src = b.add_node(Node::new(1.0, 2048));
+        let a = b.add_node(Node::new(4.0, 2048));
+        let c = b.add_node(Node::new(4.0, 2048));
+        let sink = b.add_node(Node::new(1.0, 0));
+        b.add_edge(src, a, 1.0, 0.5).unwrap();
+        b.add_edge(src, c, 1.0, 0.5).unwrap();
+        b.add_edge(a, sink, 1.0, 0.5).unwrap();
+        b.add_edge(c, sink, 1.0, 0.5).unwrap();
+        DagTask::new(b.build().unwrap(), 1e6, 1e6).unwrap()
+    }
+
+    fn plan_of(task: &DagTask) -> SchedulePlan {
+        schedule_with_l15(task, 16, &ExecutionTimeModel::new(2048).unwrap())
+    }
+
+    #[test]
+    fn dispatch_order_is_a_topological_order() {
+        let task = diamond();
+        let sched = hb_schedule(&task, &plan_of(&task), 2);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, v) in sched.order.iter().enumerate() {
+                p[v.0] = i;
+            }
+            p
+        };
+        for e in task.graph().edge_ids() {
+            let edge = task.graph().edge(e);
+            assert!(pos[edge.from.0] < pos[edge.to.0], "{edge:?}");
+        }
+    }
+
+    #[test]
+    fn dag_edges_imply_happens_before() {
+        let task = diamond();
+        let sched = hb_schedule(&task, &plan_of(&task), 2);
+        let vc = vector_clocks(&task, &sched);
+        let (src, sink) = (task.graph().source(), task.graph().sink());
+        for v in task.graph().node_ids() {
+            if v != src {
+                assert!(vc.happens_before(src, v), "source precedes {v}");
+                assert!(!vc.happens_before(v, src));
+            }
+            if v != sink {
+                assert!(vc.happens_before(v, sink), "{v} precedes sink");
+            }
+            assert!(!vc.happens_before(v, v), "irreflexive");
+        }
+    }
+
+    #[test]
+    fn parallel_branches_on_two_cores_are_concurrent() {
+        let task = diamond();
+        let sched = hb_schedule(&task, &plan_of(&task), 2);
+        let vc = vector_clocks(&task, &sched);
+        let (a, c) = (NodeId(1), NodeId(2));
+        assert_ne!(sched.core[a.0], sched.core[c.0], "equal-length branches split");
+        assert!(vc.concurrent(a, c));
+        assert!(!vc.concurrent(a, a));
+    }
+
+    #[test]
+    fn single_core_serialises_everything() {
+        let task = diamond();
+        let sched = hb_schedule(&task, &plan_of(&task), 1);
+        let vc = vector_clocks(&task, &sched);
+        // On one core, program order totally orders the nodes.
+        for (i, &a) in sched.order.iter().enumerate() {
+            for &b in &sched.order[i + 1..] {
+                assert!(vc.happens_before(a, b), "{a} before {b}");
+                assert!(!vc.concurrent(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn happens_before_is_contained_in_reachability_union_program_order() {
+        // On a wider topology: hb(a,b) must come from a DAG path or from
+        // same-core ordering (transitively) — never relate two nodes the
+        // schedule could overlap.
+        let dag = topology::layered_mesh(4, 3, topology::UniformPayload::default()).unwrap();
+        let task = DagTask::new(dag, 1e6, 1e6).unwrap();
+        let sched = hb_schedule(&task, &plan_of(&task), 3);
+        let vc = vector_clocks(&task, &sched);
+        let reach = analysis::Reachability::new(task.graph());
+        for a in task.graph().node_ids() {
+            for b in task.graph().node_ids() {
+                if vc.concurrent(a, b) {
+                    assert!(
+                        reach.concurrent(a, b),
+                        "{a}/{b}: clock-concurrent nodes must be DAG-concurrent"
+                    );
+                    // Concurrency is symmetric.
+                    assert!(vc.concurrent(b, a));
+                }
+                if reach.reaches(a, b) {
+                    assert!(vc.happens_before(a, b), "{a} → {b} is a DAG path");
+                }
+            }
+        }
+    }
+}

@@ -18,7 +18,9 @@
 //! * [`periodic`] — the multi-DAG periodic engine behind the success-ratio
 //!   case study (Fig. 8(a)/(b)) and the side-effects analysis (Fig. 8(c):
 //!   L1.5 utilisation and the misconfiguration ratio φ);
-//! * [`casestudy`] — DAG-ified PARSEC 3.0 workload shapes (Sec. 5.2).
+//! * [`casestudy`] — DAG-ified PARSEC 3.0 workload shapes (Sec. 5.2);
+//! * [`hb`] — plan → happens-before: the deterministic dispatch order and
+//!   per-core vector clocks the `l15-check` race rule queries.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@ pub mod alg1;
 pub mod baseline;
 pub mod casestudy;
 pub mod gantt;
+pub mod hb;
 pub mod makespan;
 pub mod periodic;
 pub mod plan;

@@ -88,7 +88,7 @@ where
                     .map(|&(e, p)| finish[p.0] + comm_cost(e, on_core[p.0] == c))
                     .fold(0.0f64, f64::max);
                 let s = now.max(core_free[c]).max(data_ready);
-                if best.map_or(true, |(bs, _)| s < bs - 1e-12) {
+                if best.is_none_or(|(bs, _)| s < bs - 1e-12) {
                     best = Some((s, c));
                 }
             }

@@ -245,7 +245,7 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
                     })
                     .fold(job.release, f64::max);
                 let s = now.max(core_free[c]).max(data_ready);
-                if best.map_or(true, |(bs, _)| s < bs - 1e-12) {
+                if best.is_none_or(|(bs, _)| s < bs - 1e-12) {
                     best = Some((s, c));
                 }
             }

@@ -185,6 +185,57 @@ pub fn makespan_upper_bound(dag: &Dag) -> f64 {
     dag.total_work() + dag.total_comm_cost()
 }
 
+/// Transitive reachability over the DAG edges, as per-node ancestor
+/// bitsets (O(V·E/64) to build, O(1) to query).
+///
+/// Two nodes with no path either way are *concurrent*: the schedule may
+/// place them on different cores at the same time, which is exactly the
+/// precondition the happens-before race rule of `l15-check` tests for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachability {
+    n: usize,
+    words: usize,
+    /// `ancestors[v]`: bitset of nodes with a path **to** `v` (v excluded).
+    ancestors: Vec<u64>,
+}
+
+impl Reachability {
+    /// Builds the reachability relation of `dag`.
+    pub fn new(dag: &Dag) -> Self {
+        let n = dag.node_count();
+        let words = n.div_ceil(64);
+        let mut ancestors = vec![0u64; n * words];
+        for &v in &topological_order(dag) {
+            // Union every predecessor's ancestor set, plus the predecessor.
+            for &(_, p) in dag.predecessors(v) {
+                for w in 0..words {
+                    let bits = ancestors[p.0 * words + w];
+                    ancestors[v.0 * words + w] |= bits;
+                }
+                ancestors[v.0 * words + p.0 / 64] |= 1u64 << (p.0 % 64);
+            }
+        }
+        Reachability { n, words, ancestors }
+    }
+
+    /// Whether a directed path `from → … → to` exists (false for
+    /// `from == to`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        assert!(from.0 < self.n && to.0 < self.n, "node out of range");
+        self.ancestors[to.0 * self.words + from.0 / 64] & (1u64 << (from.0 % 64)) != 0
+    }
+
+    /// Whether `a` and `b` are order-unrelated (distinct, no path either
+    /// way).
+    pub fn concurrent(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +403,66 @@ mod tests {
         assert_eq!(l.critical_path_length(), 5.0);
         assert_eq!(critical_path(&dag), vec![NodeId(0)]);
         assert_eq!(topological_order(&dag), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn reachability_matches_paths_on_fig1() {
+        let dag = fig1_like();
+        let r = Reachability::new(&dag);
+        // Direct edge, transitive path, and the reflexive case.
+        assert!(r.reaches(NodeId(0), NodeId(1)));
+        assert!(r.reaches(NodeId(0), NodeId(6)));
+        assert!(r.reaches(NodeId(2), NodeId(6)), "v3 → v5/v6 → v7");
+        assert!(!r.reaches(NodeId(1), NodeId(0)), "edges are directed");
+        assert!(!r.reaches(NodeId(3), NodeId(3)), "not reflexive");
+        // v2 and v4 share no path: concurrent; v1/v7 relate to everything.
+        assert!(r.concurrent(NodeId(1), NodeId(3)));
+        assert!(!r.concurrent(NodeId(0), NodeId(5)));
+        assert!(!r.concurrent(NodeId(4), NodeId(4)), "a node is not its own peer");
+    }
+
+    #[test]
+    fn reachability_agrees_with_exhaustive_dfs_on_generated_dags() {
+        use crate::gen::{DagGenParams, DagGenerator};
+        let gen = DagGenerator::new(DagGenParams::default());
+        let mut rng = l15_testkit::rng::SmallRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let dag_task = gen.generate(&mut rng).unwrap();
+            let dag = dag_task.graph();
+            let r = Reachability::new(dag);
+            // Oracle: per-source DFS.
+            for s in dag.node_ids() {
+                let mut seen = vec![false; dag.node_count()];
+                let mut stack = vec![s];
+                while let Some(v) = stack.pop() {
+                    for &(_, w) in dag.successors(v) {
+                        if !seen[w.0] {
+                            seen[w.0] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+                for t in dag.node_ids() {
+                    assert_eq!(r.reaches(s, t), seen[t.0], "{s} → {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_crosses_word_boundaries() {
+        // A 70-node chain exercises the multi-word bitset path.
+        let mut b = DagBuilder::new();
+        let mut prev = b.add_node(Node::new(1.0, 0));
+        for _ in 0..69 {
+            let v = b.add_node(Node::new(1.0, 0));
+            b.add_edge(prev, v, 0.0, 0.5).unwrap();
+            prev = v;
+        }
+        let dag = b.build().unwrap();
+        let r = Reachability::new(&dag);
+        assert!(r.reaches(NodeId(0), NodeId(69)));
+        assert!(r.reaches(NodeId(63), NodeId(64)));
+        assert!(!r.reaches(NodeId(69), NodeId(0)));
     }
 }

@@ -334,17 +334,13 @@ mod tests {
 
     #[test]
     fn invalid_params_are_rejected() {
-        let mut p = DagGenParams::default();
-        p.max_width = 1;
+        let p = DagGenParams { max_width: 1, ..DagGenParams::default() };
         assert!(p.validate().is_err());
-        let mut p = DagGenParams::default();
-        p.cpr = 0.0;
+        let p = DagGenParams { cpr: 0.0, ..DagGenParams::default() };
         assert!(p.validate().is_err());
-        let mut p = DagGenParams::default();
-        p.layers = (6, 5);
+        let p = DagGenParams { layers: (6, 5), ..DagGenParams::default() };
         assert!(p.validate().is_err());
-        let mut p = DagGenParams::default();
-        p.edge_prob = 1.5;
+        let p = DagGenParams { edge_prob: 1.5, ..DagGenParams::default() };
         assert!(p.validate().is_err());
     }
 

@@ -150,8 +150,8 @@ pub fn series_parallel<R: Rng + ?Sized>(
     let n = next_id;
     let mut b = DagBuilder::new();
     let has_out: Vec<bool> = (0..n).map(|i| edges.iter().any(|&(u, _)| u == i)).collect();
-    for i in 0..n {
-        let data = if has_out[i] { p.data_bytes } else { 0 };
+    for &out in &has_out {
+        let data = if out { p.data_bytes } else { 0 };
         b.add_node(Node::new(p.wcet, data));
     }
     edges.sort_unstable();

@@ -1,0 +1,344 @@
+//! Static kernel-stream emission: the per-node protocol op sequences the
+//! Sec. 4.3 kernel *would* issue for a (task, plan) pair, without running
+//! the SoC.
+//!
+//! [`kernel::run_task`](crate::kernel::run_task) performs the protocol
+//! imperatively — `demand` → `ip_set` → grants → `ip_set` re-issue →
+//! run → `gv_set` → revoke-when-consumers-done. [`emit_kernel_streams`]
+//! renders the same sequence declaratively in the
+//! [`ProtocolOp`] vocabulary of `l15-cache`, one stream per node, laid
+//! out on the deterministic dispatch order of
+//! [`l15_core::hb::hb_schedule`]. This is the input of the `l15-check`
+//! static rules, and the reference the trace-replay mode compares the
+//! always-on counters against.
+//!
+//! Way accounting mirrors the SDU's best-effort semantics: a dispatch
+//! whose demand exceeds the free pool is granted the free ways only
+//! (supply lags demand; the kernel runs the node regardless), so a valid
+//! plan can never make the emitter fabricate a double grant.
+
+use l15_cache::l15::protocol::ProtocolOp;
+use l15_core::hb::{hb_schedule, HbSchedule};
+use l15_core::plan::SchedulePlan;
+use l15_dag::{DagTask, NodeId};
+
+use crate::layout::TaskLayout;
+
+/// Emission parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitOptions {
+    /// Cores the plan is laid out on (one cluster).
+    pub cores: usize,
+    /// Total L1.5 ways of the cluster (ζ).
+    pub ways: usize,
+    /// Per-node application id for the TID register; `None` = one
+    /// application (all zero).
+    pub tids: Option<Vec<u8>>,
+}
+
+impl Default for EmitOptions {
+    fn default() -> Self {
+        EmitOptions { cores: 4, ways: 16, tids: None }
+    }
+}
+
+/// The ops one node's dispatch-to-completion issues, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStream {
+    /// The node.
+    pub node: NodeId,
+    /// The core the schedule dispatches it to.
+    pub core: usize,
+    /// The ops, dispatch first.
+    pub ops: Vec<ProtocolOp>,
+}
+
+/// Every node's stream plus the shared facts the checker needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStreams {
+    /// Cores of the underlying schedule.
+    pub cores: usize,
+    /// Total cluster ways (ζ).
+    pub ways: usize,
+    /// Per-node application ids (index = node id).
+    pub tids: Vec<u8>,
+    /// Streams in dispatch (start-time) order.
+    pub streams: Vec<NodeStream>,
+    /// Per-node dependent-data line address (index = node id).
+    pub line_of: Vec<u64>,
+    /// Ways granted to each node (index = node id).
+    pub granted: Vec<Vec<usize>>,
+    /// The schedule the streams were laid out on.
+    pub sched: HbSchedule,
+}
+
+impl KernelStreams {
+    /// The stream of node `v`, if present.
+    pub fn stream_of(&self, v: NodeId) -> Option<&NodeStream> {
+        self.streams.iter().find(|s| s.node == v)
+    }
+
+    /// Mutable access to the stream of node `v` (for seeded mutations).
+    pub fn stream_of_mut(&mut self, v: NodeId) -> Option<&mut NodeStream> {
+        self.streams.iter_mut().find(|s| s.node == v)
+    }
+}
+
+/// Emits the kernel streams of `(task, plan)` under `opts`.
+///
+/// # Panics
+///
+/// Panics if the plan length mismatches the task, `opts.cores == 0`,
+/// `opts.ways == 0`, or `opts.tids` (when given) mismatches the node
+/// count.
+pub fn emit_kernel_streams(
+    task: &DagTask,
+    plan: &SchedulePlan,
+    opts: &EmitOptions,
+) -> KernelStreams {
+    let dag = task.graph();
+    let n = dag.node_count();
+    assert!(opts.ways > 0, "a cluster has at least one way");
+    let tids = match &opts.tids {
+        Some(t) => {
+            assert_eq!(t.len(), n, "one tid per node");
+            t.clone()
+        }
+        None => vec![0u8; n],
+    };
+    let sched = hb_schedule(task, plan, opts.cores);
+    let layout = TaskLayout::new(dag);
+    let line_of: Vec<u64> = (0..n).map(|i| u64::from(layout.output_of(NodeId(i)))).collect();
+
+    // The last consumer (by finish time, ties by id) releases a
+    // producer's ways; the producer itself when it has no consumers.
+    let releaser: Vec<NodeId> = (0..n)
+        .map(|i| {
+            dag.successors(NodeId(i))
+                .iter()
+                .map(|&(_, s)| s)
+                .max_by(|a, b| {
+                    sched.finish[a.0]
+                        .partial_cmp(&sched.finish[b.0])
+                        .expect("finite finish times")
+                        .then(a.0.cmp(&b.0))
+                })
+                .unwrap_or(NodeId(i))
+        })
+        .collect();
+
+    // Free-way pool, with time-based returns: a way released by node `c`
+    // is reusable by dispatches starting at or after `finish[c]`.
+    let mut free: Vec<usize> = (0..opts.ways).rev().collect(); // pop() = lowest
+    let mut returns: Vec<(f64, Vec<usize>)> = Vec::new();
+    let mut granted: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut streams: Vec<NodeStream> = Vec::with_capacity(n);
+
+    for &v in &sched.order {
+        let start = sched.start[v.0];
+        // Collect matured returns (deterministic: returns is in emission
+        // order, ways re-sorted below).
+        let mut matured = false;
+        returns.retain(|(t, ways)| {
+            if *t <= start {
+                free.extend(ways.iter().copied());
+                matured = true;
+                false
+            } else {
+                true
+            }
+        });
+        if matured {
+            free.sort_unstable_by(|a, b| b.cmp(a));
+        }
+
+        let want = plan.local_ways[v.0];
+        let mut ops = Vec::with_capacity(8 + dag.in_degree(v));
+        ops.push(ProtocolOp::SetTid { tid: tids[v.0] });
+        ops.push(ProtocolOp::Demand { ways: want });
+        ops.push(ProtocolOp::IpSet { on: true });
+        let supplied = want.min(free.len());
+        for _ in 0..supplied {
+            let way = free.pop().expect("supplied <= free.len()");
+            granted[v.0].push(way);
+            ops.push(ProtocolOp::Grant { way });
+        }
+        if supplied > 0 {
+            // The PR-1 fix: the dispatch-time ip_set only covered ways
+            // owned *before* the grants; re-issue once supply completed.
+            ops.push(ProtocolOp::IpSet { on: true });
+        }
+        let mut preds: Vec<NodeId> = dag.predecessors(v).iter().map(|&(_, p)| p).collect();
+        preds.sort_unstable_by_key(|p| p.0);
+        for p in &preds {
+            if dag.node(*p).data_bytes > 0 {
+                ops.push(ProtocolOp::Read { line: line_of[p.0] });
+            }
+        }
+        if dag.node(v).data_bytes > 0 {
+            ops.push(ProtocolOp::Write { line: line_of[v.0] });
+            if supplied > 0 {
+                ops.push(ProtocolOp::GvPublish { line: line_of[v.0] });
+            }
+        }
+        // Kernel-side revocation: this node is the last consumer of some
+        // producers (possibly itself, when it has no successors).
+        let mut releasing: Vec<NodeId> =
+            (0..n).map(NodeId).filter(|p| releaser[p.0] == v && !granted[p.0].is_empty()).collect();
+        releasing.sort_unstable_by_key(|p| p.0);
+        let mut returned = Vec::new();
+        for p in releasing {
+            for &way in &granted[p.0] {
+                ops.push(ProtocolOp::Release { way });
+                returned.push(way);
+            }
+        }
+        if !returned.is_empty() {
+            returns.push((sched.finish[v.0], returned));
+        }
+        streams.push(NodeStream { node: v, core: sched.core[v.0], ops });
+    }
+
+    KernelStreams { cores: opts.cores, ways: opts.ways, tids, streams, line_of, granted, sched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l15_core::alg1::schedule_with_l15;
+    use l15_dag::{DagBuilder, ExecutionTimeModel, Node};
+
+    fn sample() -> (DagTask, SchedulePlan) {
+        let mut b = DagBuilder::new();
+        let src = b.add_node(Node::new(1.0, 2048));
+        let a = b.add_node(Node::new(2.0, 4096));
+        let c = b.add_node(Node::new(3.0, 2048));
+        let sink = b.add_node(Node::new(1.0, 0));
+        b.add_edge(src, a, 1.5, 0.5).unwrap();
+        b.add_edge(src, c, 1.5, 0.5).unwrap();
+        b.add_edge(a, sink, 1.0, 0.6).unwrap();
+        b.add_edge(c, sink, 1.0, 0.6).unwrap();
+        let task = DagTask::new(b.build().unwrap(), 100.0, 90.0).unwrap();
+        let plan = schedule_with_l15(&task, 16, &ExecutionTimeModel::new(2048).unwrap());
+        (task, plan)
+    }
+
+    #[test]
+    fn streams_cover_every_node_once_in_dispatch_order() {
+        let (task, plan) = sample();
+        let ks = emit_kernel_streams(&task, &plan, &EmitOptions::default());
+        assert_eq!(ks.streams.len(), 4);
+        let mut seen = [false; 4];
+        for s in &ks.streams {
+            assert!(!seen[s.node.0], "duplicate stream for {}", s.node);
+            seen[s.node.0] = true;
+            assert!(s.core < ks.cores);
+        }
+        // Dispatch order respects edges (it is a start-time order).
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, s) in ks.streams.iter().enumerate() {
+                p[s.node.0] = i;
+            }
+            p
+        };
+        for e in task.graph().edge_ids() {
+            let edge = task.graph().edge(e);
+            assert!(pos[edge.from.0] < pos[edge.to.0]);
+        }
+    }
+
+    #[test]
+    fn each_stream_follows_the_section_4_3_shape() {
+        let (task, plan) = sample();
+        let ks = emit_kernel_streams(&task, &plan, &EmitOptions::default());
+        for s in &ks.streams {
+            let v = s.node;
+            assert_eq!(s.ops[0], ProtocolOp::SetTid { tid: 0 });
+            assert_eq!(s.ops[1], ProtocolOp::Demand { ways: plan.local_ways[v.0] });
+            assert_eq!(s.ops[2], ProtocolOp::IpSet { on: true });
+            let grants: Vec<_> =
+                s.ops.iter().filter(|o| matches!(o, ProtocolOp::Grant { .. })).collect();
+            assert_eq!(grants.len(), ks.granted[v.0].len());
+            if !grants.is_empty() {
+                // The re-issued ip_set sits after the last grant and
+                // before the first access.
+                let last_grant =
+                    s.ops.iter().rposition(|o| matches!(o, ProtocolOp::Grant { .. })).unwrap();
+                let first_access = s.ops.iter().position(|o| o.is_access());
+                let reissue = s.ops[last_grant + 1..]
+                    .iter()
+                    .position(|o| matches!(o, ProtocolOp::IpSet { on: true }))
+                    .map(|i| last_grant + 1 + i)
+                    .expect("re-issued ip_set present");
+                if let Some(fa) = first_access {
+                    assert!(reissue < fa, "{v}: ip_set re-issue precedes accesses");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grants_and_releases_balance_globally() {
+        let (task, plan) = sample();
+        let ks = emit_kernel_streams(&task, &plan, &EmitOptions::default());
+        let mut owned: Vec<bool> = vec![false; ks.ways];
+        for s in &ks.streams {
+            for op in &s.ops {
+                match *op {
+                    ProtocolOp::Grant { way } => {
+                        assert!(!owned[way], "double grant of w{way}");
+                        owned[way] = true;
+                    }
+                    ProtocolOp::Release { way } => {
+                        assert!(owned[way], "release of unowned w{way}");
+                        owned[way] = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(owned.iter().all(|&o| !o), "all ways returned at quiesce");
+    }
+
+    #[test]
+    fn overcommitted_plan_is_supplied_best_effort() {
+        let (task, _) = sample();
+        // A hand-built plan demanding 8 ways per node on a 4-way cluster.
+        let plan = SchedulePlan {
+            priorities: vec![3, 2, 1, 0],
+            local_ways: vec![8, 8, 8, 0],
+            rounds: Vec::new(),
+        };
+        let opts = EmitOptions { ways: 4, ..EmitOptions::default() };
+        let ks = emit_kernel_streams(&task, &plan, &opts);
+        // The source takes the whole pool; the parallel branches get none
+        // until its ways return — never a double grant.
+        assert_eq!(ks.granted[0].len(), 4);
+        let total: usize = ks.granted.iter().map(Vec::len).sum();
+        assert!(total >= 4, "the pool is used");
+        let mut owned = [false; 4];
+        for s in &ks.streams {
+            for op in &s.ops {
+                match *op {
+                    ProtocolOp::Grant { way } => {
+                        assert!(!owned[way]);
+                        owned[way] = true;
+                    }
+                    ProtocolOp::Release { way } => owned[way] = false,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tids_flow_into_set_tid_ops() {
+        let (task, plan) = sample();
+        let opts = EmitOptions { tids: Some(vec![0, 1, 0, 1]), ..EmitOptions::default() };
+        let ks = emit_kernel_streams(&task, &plan, &opts);
+        for s in &ks.streams {
+            assert_eq!(s.ops[0], ProtocolOp::SetTid { tid: ks.tids[s.node.0] });
+        }
+    }
+}

@@ -185,12 +185,9 @@ pub fn run_task(
         }
 
         // --- Dispatch ready nodes to idle cores ------------------------
-        loop {
-            let Some(&core) =
-                cores.iter().find(|&&c| core_node[c].is_none() && soc.core(c).is_halted())
-            else {
-                break;
-            };
+        while let Some(&core) =
+            cores.iter().find(|&&c| core_node[c].is_none() && soc.core(c).is_halted())
+        {
             // Highest-priority ready node.
             let Some(v) = (0..n)
                 .filter(|&i| state[i] == NodeState::Ready)

@@ -10,7 +10,10 @@
 //! * [`layout::TaskLayout`] — per-node program and dependent-data buffers;
 //! * [`workgen::node_program`] — RV32 programs that read predecessors'
 //!   data, compute and produce their own dependent data;
-//! * [`kernel::run_task`] — the dispatcher/monitor.
+//! * [`kernel::run_task`] — the dispatcher/monitor;
+//! * [`emit::emit_kernel_streams`] — the same Sec. 4.3 protocol rendered
+//!   statically as checkable [`l15_cache::l15::protocol::ProtocolOp`]
+//!   streams for the `l15-check` verifier.
 //!
 //! # Example
 //!
@@ -38,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod emit;
 pub mod kernel;
 pub mod layout;
 pub mod multitask;
 pub mod workgen;
 
+pub use emit::{emit_kernel_streams, EmitOptions, KernelStreams, NodeStream};
 pub use kernel::{run_task, KernelConfig, KernelError, RunReport};
 pub use layout::TaskLayout;
 pub use multitask::{run_taskset, MultiTaskConfig, MultiTaskReport, TaskOutcome};

@@ -355,7 +355,7 @@ impl Core {
             }
             Instr::Load { op, rd, rs1, imm } => {
                 let vaddr = self.regs[rs1 as usize].wrapping_add(imm as u32);
-                if vaddr % op.size() != 0 {
+                if !vaddr.is_multiple_of(op.size()) {
                     take_trap!(cause::LOAD_PAGE_FAULT, vaddr);
                 }
                 let (paddr, tlb) = match self.translate(vaddr) {
@@ -380,7 +380,7 @@ impl Core {
             }
             Instr::Store { op, rs1, rs2, imm } => {
                 let vaddr = self.regs[rs1 as usize].wrapping_add(imm as u32);
-                if vaddr % op.size() != 0 {
+                if !vaddr.is_multiple_of(op.size()) {
                     take_trap!(cause::STORE_PAGE_FAULT, vaddr);
                 }
                 let (paddr, tlb) = match self.translate(vaddr) {
@@ -543,13 +543,7 @@ fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
                 ((a as i32) / (b as i32)) as u32
             }
         }
-        MulOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         MulOp::Rem => {
             if b == 0 {
                 a

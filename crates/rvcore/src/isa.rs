@@ -650,7 +650,7 @@ impl Instr {
             | Instr::Op { rd, .. }
             | Instr::MulDiv { rd, .. }
             | Instr::Csr { rd, .. } => rd,
-            Instr::L15 { op, rd, .. } if matches!(op, L15Op::Supply | L15Op::GvGet) => rd,
+            Instr::L15 { op: L15Op::Supply | L15Op::GvGet, rd, .. } => rd,
             _ => return None,
         };
         if rd == 0 {
@@ -671,9 +671,7 @@ impl Instr {
             | Instr::Op { rs1, rs2, .. }
             | Instr::MulDiv { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
             Instr::Csr { src, imm_form, .. } if !imm_form => [Some(src), None],
-            Instr::L15 { op, rs1, .. }
-                if matches!(op, L15Op::Demand | L15Op::GvSet | L15Op::IpSet) =>
-            {
+            Instr::L15 { op: L15Op::Demand | L15Op::GvSet | L15Op::IpSet, rs1, .. } => {
                 [Some(rs1), None]
             }
             _ => [None, None],

@@ -302,7 +302,7 @@ mod tests {
         let mut a = Assembler::new();
         a.li(1, 0x1000);
         for i in 0..32 {
-            a.lw((2 + (i % 6)) as u8, 1, (i * 4) as i32);
+            a.lw((2 + (i % 6)) as u8, 1, i * 4);
         }
         a.ebreak();
         let trace = trace_of(a);
@@ -323,7 +323,7 @@ mod tests {
         let mut a = Assembler::new();
         a.li(1, 0x2000);
         for i in 0..16 {
-            a.lw(2, 1, (i * 4) as i32);
+            a.lw(2, 1, i * 4);
             a.addi(3, 2, 1);
             a.addi(4, 4, 1);
         }

@@ -10,11 +10,13 @@
 //! identical requests always produce byte-identical responses, which is
 //! what lets `loadgen` diff whole runs across `L15_JOBS` worker counts.
 
+use l15_check::program::{CheckProgram, ParseProgramError};
 use l15_core::alg1::schedule_with_l15;
 use l15_core::baseline::baseline_priorities;
 use l15_core::makespan::simulate;
 use l15_core::rta;
 use l15_dag::{analysis, textio, DagTask, ExecutionTimeModel};
+use l15_runtime::emit::EmitOptions;
 use l15_runtime::kernel::{run_task, KernelConfig, KernelError};
 use l15_runtime::WorkScale;
 use l15_soc::{Soc, SocConfig};
@@ -35,6 +37,8 @@ pub struct Limits {
     pub max_sim_data_bytes: u64,
     /// Cycle budget cap for `/simulate`.
     pub max_sim_cycles: u64,
+    /// Node cap for `/check` (the race rule is quadratic in nodes).
+    pub max_check_nodes: usize,
     /// Cap on the `cores` query parameter.
     pub max_cores: usize,
 }
@@ -46,6 +50,7 @@ impl Default for Limits {
             max_sim_nodes: 64,
             max_sim_data_bytes: 32 * 1024,
             max_sim_cycles: 20_000_000,
+            max_check_nodes: 1024,
             max_cores: 64,
         }
     }
@@ -77,9 +82,12 @@ pub fn route(method: &str, path: &str) -> Route {
         ("POST", "/schedule") => Route::Compute(Endpoint::Schedule),
         ("POST", "/analyze") => Route::Compute(Endpoint::Analyze),
         ("POST", "/simulate") => Route::Compute(Endpoint::Simulate),
-        (_, "/healthz" | "/metrics" | "/shutdown" | "/schedule" | "/analyze" | "/simulate") => {
-            Route::MethodNotAllowed
-        }
+        ("POST", "/check") => Route::Compute(Endpoint::Check),
+        (
+            _,
+            "/healthz" | "/metrics" | "/shutdown" | "/schedule" | "/analyze" | "/simulate"
+            | "/check",
+        ) => Route::MethodNotAllowed,
         _ => Route::NotFound,
     }
 }
@@ -94,11 +102,17 @@ pub fn handle_compute(endpoint: Endpoint, req: &Request, limits: &Limits) -> Res
 }
 
 fn handle_inner(endpoint: Endpoint, req: &Request, limits: &Limits) -> Result<Response, Response> {
+    // `/check` parses the extended program format (task + `plan` lines)
+    // itself; the other endpoints share the plain-task parse.
+    if endpoint == Endpoint::Check {
+        return check(req, limits);
+    }
     let task = parse_body(&req.body, limits)?;
     match endpoint {
         Endpoint::Schedule => schedule(&task, req, limits),
         Endpoint::Analyze => analyze(&task, req, limits),
         Endpoint::Simulate => simulate_soc(&task, req, limits),
+        Endpoint::Check => unreachable!("handled above"),
     }
 }
 
@@ -287,6 +301,63 @@ fn simulate_soc(task: &DagTask, req: &Request, limits: &Limits) -> Result<Respon
     Ok(Response::json(200, o.finish()))
 }
 
+/// `POST /check` — the `l15-check` static rules (R1–R5) over a submitted
+/// program: the `.dag` task text, optionally extended with embedded
+/// `plan <node> pri=<p> ways=<w> [tid=<t>]` lines. Without plan lines the
+/// service derives an Alg. 1 plan (`zeta` query parameter), mirroring the
+/// checker binary. Findings carry the canonical `text` rendering of the
+/// shared testkit formatter, byte-identical to the binary's output.
+fn check(req: &Request, limits: &Limits) -> Result<Response, Response> {
+    let cores = int_param(req, "cores", 4, limits.max_cores as u64)? as usize;
+    let zeta = int_param(req, "zeta", 16, 64)? as usize;
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::error(400, "body must be UTF-8 program text"))?;
+    let spec = l15_check::parse_program_text(text).map_err(|e| match &e {
+        ParseProgramError::Dag(textio::ParseDagError::TooLarge { .. }) => {
+            Response::error(413, &format!("{e}"))
+        }
+        _ => Response::error(422, &format!("{e}")),
+    })?;
+    let n = spec.task.graph().node_count();
+    if n > limits.max_check_nodes {
+        return Err(Response::error(
+            413,
+            &format!("check accepts at most {} nodes, got {n}", limits.max_check_nodes),
+        ));
+    }
+    let plan = match spec.plan {
+        Some(p) => p,
+        None => {
+            let etm = ExecutionTimeModel::new(2048).expect("2 KiB is a valid way size");
+            schedule_with_l15(&spec.task, zeta, &etm)
+        }
+    };
+    let opts = EmitOptions { cores, ways: zeta, tids: spec.tids };
+    let findings = CheckProgram::new(spec.task, plan, &opts).check();
+
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            let mut fo = Obj::new();
+            fo.str("rule", f.rule.name());
+            fo.raw("nodes", &json::int_array(f.nodes.iter().map(|v| v.0 as u64)));
+            match f.line {
+                Some(l) => fo.str("line", &format!("{l:#010x}")),
+                None => fo.raw("line", "null"),
+            };
+            fo.str("text", &f.render());
+            fo.finish()
+        })
+        .collect();
+    let mut o = Obj::new();
+    o.int("nodes", n as u64);
+    o.int("cores", cores as u64);
+    o.int("zeta", zeta as u64);
+    o.bool("clean", findings.is_empty());
+    o.raw("findings", &format!("[{}]", items.join(",")));
+    Ok(Response::json(200, o.finish()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +391,7 @@ edge 2 3 cost=1 alpha=0.6
         assert_eq!(route("POST", "/schedule"), Route::Compute(Endpoint::Schedule));
         assert_eq!(route("POST", "/analyze"), Route::Compute(Endpoint::Analyze));
         assert_eq!(route("POST", "/simulate"), Route::Compute(Endpoint::Simulate));
+        assert_eq!(route("POST", "/check"), Route::Compute(Endpoint::Check));
         assert_eq!(route("POST", "/healthz"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/schedule"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/nope"), Route::NotFound);
@@ -391,6 +463,53 @@ edge 2 3 cost=1 alpha=0.6
         let resp =
             handle_compute(Endpoint::Simulate, &post("/simulate", "", fat), &Limits::default());
         assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn check_passes_a_valid_program() {
+        let req = post("/check", "cores=4&zeta=16", SAMPLE);
+        let resp = handle_compute(Endpoint::Check, &req, &Limits::default());
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8(resp.body));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"clean\":true"), "{body}");
+        assert!(body.contains("\"findings\":[]"), "{body}");
+        assert!(body.contains("\"nodes\":4"), "{body}");
+    }
+
+    #[test]
+    fn check_reports_cross_tid_reads_on_an_embedded_plan() {
+        // Node 1 runs as a different application (tid 1), so the reads
+        // along 0 → 1 and 1 → 3 cross the TID protector boundary.
+        let program = format!(
+            "{SAMPLE}plan 0 pri=3 ways=4 tid=0\nplan 1 pri=2 ways=4 tid=1\n\
+             plan 2 pri=2 ways=4 tid=0\nplan 3 pri=1 ways=4 tid=0\n"
+        );
+        let resp =
+            handle_compute(Endpoint::Check, &post("/check", "", &program), &Limits::default());
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8(resp.body));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"clean\":false"), "{body}");
+        assert!(body.contains("\"rule\":\"R4_TID_PROTECTOR\""), "{body}");
+        assert!(body.contains("TID boundary"), "{body}");
+    }
+
+    #[test]
+    fn check_rejects_bad_plan_lines_and_oversized_programs() {
+        let bad = format!("{SAMPLE}plan 0 pri=1\n");
+        let resp = handle_compute(Endpoint::Check, &post("/check", "", &bad), &Limits::default());
+        assert_eq!(resp.status, 422, "{:?}", String::from_utf8(resp.body));
+
+        let tight = Limits { max_check_nodes: 2, ..Limits::default() };
+        let resp = handle_compute(Endpoint::Check, &post("/check", "", SAMPLE), &tight);
+        assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn check_is_deterministic() {
+        let req = post("/check", "", SAMPLE);
+        let a = handle_compute(Endpoint::Check, &req, &Limits::default());
+        let b = handle_compute(Endpoint::Check, &req, &Limits::default());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -35,11 +35,14 @@ pub enum Endpoint {
     Analyze = 1,
     /// `POST /simulate`.
     Simulate = 2,
+    /// `POST /check`.
+    Check = 3,
 }
 
 impl Endpoint {
     /// All compute endpoints, in render order.
-    pub const ALL: [Endpoint; 3] = [Endpoint::Schedule, Endpoint::Analyze, Endpoint::Simulate];
+    pub const ALL: [Endpoint; 4] =
+        [Endpoint::Schedule, Endpoint::Analyze, Endpoint::Simulate, Endpoint::Check];
 
     /// The label value used on the exposition page.
     pub fn name(self) -> &'static str {
@@ -47,6 +50,7 @@ impl Endpoint {
             Endpoint::Schedule => "schedule",
             Endpoint::Analyze => "analyze",
             Endpoint::Simulate => "simulate",
+            Endpoint::Check => "check",
         }
     }
 }
@@ -141,7 +145,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     /// Admitted requests per compute endpoint.
-    pub requests: [Counter; 3],
+    pub requests: [Counter; 4],
     /// Served inline `GET /healthz` requests.
     pub healthz: Counter,
     /// Served inline `GET /metrics` requests (incremented *before*
@@ -166,9 +170,9 @@ pub struct ServeMetrics {
     /// Instantaneous queue depth (set by the queue, read by the page).
     pub queue_depth: AtomicU64,
     /// Time from admission to dispatch, per endpoint.
-    pub queue_wait: [Histogram; 3],
+    pub queue_wait: [Histogram; 4],
     /// Handler execution time, per endpoint.
-    pub handle_time: [Histogram; 3],
+    pub handle_time: [Histogram; 4],
 }
 
 impl ServeMetrics {

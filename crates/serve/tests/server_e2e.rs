@@ -78,7 +78,7 @@ fn full_request_cycle_and_graceful_shutdown() {
     assert_eq!(scrape(&text, "l15_rejected_total"), Some(0));
     assert_eq!(scrape(&text, "l15_expired_total"), Some(0));
     let batches = scrape(&text, "l15_batches_total").unwrap();
-    assert!(batches >= 1 && batches <= 6, "6 jobs in 1..=6 batches, got {batches}");
+    assert!((1..=6).contains(&batches), "6 jobs in 1..=6 batches, got {batches}");
     assert_eq!(scrape(&text, "l15_batch_jobs_total"), Some(6));
     assert_eq!(
         scrape(&text, "l15_latency_us_count{endpoint=\"schedule\",phase=\"handle\"}"),
@@ -92,6 +92,40 @@ fn full_request_cycle_and_graceful_shutdown() {
     handle.join();
     // The port no longer answers.
     assert!(client::get(addr, "/healthz", Duration::from_millis(500)).is_err());
+}
+
+#[test]
+fn check_endpoint_lints_programs_over_the_wire() {
+    let handle = start(ServeConfig::default()).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // A bare task is scheduled by the service and checks clean.
+    let r = client::post(addr, "/check?cores=4&zeta=16", SAMPLE.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.header("content-type"), Some("application/json"));
+    assert!(r.text().contains("\"clean\":true"), "{}", r.text());
+
+    // An embedded plan that crosses a TID boundary yields R4 findings
+    // whose `text` is the checker binary's canonical rendering.
+    let program = format!(
+        "{SAMPLE}plan 0 pri=3 ways=4 tid=0\nplan 1 pri=2 ways=4 tid=1\n\
+         plan 2 pri=2 ways=4 tid=0\nplan 3 pri=1 ways=4 tid=0\n"
+    );
+    let r = client::post(addr, "/check", program.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let text = r.text();
+    assert!(text.contains("\"clean\":false"), "{text}");
+    assert!(text.contains("\"rule\":\"R4_TID_PROTECTOR\""), "{text}");
+    assert!(text.contains("R4_TID_PROTECTOR nodes=["), "canonical text field: {text}");
+
+    // A malformed plan line maps to 422 over the wire.
+    let bad = format!("{SAMPLE}plan 0 pri=1\n");
+    let r = client::post(addr, "/check", bad.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(r.status, 422, "{}", r.text());
+
+    let page = client::get(addr, "/metrics", TIMEOUT).unwrap().text();
+    assert_eq!(scrape(&page, "l15_requests_total{endpoint=\"check\"}"), Some(3));
+    handle.shutdown();
 }
 
 #[test]

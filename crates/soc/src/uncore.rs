@@ -353,10 +353,8 @@ impl Uncore {
             let (line, mut cycles, served) = self.line_from_below_traced(pbase);
             cycles += out.latency;
             let l15 = self.l15[cluster].as_mut().expect("checked above");
-            if let Ok((Some(_), victim)) = l15.fill(lane, vbase, pbase, &line, false) {
-                if let Some(v) = victim {
-                    write_back(&mut self.l2, &mut self.mem, &mut self.mem_lines, v.addr, &v.data);
-                }
+            if let Ok((Some(_), Some(v))) = l15.fill(lane, vbase, pbase, &line, false) {
+                write_back(&mut self.l2, &mut self.mem, &mut self.mem_lines, v.addr, &v.data);
             }
             (line, cycles, served)
         } else {

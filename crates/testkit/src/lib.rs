@@ -28,6 +28,10 @@
 //! * [`cli`] — the unified flag grammar of every workspace binary
 //!   (`--quick`, declared boolean and numeric value flags; unknown flags
 //!   exit 2 with usage).
+//! * [`diag`] — the canonical single-line rendering of checker
+//!   diagnostics, shared by the `l15-check` binary, the `POST /check`
+//!   endpoint and the mutation tests so a finding is byte-identical on
+//!   every surface.
 //! * [`diff`] — bookkeeping for the differential harness in
 //!   `tests/differential.rs`, which runs generated DAG workloads through
 //!   both the L1.5 SoC path and the shared-L1 baseline and checks the
@@ -60,6 +64,7 @@
 
 pub mod bench;
 pub mod cli;
+pub mod diag;
 pub mod diff;
 pub mod gen;
 pub mod pool;

@@ -18,17 +18,29 @@ L15_JOBS=4 cargo test -q --offline --workspace
 echo "==> rustfmt"
 cargo fmt --check
 
+echo "==> clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> sweep determinism (fig7 --quick, L15_JOBS=1 vs 4)"
 seq_out=$(mktemp)
 par_out=$(mktemp)
 serve_log=$(mktemp)
 lg_seq=$(mktemp)
 lg_par=$(mktemp)
-trap 'rm -f "$seq_out" "$par_out" "$serve_log" "$lg_seq" "$lg_par" "$lg_seq.det" "$lg_par.det"' EXIT
+chk_seq=$(mktemp)
+chk_par=$(mktemp)
+trap 'rm -f "$seq_out" "$par_out" "$serve_log" "$lg_seq" "$lg_par" "$lg_seq.det" "$lg_par.det" "$chk_seq" "$chk_par"' EXIT
 L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$seq_out"
 L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$par_out"
 diff -u "$seq_out" "$par_out"
 echo "fig7 output is byte-identical across worker counts"
+
+echo "==> protocol lint (l15-check --quick, L15_JOBS=1 vs 4 determinism)"
+L15_JOBS=1 cargo run --release --offline -q -p l15-check --bin l15-check -- --quick > "$chk_seq"
+L15_JOBS=4 cargo run --release --offline -q -p l15-check --bin l15-check -- --quick > "$chk_par"
+diff -u "$chk_seq" "$chk_par"
+grep -q "all programs clean" "$chk_seq"
+echo "l15-check output is clean and byte-identical across worker counts"
 
 echo "==> serve smoke (l15-serve + loadgen, L15_JOBS=1 vs 4 determinism)"
 # A deliberately tiny queue so the loadgen burst saturates it: the run must

@@ -10,6 +10,8 @@
 //! * [`core`] — the paper's contribution: Alg. 1 scheduling, baselines,
 //!   makespan and success-ratio simulators.
 //! * [`runtime`] — the programming model (dispatch-time reconfiguration).
+//! * [`check`] — static protocol verifier + happens-before race detector
+//!   over the emitted kernel streams, with a trace-replay mode.
 //! * [`area`] — the Sec. 5.4 area model.
 //! * [`serve`] — scheduling-as-a-service: a zero-dependency HTTP layer
 //!   exposing the pipeline with batching, backpressure and metrics.
@@ -23,6 +25,7 @@
 
 pub use l15_area as area;
 pub use l15_cache as cache;
+pub use l15_check as check;
 pub use l15_core as core;
 pub use l15_dag as dag;
 pub use l15_runtime as runtime;
