@@ -305,6 +305,12 @@ impl L15Cache {
         self.sdu.pending()
     }
 
+    /// Outstanding reconfiguration backlog: `Σ |S − D|` over the lanes
+    /// (how many one-way-per-cycle Walloc actions are still owed).
+    pub fn reconfig_backlog(&self) -> usize {
+        self.sdu.pending_gap()
+    }
+
     /// Total Walloc actions performed (reconfiguration overhead metric).
     pub fn reconfig_actions(&self) -> u64 {
         self.sdu.actions()

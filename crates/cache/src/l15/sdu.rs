@@ -102,6 +102,12 @@ impl Sdu {
         self.demand.iter().zip(&self.supply).any(|(d, s)| d != s)
     }
 
+    /// Total outstanding reconfiguration work: `Σ |S − D|` over all cores
+    /// (the backlog the one-way-per-cycle Walloc still has to drain).
+    pub fn pending_gap(&self) -> usize {
+        self.demand.iter().zip(&self.supply).map(|(&d, &s)| d.abs_diff(s)).sum()
+    }
+
     /// Total Walloc actions executed so far.
     pub fn actions(&self) -> u64 {
         self.actions

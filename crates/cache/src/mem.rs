@@ -65,6 +65,28 @@ impl MainMemory {
     pub fn allocated_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Content fingerprint: FNV-1a over `(page index, bytes)` in page
+    /// order. All-zero pages are skipped, so a page that was allocated but
+    /// never given non-zero content hashes the same as an untouched one —
+    /// two memories fingerprint equal iff every address reads equal.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut keys: Vec<u64> =
+            self.pages.iter().filter(|(_, p)| p.iter().any(|&b| b != 0)).map(|(&k, _)| k).collect();
+        keys.sort_unstable();
+        let mut h = OFFSET;
+        for key in keys {
+            for b in key.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            for &b in self.pages[&key].iter() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +126,23 @@ mod tests {
         let mut m = MainMemory::new(1);
         m.write_u32(0x80, 0xdead_beef);
         assert_eq!(m.read_u32(0x80), 0xdead_beef);
+    }
+
+    #[test]
+    fn fingerprint_is_content_based() {
+        let mut a = MainMemory::new(1);
+        let mut b = MainMemory::new(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.write_u32(0x40, 7);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.write_u32(0x40, 7);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Allocating a page with zeros does not change the fingerprint.
+        b.write(0x9000, &[0, 0, 0, 0]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Same byte at a different address differs.
+        let mut c = MainMemory::new(1);
+        c.write_u32(0x44, 7);
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }

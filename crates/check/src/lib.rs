@@ -66,5 +66,7 @@ pub mod rules;
 
 pub use fsm::{check_walloc, FsmBounds, WallocModel};
 pub use program::{parse_program_text, write_program, CheckProgram, Mutation, ProgramSpec};
-pub use replay::{check_counters, TraceExpectation};
+pub use replay::{
+    check_counters, check_recorded, counters_from_events, ReplayVerdict, TraceExpectation,
+};
 pub use rules::{check_streams, sort_findings, Finding, RuleId};

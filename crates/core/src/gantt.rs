@@ -58,6 +58,46 @@ pub fn render(task: &DagTask, result: &SimResult, cores: usize, width: usize) ->
     out
 }
 
+/// Converts a simulated schedule into cycle-stamped [`Planned`] entries
+/// for the `l15-trace` Gantt diff (`l15_trace::gantt::diff`).
+///
+/// The makespan simulator works in the DAG's abstract time units;
+/// `cycles_per_unit` scales them to the observed run's cycle clock. A
+/// natural choice is `observed_makespan / result.makespan`, which
+/// normalises the plan to the run so the diff reports per-node *shape*
+/// deviations rather than the global clock-rate mismatch.
+///
+/// Entries are ordered by node index; timestamps are rounded to the
+/// nearest cycle with finish clamped to at least `start + 1`.
+///
+/// # Panics
+///
+/// Panics if `cycles_per_unit` is not finite and positive.
+pub fn planned_nodes(
+    task: &DagTask,
+    result: &SimResult,
+    cycles_per_unit: f64,
+) -> Vec<l15_trace::gantt::Planned> {
+    assert!(
+        cycles_per_unit.is_finite() && cycles_per_unit > 0.0,
+        "cycles_per_unit must be finite and positive, got {cycles_per_unit}"
+    );
+    let to_cycles = |t: f64| -> u64 { (t.max(0.0) * cycles_per_unit).round() as u64 };
+    task.graph()
+        .node_ids()
+        .map(|v| {
+            let start = to_cycles(result.start[v.0]);
+            let finish = to_cycles(result.finish[v.0]).max(start + 1);
+            l15_trace::gantt::Planned {
+                node: v.0 as u32,
+                core: result.core[v.0] as u32,
+                start,
+                finish,
+            }
+        })
+        .collect()
+}
+
 /// Utilisation summary per core: fraction of the makespan each core was
 /// busy.
 pub fn core_utilisation(task: &DagTask, result: &SimResult, cores: usize) -> Vec<f64> {
@@ -110,6 +150,21 @@ mod tests {
             let g = if v < 10 { (b'0' + v as u8) as char } else { (b'a' + (v - 10) as u8) as char };
             assert!(text.contains(g), "node {v} (glyph {g}) missing:\n{text}");
         }
+    }
+
+    #[test]
+    fn planned_nodes_scale_and_order() {
+        let (task, r) = schedule();
+        let planned = planned_nodes(&task, &r, 100.0);
+        assert_eq!(planned.len(), task.graph().node_count());
+        for (i, p) in planned.iter().enumerate() {
+            assert_eq!(p.node, i as u32);
+            assert!(p.finish > p.start, "{p:?}");
+            assert_eq!(p.core, r.core[i] as u32);
+            assert_eq!(p.start, (r.start[i] * 100.0).round() as u64);
+        }
+        let span = planned.iter().map(|p| p.finish).max().unwrap();
+        assert_eq!(span, (r.makespan * 100.0).round() as u64);
     }
 
     #[test]

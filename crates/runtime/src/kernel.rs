@@ -31,6 +31,7 @@ use l15_dag::{DagTask, NodeId};
 use l15_rvcore::bus::SystemBus;
 use l15_rvcore::isa::L15Op;
 use l15_soc::Soc;
+use l15_trace::{EventKind, SectionKind};
 
 use crate::layout::TaskLayout;
 use crate::workgen::{node_program, WorkScale};
@@ -226,6 +227,29 @@ pub fn run_task(
             core_node[core] = Some(v);
             dispatch_cycle[core] = soc.clock(core);
             state[v.0] = NodeState::Running { core };
+
+            // Flight recorder: node lifecycle plus the Sec. 4.3
+            // context-switch section (no-ops unless a sink is attached).
+            if soc.uncore().trace().sink_enabled() {
+                let dc = dispatch_cycle[core];
+                let (nv, cv) = (v.0 as u32, core as u32);
+                let want = want_ways[core] as u32;
+                let settled = config_done_cycle[core].is_some();
+                let t = soc.uncore_mut().trace_mut();
+                t.emit_at(dc, EventKind::NodeStart { node: nv, core: cv });
+                if has_l15 {
+                    t.emit_at(
+                        dc,
+                        EventKind::Section { core: cv, node: nv, kind: SectionKind::Dispatch },
+                    );
+                    t.emit_at(dc, EventKind::WallocStart { core: cv, want });
+                    if settled {
+                        // No extra local ways demanded: the episode is
+                        // zero-length, closed at the dispatch cycle.
+                        t.emit_at(dc, EventKind::WallocDone { core: cv, got: want });
+                    }
+                }
+            }
         }
 
         // --- Advance the laggard busy core -----------------------------
@@ -256,13 +280,18 @@ pub fn run_task(
                 .expect("lane in range")
                 .count();
             if supplied >= want_ways[core] {
-                config_done_cycle[core] = Some(soc.clock(core));
+                let cyc = soc.clock(core);
+                config_done_cycle[core] = Some(cyc);
                 // The Walloc grants ways non-inclusive; now that the
                 // demanded configuration is fully applied, mark the node's
                 // ways inclusive so the IPU routes its stores into the
                 // L1.5 (the dispatch-time ip_set only covered ways owned
                 // *before* the grant).
                 soc.uncore_mut().l15_ctrl(core, L15Op::IpSet, 1);
+                soc.uncore_mut().trace_mut().emit_at(
+                    cyc,
+                    EventKind::WallocDone { core: core as u32, got: supplied as u32 },
+                );
             }
         }
 
@@ -274,6 +303,9 @@ pub fn run_task(
             node_finish[v.0] = finish;
             state[v.0] = NodeState::Done;
             done += 1;
+            soc.uncore_mut()
+                .trace_mut()
+                .emit_at(finish, EventKind::NodeFinish { node: v.0 as u32, core: core as u32 });
 
             // φ contribution for this node.
             if has_l15 {
@@ -305,6 +337,14 @@ pub fn run_task(
                     .gv_get(lane)
                     .expect("lane in range");
                 soc.uncore_mut().l15_ctrl(core, L15Op::GvSet, published.union(fresh).0 as u32);
+                soc.uncore_mut().trace_mut().emit_at(
+                    finish,
+                    EventKind::Section {
+                        core: core as u32,
+                        node: v.0 as u32,
+                        kind: SectionKind::Publish,
+                    },
+                );
             } else {
                 // Legacy publication: flush the producer's L1D to the L2.
                 soc.uncore_mut().flush_l1d(core);
@@ -323,6 +363,16 @@ pub fn run_task(
                 for p in preds {
                     consumers_left[p.0] -= 1;
                     if consumers_left[p.0] == 0 {
+                        if !node_ways[p.0].is_empty() {
+                            soc.uncore_mut().trace_mut().emit_at(
+                                finish,
+                                EventKind::Section {
+                                    core: core as u32,
+                                    node: p.0 as u32,
+                                    kind: SectionKind::Reclaim,
+                                },
+                            );
+                        }
                         for w in node_ways[p.0].iter() {
                             soc.uncore_mut()
                                 .kernel_revoke_way(cfg.cluster, w)
@@ -331,6 +381,14 @@ pub fn run_task(
                     }
                 }
                 if dag.out_degree(v) == 0 && !node_ways[v.0].is_empty() {
+                    soc.uncore_mut().trace_mut().emit_at(
+                        finish,
+                        EventKind::Section {
+                            core: core as u32,
+                            node: v.0 as u32,
+                            kind: SectionKind::Reclaim,
+                        },
+                    );
                     for w in node_ways[v.0].iter() {
                         soc.uncore_mut()
                             .kernel_revoke_way(cfg.cluster, w)

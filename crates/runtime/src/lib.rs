@@ -41,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod emit;
 pub mod kernel;
 pub mod layout;
 pub mod multitask;
 pub mod workgen;
 
+pub use capture::{run_task_traced, DEFAULT_CAPTURE_EVENTS};
 pub use emit::{emit_kernel_streams, EmitOptions, KernelStreams, NodeStream};
 pub use kernel::{run_task, KernelConfig, KernelError, RunReport};
 pub use layout::TaskLayout;

@@ -1,15 +1,23 @@
-//! The monitor's aggregate counters must be "always-on": running the
-//! same workload with the event ring enabled and disabled has to yield
-//! identical counter totals (the ring only adds timestamped events, it
-//! must never gate counting).
+//! The tracing parity contract: observation must never perturb the run.
 //!
-//! Regression for a gap where `GvUpdate` events advanced no counter at
-//! all, so `gv_set` activity was invisible whenever the ring was off
-//! (the default in every experiment binary).
+//! Two layers of observation exist — the legacy event ring
+//! (`Trace::enable`) and the `l15-trace` flight-recorder sink
+//! (`run_task_traced`) — and neither may change *anything* the
+//! simulation computes: aggregate counters, the kernel's run report,
+//! hierarchy statistics, per-core execution statistics, or the final
+//! memory image. Traced-vs-untraced cycle parity is what makes a trace
+//! trustworthy: a capture shows the run you would have had anyway.
+//!
+//! Also a regression for a gap where `GvUpdate` events advanced no
+//! counter at all, so `gv_set` activity was invisible whenever the ring
+//! was off (the default in every experiment binary).
 
 use l15_core::alg1::schedule_with_l15;
 use l15_dag::{DagBuilder, DagTask, ExecutionTimeModel, Node};
-use l15_runtime::kernel::{run_task, KernelConfig};
+use l15_runtime::kernel::{run_task, KernelConfig, RunReport};
+use l15_runtime::run_task_traced;
+use l15_rvcore::CoreStats;
+use l15_soc::uncore::HierarchyStats;
 use l15_soc::{Soc, SocConfig, TraceCounters};
 
 fn diamond() -> DagTask {
@@ -25,25 +33,61 @@ fn diamond() -> DagTask {
     DagTask::new(b.build().unwrap(), 1e6, 1e6).unwrap()
 }
 
-fn run_diamond(traced: bool) -> TraceCounters {
+/// Everything observable a run leaves behind.
+#[derive(Debug, Clone, PartialEq)]
+struct Observables {
+    report: RunReport,
+    counters: TraceCounters,
+    hierarchy: HierarchyStats,
+    cores: Vec<CoreStats>,
+    clocks: Vec<u64>,
+    memory: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Untraced,
+    Ring,
+    Recorder,
+}
+
+fn run_diamond(mode: Mode) -> Observables {
     let task = diamond();
     let etm = ExecutionTimeModel::new(2048).unwrap();
     let plan = schedule_with_l15(&task, 16, &etm);
     let mut soc = Soc::new(SocConfig::proposed_8core(), 0);
-    if traced {
-        soc.uncore_mut().trace_mut().enable();
+    let cfg = KernelConfig::default();
+    let report = match mode {
+        Mode::Untraced => run_task(&mut soc, &task, &plan, &cfg).unwrap(),
+        Mode::Ring => {
+            soc.uncore_mut().trace_mut().enable();
+            run_task(&mut soc, &task, &plan, &cfg).unwrap()
+        }
+        Mode::Recorder => {
+            let (report, rec) = run_task_traced(&mut soc, &task, &plan, &cfg, 1 << 18).unwrap();
+            assert!(rec.recorded() > 0, "the recorder must have observed the run");
+            report
+        }
+    };
+    Observables {
+        report,
+        counters: *soc.uncore().trace().counters(),
+        hierarchy: soc.uncore().stats(),
+        cores: (0..soc.n_cores()).map(|i| *soc.core(i).stats()).collect(),
+        clocks: (0..soc.n_cores()).map(|i| soc.clock(i)).collect(),
+        memory: soc.uncore().memory_fingerprint(),
     }
-    run_task(&mut soc, &task, &plan, &KernelConfig::default()).unwrap();
-    *soc.uncore().trace().counters()
 }
 
 #[test]
-fn traced_and_untraced_runs_count_identically() {
-    let traced = run_diamond(true);
-    let untraced = run_diamond(false);
+fn traced_and_untraced_runs_are_indistinguishable() {
+    let untraced = run_diamond(Mode::Untraced);
+    let ring = run_diamond(Mode::Ring);
+    let recorder = run_diamond(Mode::Recorder);
+    assert_eq!(untraced, ring, "enabling the event ring must not change any observable state");
     assert_eq!(
-        traced, untraced,
-        "aggregate counters must not depend on whether the ring is enabled"
+        untraced, recorder,
+        "attaching a flight recorder must not change any observable state"
     );
 }
 
@@ -52,7 +96,7 @@ fn kernel_workload_reaches_every_counter_family() {
     // The diamond kernel run exercises the paper's full pipeline:
     // fetches/loads, L1.5-routed stores, control ops, way grants and
     // gv_set updates must all be visible without tracing enabled.
-    let c = run_diamond(false);
+    let c = run_diamond(Mode::Untraced).counters;
     assert!(c.fetches.iter().sum::<u64>() > 0, "no fetches counted: {c:?}");
     assert!(c.loads.iter().sum::<u64>() > 0, "no loads counted: {c:?}");
     assert!(c.stores_via_l15 > 0, "no L1.5 stores counted: {c:?}");

@@ -72,6 +72,38 @@ pub enum StepEvent {
     HostCall,
 }
 
+/// Per-stage stall breakdown of one step.
+///
+/// Pure accounting derived from the cycles already charged — computing it
+/// never changes the timing model, so traced and untraced runs stay
+/// cycle-identical (the parity contract of `l15-trace`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stalls {
+    /// IF-stage bubbles: instruction TLB walk + fetch beyond 1 cycle.
+    pub if_stall: u32,
+    /// MA-stage bubbles: data TLB walk + access beyond 1 cycle (includes
+    /// L1.5 control-port latency, which occupies MA like a store).
+    pub ma_stall: u32,
+    /// Load-use hazard cycles.
+    pub hazard: u32,
+    /// Branch/jump flush cycles.
+    pub flush: u32,
+    /// EX extension cycles (multiply/divide).
+    pub ex: u32,
+}
+
+impl Stalls {
+    /// Total stall cycles beyond the base CPI of 1.
+    pub fn total(&self) -> u32 {
+        self.if_stall + self.ma_stall + self.hazard + self.flush + self.ex
+    }
+
+    /// Whether any component is non-zero.
+    pub fn any(&self) -> bool {
+        self.total() != 0
+    }
+}
+
 /// Result of one step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepOutcome {
@@ -79,6 +111,8 @@ pub struct StepOutcome {
     pub cycles: u32,
     /// What happened.
     pub event: StepEvent,
+    /// Where the cycles beyond the base CPI went.
+    pub stalls: Stalls,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -262,10 +296,11 @@ impl Core {
         if self.halted {
             self.stats.cycles += 1;
             self.csr.cycle += 1;
-            return StepOutcome { cycles: 1, event: StepEvent::Halted };
+            return StepOutcome { cycles: 1, event: StepEvent::Halted, stalls: Stalls::default() };
         }
 
         let mut cycles = 1u32;
+        let mut stalls = Stalls::default();
         let mut next_hazard = HazardState::default();
 
         // --- IF: translate + fetch ---------------------------------------
@@ -274,12 +309,14 @@ impl Core {
             Err(_) => {
                 let ev = self.trap(cause::INSTRUCTION_PAGE_FAULT, self.pc);
                 self.finish(cycles, next_hazard);
-                return StepOutcome { cycles, event: ev };
+                return StepOutcome { cycles, event: ev, stalls };
             }
         };
         cycles += tlb_cost;
+        stalls.if_stall += tlb_cost;
         let fetch = bus.fetch(self.id, self.pc, ppc);
         cycles += fetch.cycles.saturating_sub(1);
+        stalls.if_stall += fetch.cycles.saturating_sub(1);
 
         // --- ID: decode ----------------------------------------------------
         let instr = match isa::decode(fetch.value) {
@@ -287,7 +324,7 @@ impl Core {
             Err(_) => {
                 let ev = self.trap(cause::ILLEGAL_INSTRUCTION, fetch.value);
                 self.finish(cycles, next_hazard);
-                return StepOutcome { cycles, event: ev };
+                return StepOutcome { cycles, event: ev, stalls };
             }
         };
 
@@ -304,6 +341,7 @@ impl Core {
                     self.timing.load_use_stall
                 };
                 cycles += stall;
+                stalls.hazard += stall;
                 self.stats.hazard_stalls += stall as u64;
             }
         }
@@ -316,7 +354,7 @@ impl Core {
             ($code:expr, $tval:expr) => {{
                 let ev = self.trap($code, $tval);
                 self.finish(cycles, next_hazard);
-                return StepOutcome { cycles, event: ev };
+                return StepOutcome { cycles, event: ev, stalls };
             }};
         }
 
@@ -327,6 +365,7 @@ impl Core {
                 self.set_reg(rd as usize, self.pc.wrapping_add(4));
                 next_pc = self.pc.wrapping_add(imm as u32);
                 cycles += self.timing.branch_flush;
+                stalls.flush += self.timing.branch_flush;
                 self.stats.flush_cycles += self.timing.branch_flush as u64;
             }
             Instr::Jalr { rd, rs1, imm } => {
@@ -334,6 +373,7 @@ impl Core {
                 self.set_reg(rd as usize, self.pc.wrapping_add(4));
                 next_pc = target;
                 cycles += self.timing.branch_flush;
+                stalls.flush += self.timing.branch_flush;
                 self.stats.flush_cycles += self.timing.branch_flush as u64;
             }
             Instr::Branch { op, rs1, rs2, imm } => {
@@ -350,6 +390,7 @@ impl Core {
                 if taken {
                     next_pc = self.pc.wrapping_add(imm as u32);
                     cycles += self.timing.branch_flush;
+                    stalls.flush += self.timing.branch_flush;
                     self.stats.flush_cycles += self.timing.branch_flush as u64;
                 }
             }
@@ -363,8 +404,10 @@ impl Core {
                     Err(c) => take_trap!(c, vaddr),
                 };
                 cycles += tlb;
+                stalls.ma_stall += tlb;
                 let access = bus.load(self.id, vaddr, paddr, op.size());
                 cycles += access.cycles.saturating_sub(1);
+                stalls.ma_stall += access.cycles.saturating_sub(1);
                 let value = match op {
                     LoadOp::Byte => access.value as u8 as i8 as i32 as u32,
                     LoadOp::Half => access.value as u16 as i16 as i32 as u32,
@@ -388,8 +431,10 @@ impl Core {
                     Err(_) => take_trap!(cause::STORE_PAGE_FAULT, vaddr),
                 };
                 cycles += tlb;
+                stalls.ma_stall += tlb;
                 let cost = bus.store(self.id, vaddr, paddr, op.size(), self.regs[rs2 as usize]);
                 cycles += cost.saturating_sub(1);
+                stalls.ma_stall += cost.saturating_sub(1);
             }
             Instr::OpImm { op, rd, rs1, imm } => {
                 let v = alu(op, self.regs[rs1 as usize], imm as u32);
@@ -405,6 +450,7 @@ impl Core {
                 let v = muldiv(op, a, b);
                 self.set_reg(rd as usize, v);
                 cycles += self.timing.muldiv_extra;
+                stalls.ex += self.timing.muldiv_extra;
             }
             Instr::Fence => {}
             Instr::Ecall => {
@@ -419,7 +465,7 @@ impl Core {
                     };
                     let ev = self.trap(code, 0);
                     self.finish(cycles, next_hazard);
-                    return StepOutcome { cycles, event: ev };
+                    return StepOutcome { cycles, event: ev, stalls };
                 }
             }
             Instr::Ebreak => {
@@ -433,6 +479,7 @@ impl Core {
                 self.priv_level = self.csr.mpp;
                 next_pc = self.csr.mepc();
                 cycles += self.timing.branch_flush;
+                stalls.flush += self.timing.branch_flush;
             }
             Instr::Wfi => {
                 event = StepEvent::Wfi;
@@ -479,6 +526,7 @@ impl Core {
                 };
                 let ctrl = bus.l15_ctrl(self.id, op, arg);
                 cycles += ctrl.cycles.saturating_sub(1);
+                stalls.ma_stall += ctrl.cycles.saturating_sub(1);
                 if matches!(op, L15Op::Supply | L15Op::GvGet) {
                     self.set_reg(rd as usize, ctrl.value);
                 }
@@ -489,7 +537,8 @@ impl Core {
         self.stats.instructions += 1;
         self.csr.instret += 1;
         self.finish(cycles, next_hazard);
-        StepOutcome { cycles, event }
+        debug_assert_eq!(cycles, 1 + stalls.total(), "stall breakdown must account every cycle");
+        StepOutcome { cycles, event, stalls }
     }
 
     fn finish(&mut self, cycles: u32, next_hazard: HazardState) {

@@ -53,6 +53,6 @@ pub mod isa;
 pub mod mmu;
 pub mod superscalar;
 
-pub use crate::core::{Core, CoreStats, StepEvent, StepOutcome, TimingConfig};
+pub use crate::core::{Core, CoreStats, Stalls, StepEvent, StepOutcome, TimingConfig};
 pub use bus::{CtrlAccess, MemAccess, SystemBus};
 pub use isa::{DecodeError, Instr, L15Op};

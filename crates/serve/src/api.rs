@@ -18,8 +18,9 @@ use l15_core::rta;
 use l15_dag::{analysis, textio, DagTask, ExecutionTimeModel};
 use l15_runtime::emit::EmitOptions;
 use l15_runtime::kernel::{run_task, KernelConfig, KernelError};
-use l15_runtime::WorkScale;
+use l15_runtime::{run_task_traced, WorkScale};
 use l15_soc::{Soc, SocConfig};
+use l15_trace::{chrome, Category};
 
 use crate::http::{Request, Response};
 use crate::json::{self, Obj};
@@ -41,6 +42,9 @@ pub struct Limits {
     pub max_check_nodes: usize,
     /// Cap on the `cores` query parameter.
     pub max_cores: usize,
+    /// Flight-recorder capacity cap for `/trace` (events per capture;
+    /// bounds both the default and the `max_events` query parameter).
+    pub max_trace_events: usize,
 }
 
 impl Default for Limits {
@@ -52,6 +56,7 @@ impl Default for Limits {
             max_sim_cycles: 20_000_000,
             max_check_nodes: 1024,
             max_cores: 64,
+            max_trace_events: 1 << 18,
         }
     }
 }
@@ -83,10 +88,11 @@ pub fn route(method: &str, path: &str) -> Route {
         ("POST", "/analyze") => Route::Compute(Endpoint::Analyze),
         ("POST", "/simulate") => Route::Compute(Endpoint::Simulate),
         ("POST", "/check") => Route::Compute(Endpoint::Check),
+        ("POST", "/trace") => Route::Compute(Endpoint::Trace),
         (
             _,
             "/healthz" | "/metrics" | "/shutdown" | "/schedule" | "/analyze" | "/simulate"
-            | "/check",
+            | "/check" | "/trace",
         ) => Route::MethodNotAllowed,
         _ => Route::NotFound,
     }
@@ -112,6 +118,7 @@ fn handle_inner(endpoint: Endpoint, req: &Request, limits: &Limits) -> Result<Re
         Endpoint::Schedule => schedule(&task, req, limits),
         Endpoint::Analyze => analyze(&task, req, limits),
         Endpoint::Simulate => simulate_soc(&task, req, limits),
+        Endpoint::Trace => trace_capture(&task, req, limits),
         Endpoint::Check => unreachable!("handled above"),
     }
 }
@@ -232,13 +239,15 @@ fn analyze(task: &DagTask, req: &Request, limits: &Limits) -> Result<Response, R
     Ok(Response::json(200, o.finish()))
 }
 
-fn simulate_soc(task: &DagTask, req: &Request, limits: &Limits) -> Result<Response, Response> {
+/// The shared `/simulate`-class caps: node count and per-node data bytes
+/// (a cycle-accurate run is far more expensive than the analytic path).
+fn sim_caps(task: &DagTask, limits: &Limits, what: &str) -> Result<(), Response> {
     let dag = task.graph();
     if dag.node_count() > limits.max_sim_nodes {
         return Err(Response::error(
             413,
             &format!(
-                "simulate accepts at most {} nodes (cycle-accurate run), got {}",
+                "{what} accepts at most {} nodes (cycle-accurate run), got {}",
                 limits.max_sim_nodes,
                 dag.node_count()
             ),
@@ -249,27 +258,41 @@ fn simulate_soc(task: &DagTask, req: &Request, limits: &Limits) -> Result<Respon
             return Err(Response::error(
                 413,
                 &format!(
-                    "node {v} carries {} data bytes; simulate caps at {}",
+                    "node {v} carries {} data bytes; {what} caps at {}",
                     dag.node(v).data_bytes,
                     limits.max_sim_data_bytes
                 ),
             ));
         }
     }
+    Ok(())
+}
+
+/// Resolves the `preset` query parameter to a [`SocConfig`].
+fn sim_preset(req: &Request) -> Result<(&str, SocConfig), Response> {
     let preset_name = req.query_param("preset").unwrap_or("proposed_8core");
-    let Some(cfg) = SocConfig::preset(preset_name) else {
-        return Err(Response::error(
+    match SocConfig::preset(preset_name) {
+        Some(cfg) => Ok((preset_name, cfg)),
+        None => Err(Response::error(
             400,
             &format!(
                 "unknown preset {:?}; valid: {}",
                 preset_name,
                 SocConfig::preset_names().join(", ")
             ),
-        ));
-    };
-    let max_cycles = int_param(req, "max_cycles", 5_000_000, limits.max_sim_cycles)?;
-    let compute_iters = int_param(req, "compute_iters", 8, 256)? as u32;
+        )),
+    }
+}
 
+/// Derives the plan and kernel configuration a preset runs under — the
+/// single definition `/simulate` and `/trace` share, so a trace capture
+/// observes exactly the run the simulation endpoint reports on.
+fn sim_plan(
+    task: &DagTask,
+    cfg: &SocConfig,
+    max_cycles: u64,
+    compute_iters: u32,
+) -> (l15_core::plan::SchedulePlan, KernelConfig) {
     let use_l15 = cfg.l15.is_some();
     let plan = if use_l15 {
         let etm = ExecutionTimeModel::new(2048).expect("valid way size");
@@ -278,15 +301,31 @@ fn simulate_soc(task: &DagTask, req: &Request, limits: &Limits) -> Result<Respon
     } else {
         baseline_priorities(task)
     };
-    let mut soc = Soc::new(cfg, 0);
     let kcfg = KernelConfig { cluster: 0, use_l15, scale: WorkScale { compute_iters }, max_cycles };
-    let report = run_task(&mut soc, task, &plan, &kcfg).map_err(|e| match e {
+    (plan, kcfg)
+}
+
+fn kernel_error_response(e: KernelError, max_cycles: u64) -> Response {
+    match e {
         KernelError::Timeout { completed, total } => Response::error(
             422,
             &format!("run exceeded {max_cycles} cycles ({completed}/{total} nodes completed)"),
         ),
         e => Response::error(422, &format!("kernel error: {e}")),
-    })?;
+    }
+}
+
+fn simulate_soc(task: &DagTask, req: &Request, limits: &Limits) -> Result<Response, Response> {
+    let dag = task.graph();
+    sim_caps(task, limits, "simulate")?;
+    let (preset_name, cfg) = sim_preset(req)?;
+    let max_cycles = int_param(req, "max_cycles", 5_000_000, limits.max_sim_cycles)?;
+    let compute_iters = int_param(req, "compute_iters", 8, 256)? as u32;
+
+    let (plan, kcfg) = sim_plan(task, &cfg, max_cycles, compute_iters);
+    let mut soc = Soc::new(cfg, 0);
+    let report =
+        run_task(&mut soc, task, &plan, &kcfg).map_err(|e| kernel_error_response(e, max_cycles))?;
 
     let mut o = Obj::new();
     o.str("preset", preset_name);
@@ -299,6 +338,65 @@ fn simulate_soc(task: &DagTask, req: &Request, limits: &Limits) -> Result<Respon
     o.num("phi", report.phi);
     o.bool("dataflow_ok", report.dataflow_ok);
     Ok(Response::json(200, o.finish()))
+}
+
+/// `POST /trace` — runs the submitted task on a preset SoC with an
+/// `l15-trace` flight recorder attached and returns the capture as Chrome
+/// trace-event JSON (loadable in Perfetto / `chrome://tracing`).
+///
+/// The capture is bounded: `max_events` (default and cap
+/// [`Limits::max_trace_events`]) sizes the ring. When the run outgrows it
+/// the response is `413` carrying the per-category drop counts — a
+/// truncated trace would silently misrepresent the schedule, so the
+/// service refuses to return one. Both outcomes carry
+/// `X-L15-Trace-Events` / `X-L15-Trace-Dropped` headers (plus
+/// `X-L15-Trace-Dropped-By` with `category=count` pairs when non-zero);
+/// the dispatcher folds those into `l15_trace_dropped_events_total`.
+fn trace_capture(task: &DagTask, req: &Request, limits: &Limits) -> Result<Response, Response> {
+    sim_caps(task, limits, "trace")?;
+    let (preset_name, cfg) = sim_preset(req)?;
+    let max_cycles = int_param(req, "max_cycles", 5_000_000, limits.max_sim_cycles)?;
+    let compute_iters = int_param(req, "compute_iters", 8, 256)? as u32;
+    let max_events = int_param(
+        req,
+        "max_events",
+        limits.max_trace_events as u64,
+        limits.max_trace_events as u64,
+    )? as usize;
+
+    let (plan, kcfg) = sim_plan(task, &cfg, max_cycles, compute_iters);
+    let mut soc = Soc::new(cfg, 0);
+    let (_report, rec) = run_task_traced(&mut soc, task, &plan, &kcfg, max_events)
+        .map_err(|e| kernel_error_response(e, max_cycles))?;
+
+    let dropped = rec.dropped();
+    let by: Vec<String> = Category::ALL
+        .iter()
+        .filter(|&&c| dropped.of(c) > 0)
+        .map(|&c| format!("{}={}", c.name(), dropped.of(c)))
+        .collect();
+    let with_trace_headers = |resp: Response| {
+        let resp = resp
+            .with_header("X-L15-Trace-Events", rec.recorded().to_string())
+            .with_header("X-L15-Trace-Dropped", dropped.total().to_string());
+        if by.is_empty() {
+            resp
+        } else {
+            resp.with_header("X-L15-Trace-Dropped-By", by.join(","))
+        }
+    };
+    if dropped.total() > 0 {
+        return Err(with_trace_headers(Response::error(
+            413,
+            &format!(
+                "capture overflowed: {} of {} events dropped; raise max_events (cap {})",
+                dropped.total(),
+                rec.recorded(),
+                limits.max_trace_events
+            ),
+        )));
+    }
+    Ok(with_trace_headers(Response::json(200, chrome::export(preset_name, &rec))))
 }
 
 /// `POST /check` — the `l15-check` static rules (R1–R5) over a submitted
@@ -392,6 +490,8 @@ edge 2 3 cost=1 alpha=0.6
         assert_eq!(route("POST", "/analyze"), Route::Compute(Endpoint::Analyze));
         assert_eq!(route("POST", "/simulate"), Route::Compute(Endpoint::Simulate));
         assert_eq!(route("POST", "/check"), Route::Compute(Endpoint::Check));
+        assert_eq!(route("POST", "/trace"), Route::Compute(Endpoint::Trace));
+        assert_eq!(route("GET", "/trace"), Route::MethodNotAllowed);
         assert_eq!(route("POST", "/healthz"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/schedule"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/nope"), Route::NotFound);
@@ -463,6 +563,46 @@ edge 2 3 cost=1 alpha=0.6
         let resp =
             handle_compute(Endpoint::Simulate, &post("/simulate", "", fat), &Limits::default());
         assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn trace_returns_valid_chrome_json() {
+        let req = post("/trace", "preset=proposed_8core&compute_iters=4", SAMPLE);
+        let resp = handle_compute(Endpoint::Trace, &req, &Limits::default());
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8(resp.body.clone()));
+        assert_eq!(resp.header("X-L15-Trace-Dropped"), Some("0"));
+        assert!(resp.header("X-L15-Trace-Events").unwrap().parse::<u64>().unwrap() > 0);
+        assert_eq!(resp.header("X-L15-Trace-Dropped-By"), None);
+        let body = String::from_utf8(resp.body).unwrap();
+        let stats = l15_trace::schema::validate(&body).unwrap_or_else(|e| panic!("{e:?}"));
+        assert!(stats.spans > 0, "{stats:?}");
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let req = post("/trace", "compute_iters=4", SAMPLE);
+        let a = handle_compute(Endpoint::Trace, &req, &Limits::default());
+        let b = handle_compute(Endpoint::Trace, &req, &Limits::default());
+        assert_eq!(a, b, "trace captures must be byte-identical");
+    }
+
+    #[test]
+    fn tiny_trace_capture_is_413_with_drop_accounting() {
+        let req = post("/trace", "max_events=64&compute_iters=4", SAMPLE);
+        let resp = handle_compute(Endpoint::Trace, &req, &Limits::default());
+        assert_eq!(resp.status, 413, "{:?}", String::from_utf8(resp.body.clone()));
+        let total: u64 = resp.header("X-L15-Trace-Dropped").unwrap().parse().unwrap();
+        assert!(total > 0);
+        let by = resp.header("X-L15-Trace-Dropped-By").unwrap();
+        let sum: u64 =
+            by.split(',').map(|pair| pair.split_once('=').unwrap().1.parse::<u64>().unwrap()).sum();
+        assert_eq!(sum, total, "per-category counts must reconcile: {by}");
+
+        // max_events above the cap is a 400, not a bigger buffer.
+        let req = post("/trace", "max_events=99999999", SAMPLE);
+        let resp = handle_compute(Endpoint::Trace, &req, &Limits::default());
+        assert_eq!(resp.status, 400);
     }
 
     #[test]

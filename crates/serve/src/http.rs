@@ -171,6 +171,14 @@ impl Response {
         self
     }
 
+    /// The value of extra header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.extra_headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Serialises the response (status line, headers, body).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = format!(
@@ -294,6 +302,14 @@ mod tests {
         assert!(s.contains("Connection: close\r\n"));
         assert!(s.contains("Retry-After: 1\r\n"));
         assert!(s.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let r = Response::text(200, "ok").with_header("X-L15-Trace-Dropped", "7".to_owned());
+        assert_eq!(r.header("x-l15-trace-dropped"), Some("7"));
+        assert_eq!(r.header("X-L15-TRACE-DROPPED"), Some("7"));
+        assert_eq!(r.header("x-missing"), None);
     }
 
     #[test]

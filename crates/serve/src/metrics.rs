@@ -25,6 +25,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use l15_trace::Category;
+
 /// The compute endpoints (queued, batched); indexes into per-endpoint
 /// counter arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,12 +39,19 @@ pub enum Endpoint {
     Simulate = 2,
     /// `POST /check`.
     Check = 3,
+    /// `POST /trace`.
+    Trace = 4,
 }
 
 impl Endpoint {
     /// All compute endpoints, in render order.
-    pub const ALL: [Endpoint; 4] =
-        [Endpoint::Schedule, Endpoint::Analyze, Endpoint::Simulate, Endpoint::Check];
+    pub const ALL: [Endpoint; 5] = [
+        Endpoint::Schedule,
+        Endpoint::Analyze,
+        Endpoint::Simulate,
+        Endpoint::Check,
+        Endpoint::Trace,
+    ];
 
     /// The label value used on the exposition page.
     pub fn name(self) -> &'static str {
@@ -51,6 +60,7 @@ impl Endpoint {
             Endpoint::Analyze => "analyze",
             Endpoint::Simulate => "simulate",
             Endpoint::Check => "check",
+            Endpoint::Trace => "trace",
         }
     }
 }
@@ -145,7 +155,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     /// Admitted requests per compute endpoint.
-    pub requests: [Counter; 4],
+    pub requests: [Counter; 5],
     /// Served inline `GET /healthz` requests.
     pub healthz: Counter,
     /// Served inline `GET /metrics` requests (incremented *before*
@@ -170,12 +180,23 @@ pub struct ServeMetrics {
     /// Instantaneous queue depth (set by the queue, read by the page).
     pub queue_depth: AtomicU64,
     /// Time from admission to dispatch, per endpoint.
-    pub queue_wait: [Histogram; 4],
+    pub queue_wait: [Histogram; 5],
     /// Handler execution time, per endpoint.
-    pub handle_time: [Histogram; 4],
+    pub handle_time: [Histogram; 5],
+    /// Flight-recorder events dropped by `/trace` captures, per
+    /// `l15_trace::Category` (indexes match `Category::ALL`).
+    pub trace_dropped: [Counter; Category::COUNT],
 }
 
 impl ServeMetrics {
+    /// Adds `n` dropped trace events under `category` (an
+    /// `l15_trace::Category` name); unknown names are ignored.
+    pub fn add_trace_dropped(&self, category: &str, n: u64) {
+        if let Some(ix) = Category::ALL.iter().position(|c| c.name() == category) {
+            self.trace_dropped[ix].add(n);
+        }
+    }
+
     /// Records a response status.
     pub fn record_status(&self, status: u16) {
         match status {
@@ -222,6 +243,14 @@ impl ServeMetrics {
         out.push_str(&format!("l15_batches_total {}\n", self.batches.get()));
         out.push_str("# TYPE l15_batch_jobs_total counter\n");
         out.push_str(&format!("l15_batch_jobs_total {}\n", self.batch_jobs.get()));
+        out.push_str("# TYPE l15_trace_dropped_events_total counter\n");
+        for cat in Category::ALL {
+            out.push_str(&format!(
+                "l15_trace_dropped_events_total{{category=\"{}\"}} {}\n",
+                cat.name(),
+                self.trace_dropped[cat as usize].get()
+            ));
+        }
         out.push_str("# TYPE l15_queue_depth gauge\n");
         out.push_str(&format!("l15_queue_depth {}\n", self.queue_depth.load(Ordering::Relaxed)));
         out.push_str("# TYPE l15_latency_us histogram\n");
@@ -293,6 +322,18 @@ mod tests {
             Some(1)
         );
         assert_eq!(scrape(&page, "l15_nope"), None);
+    }
+
+    #[test]
+    fn trace_dropped_counters_render_per_category() {
+        let m = ServeMetrics::default();
+        m.add_trace_dropped("access", 12);
+        m.add_trace_dropped("node", 3);
+        m.add_trace_dropped("warp", 99); // unknown name: ignored
+        let page = m.render();
+        assert_eq!(scrape(&page, "l15_trace_dropped_events_total{category=\"access\"}"), Some(12));
+        assert_eq!(scrape(&page, "l15_trace_dropped_events_total{category=\"node\"}"), Some(3));
+        assert_eq!(scrape(&page, "l15_trace_dropped_events_total{category=\"pipeline\"}"), Some(0));
     }
 
     #[test]

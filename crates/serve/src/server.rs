@@ -279,6 +279,21 @@ fn write_response(mut stream: TcpStream, resp: &Response, shared: &Shared) {
     let _ = resp.write_to(&mut stream);
 }
 
+/// Folds a `/trace` response's `X-L15-Trace-Dropped-By` header
+/// (`category=count` pairs) into `l15_trace_dropped_events_total`.
+fn record_trace_drops(metrics: &ServeMetrics, resp: &Response) {
+    let Some(by) = resp.header("X-L15-Trace-Dropped-By") else {
+        return;
+    };
+    for pair in by.split(',').filter(|s| !s.is_empty()) {
+        if let Some((category, count)) = pair.split_once('=') {
+            if let Ok(n) = count.parse::<u64>() {
+                metrics.add_trace_dropped(category, n);
+            }
+        }
+    }
+}
+
 fn dispatch_loop(shared: &Arc<Shared>) {
     while let Some(batch) = shared.queue.pop_batch(shared.cfg.batch_max, BATCH_PATIENCE) {
         shared.metrics.queue_depth.store(shared.queue.len() as u64, Ordering::Relaxed);
@@ -309,6 +324,9 @@ fn dispatch_loop(shared: &Arc<Shared>) {
         });
         for (job, (resp, took)) in live.iter().zip(results) {
             shared.metrics.handle_time[job.endpoint as usize].observe(took);
+            if job.endpoint == Endpoint::Trace {
+                record_trace_drops(&shared.metrics, &resp);
+            }
             let _ = job.reply.send(resp);
         }
     }

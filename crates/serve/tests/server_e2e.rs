@@ -129,6 +129,65 @@ fn check_endpoint_lints_programs_over_the_wire() {
 }
 
 #[test]
+fn trace_endpoint_captures_and_accounts_drops_over_the_wire() {
+    let handle = start(ServeConfig::default()).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // Happy path: a Perfetto-loadable Chrome trace with zero drops.
+    let r = client::post(
+        addr,
+        "/trace?preset=proposed_8core&compute_iters=4",
+        SAMPLE.as_bytes(),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.header("content-type"), Some("application/json"));
+    assert_eq!(r.header("x-l15-trace-dropped"), Some("0"));
+    let recorded: u64 = r.header("x-l15-trace-events").unwrap().parse().unwrap();
+    assert!(recorded > 0);
+    let stats = l15_trace::schema::validate(&r.text()).unwrap_or_else(|e| panic!("{e:?}"));
+    assert!(stats.spans > 0, "{stats:?}");
+    assert_eq!(stats.dropped, 0);
+
+    // Determinism over the wire: a second capture is byte-identical.
+    let r2 = client::post(
+        addr,
+        "/trace?preset=proposed_8core&compute_iters=4",
+        SAMPLE.as_bytes(),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(r.body, r2.body);
+
+    // Capture-size overflow: bounded ring → 413 with drop accounting.
+    let r = client::post(addr, "/trace?max_events=64&compute_iters=4", SAMPLE.as_bytes(), TIMEOUT)
+        .unwrap();
+    assert_eq!(r.status, 413, "{}", r.text());
+    let total: u64 = r.header("x-l15-trace-dropped").unwrap().parse().unwrap();
+    assert!(total > 0);
+    let by = r.header("x-l15-trace-dropped-by").unwrap().to_owned();
+
+    // Metrics reconciliation: the dispatcher folded exactly the header's
+    // per-category counts into l15_trace_dropped_events_total.
+    let page = client::get(addr, "/metrics", TIMEOUT).unwrap().text();
+    assert_eq!(scrape(&page, "l15_requests_total{endpoint=\"trace\"}"), Some(3));
+    let mut page_total = 0u64;
+    for cat in l15_trace::Category::ALL {
+        let sel = format!("l15_trace_dropped_events_total{{category=\"{}\"}}", cat.name());
+        let n = scrape(&page, &sel).unwrap_or_else(|| panic!("missing {sel}"));
+        let from_header = by
+            .split(',')
+            .find_map(|p| p.split_once('=').filter(|(c, _)| *c == cat.name()))
+            .map_or(0, |(_, v)| v.parse::<u64>().unwrap());
+        assert_eq!(n, from_header, "category {}", cat.name());
+        page_total += n;
+    }
+    assert_eq!(page_total, total, "page total must equal the header total");
+    handle.shutdown();
+}
+
+#[test]
 fn http_level_limits_are_enforced() {
     let cfg = ServeConfig { max_body: 1024, ..ServeConfig::default() };
     let handle = start(cfg).unwrap();

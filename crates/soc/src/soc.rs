@@ -8,6 +8,7 @@
 //! cluster).
 
 use l15_rvcore::core::{Core, StepEvent, StepOutcome, TimingConfig};
+use l15_trace::EventKind;
 
 use crate::config::SocConfig;
 use crate::uncore::Uncore;
@@ -106,6 +107,19 @@ impl Soc {
     pub fn step_core(&mut self, i: usize) -> StepOutcome {
         self.uncore.trace_mut().set_now(self.clocks[i]);
         let out = self.cores[i].step(&mut self.uncore);
+        if out.stalls.any() {
+            // Emit the per-instruction stall breakdown; emit() is a no-op
+            // when no flight recorder is attached.
+            let s = out.stalls;
+            self.uncore.trace_mut().emit(EventKind::PipeStall {
+                core: i as u32,
+                if_stall: s.if_stall,
+                ma_stall: s.ma_stall,
+                hazard: s.hazard,
+                flush: s.flush,
+                ex: s.ex,
+            });
+        }
         self.clocks[i] += out.cycles as u64;
         self.uncore.advance(out.cycles);
         out

@@ -6,11 +6,20 @@
 //! disabled); the side-effects experiments enable it to derive way
 //! utilisation and configuration latencies, and tests use it to assert
 //! microarchitectural event sequences.
+//!
+//! The monitor also carries the attachment point of the `l15-trace`
+//! flight recorder: a [`TraceSink`] (default [`NullSink`]) that every
+//! [`record`](Trace::record) forwards a typed event into, plus
+//! [`emit`](Trace::emit) for events the legacy ring has no vocabulary for
+//! (pipeline stalls, SDU stalls, GV consumption, kernel spans). Sinks
+//! only *observe* — attaching one changes no cycle count, no counter and
+//! no memory state (the parity contract of `trace_parity.rs`).
 
 use std::collections::VecDeque;
 
 use l15_cache::geometry::WayMask;
 use l15_rvcore::isa::L15Op;
+use l15_trace::{CtrlKind, EventKind, Level, NullSink, TraceSink};
 
 /// Which level of the hierarchy served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,7 +135,8 @@ impl TraceCounters {
     }
 }
 
-/// The monitor: counters + optional bounded event ring.
+/// The monitor: counters + optional bounded event ring + flight-recorder
+/// sink.
 #[derive(Debug, Clone)]
 pub struct Trace {
     enabled: bool,
@@ -135,6 +145,7 @@ pub struct Trace {
     capacity: usize,
     counters: TraceCounters,
     dropped: u64,
+    sink: Box<dyn TraceSink>,
 }
 
 impl Default for Trace {
@@ -153,7 +164,42 @@ impl Trace {
             capacity: capacity.max(1),
             counters: TraceCounters::default(),
             dropped: 0,
+            sink: Box::new(NullSink),
         }
+    }
+
+    /// Attaches a flight-recorder sink (e.g. `l15_trace::FlightRecorder`).
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// Detaches the sink (replacing it with [`NullSink`]), returning it so
+    /// the caller can downcast and read the recording.
+    pub fn take_sink(&mut self) -> Box<dyn TraceSink> {
+        std::mem::replace(&mut self.sink, Box::new(NullSink))
+    }
+
+    /// Whether the attached sink wants events. Instrumentation points that
+    /// would do non-trivial work to build an event must check this first.
+    pub fn sink_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Emits a flight-recorder event stamped with the current cycle.
+    pub fn emit(&mut self, kind: EventKind) {
+        self.emit_at(self.now, kind);
+    }
+
+    /// Emits a flight-recorder event with an explicit cycle stamp.
+    pub fn emit_at(&mut self, cycle: u64, kind: EventKind) {
+        if self.sink.enabled() {
+            self.sink.emit(l15_trace::TraceEvent { cycle, kind });
+        }
+    }
+
+    /// Current cycle stamp.
+    pub fn now(&self) -> u64 {
+        self.now
     }
 
     /// Enables event recording.
@@ -229,6 +275,54 @@ impl Trace {
             }
             self.ring.push_back(TraceEvent { cycle: self.now, kind });
         }
+        if self.sink.enabled() {
+            let kind = recorder_kind(kind);
+            self.sink.emit(l15_trace::TraceEvent { cycle: self.now, kind });
+        }
+    }
+}
+
+fn recorder_level(s: ServedBy) -> Level {
+    match s {
+        ServedBy::L1 => Level::L1,
+        ServedBy::L15 => Level::L15,
+        ServedBy::L2 => Level::L2,
+        ServedBy::Memory => Level::Mem,
+    }
+}
+
+fn recorder_ctrl(op: L15Op) -> CtrlKind {
+    match op {
+        L15Op::Demand => CtrlKind::Demand,
+        L15Op::Supply => CtrlKind::Supply,
+        L15Op::GvSet => CtrlKind::GvSet,
+        L15Op::GvGet => CtrlKind::GvGet,
+        L15Op::IpSet => CtrlKind::IpSet,
+    }
+}
+
+/// Converts a legacy monitor event into the flight-recorder vocabulary.
+fn recorder_kind(kind: TraceEventKind) -> EventKind {
+    match kind {
+        TraceEventKind::Fetch { core, served } => {
+            EventKind::Fetch { core: core as u32, level: recorder_level(served) }
+        }
+        TraceEventKind::Load { core, served } => {
+            EventKind::Load { core: core as u32, level: recorder_level(served) }
+        }
+        TraceEventKind::Store { core, via_l15 } => EventKind::Store { core: core as u32, via_l15 },
+        TraceEventKind::Ctrl { core, op, arg } => {
+            EventKind::Ctrl { core: core as u32, op: recorder_ctrl(op), arg }
+        }
+        TraceEventKind::WayGrant { cluster, lane, way } => {
+            EventKind::WayGrant { cluster: cluster as u32, lane: lane as u32, way: way as u32 }
+        }
+        TraceEventKind::WayRevoke { cluster, way } => {
+            EventKind::WayRevoke { cluster: cluster as u32, way: way as u32 }
+        }
+        TraceEventKind::GvUpdate { cluster, lane, mask } => {
+            EventKind::GvPublish { cluster: cluster as u32, lane: lane as u32, mask: mask.0 as u32 }
+        }
     }
 }
 
@@ -294,6 +388,31 @@ mod tests {
         assert_eq!(total, 7, "each recorded event must land in exactly one counter: {c:?}");
         assert_eq!(c.gv_updates, 1);
         assert_eq!(t.events().count(), 0, "ring stays empty when disabled");
+    }
+
+    #[test]
+    fn sink_receives_converted_events_and_detaches() {
+        use l15_trace::FlightRecorder;
+        let mut t = Trace::new(4);
+        assert!(!t.sink_enabled(), "NullSink by default");
+        t.set_sink(Box::new(FlightRecorder::new(16)));
+        assert!(t.sink_enabled());
+        t.set_now(7);
+        t.record(TraceEventKind::Load { core: 1, served: ServedBy::L15 });
+        t.record(TraceEventKind::GvUpdate { cluster: 0, lane: 1, mask: WayMask::single(3) });
+        t.emit(EventKind::NodeStart { node: 2, core: 1 });
+        t.emit_at(9, EventKind::NodeFinish { node: 2, core: 1 });
+        let rec = t.take_sink().into_any().downcast::<FlightRecorder>().unwrap();
+        assert!(!t.sink_enabled(), "detached monitor is back to NullSink");
+        let events: Vec<_> = rec.to_vec();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].cycle, 7);
+        assert_eq!(events[0].kind, EventKind::Load { core: 1, level: Level::L15 });
+        assert_eq!(events[1].kind, EventKind::GvPublish { cluster: 0, lane: 1, mask: 0b1000 });
+        assert_eq!(events[3].cycle, 9);
+        // Counters advanced exactly as they would without the sink.
+        assert_eq!(t.counters().loads[1], 1);
+        assert_eq!(t.counters().gv_updates, 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use l15_cache::stats::CacheStats;
 use l15_cache::CacheError;
 use l15_rvcore::bus::{CtrlAccess, MemAccess, SystemBus};
 use l15_rvcore::isa::L15Op;
+use l15_trace::EventKind;
 
 use crate::config::{LevelConfig, SocConfig};
 use crate::trace::{ServedBy, Trace, TraceEventKind};
@@ -170,6 +171,7 @@ impl Uncore {
     pub fn advance(&mut self, cycles: u32) {
         for cluster in 0..self.cfg.clusters {
             let Some(l15) = self.l15[cluster].as_mut() else { continue };
+            let mut stall_reported = false;
             for _ in 0..cycles {
                 if !l15.reconfig_pending() {
                     break;
@@ -182,7 +184,17 @@ impl Uncore {
                     Some(l15_cache::l15::SduEvent::Revoked { way, .. }) => {
                         self.trace.record(TraceEventKind::WayRevoke { cluster, way });
                     }
-                    None => {}
+                    None => {
+                        // Demand outstanding but no way free this cycle: a
+                        // reconfiguration stall. Reported once per advance —
+                        // the backlog cannot change until someone shrinks.
+                        if !stall_reported && self.trace.sink_enabled() {
+                            stall_reported = true;
+                            let backlog = l15.reconfig_backlog() as u32;
+                            self.trace
+                                .emit(EventKind::SduStall { cluster: cluster as u32, backlog });
+                        }
+                    }
                 }
                 for wb in wbs {
                     write_back(&mut self.l2, &mut self.mem, &mut self.mem_lines, wb.addr, &wb.data);
@@ -274,6 +286,13 @@ impl Uncore {
         }
     }
 
+    /// Content fingerprint of external memory (see
+    /// [`MainMemory::fingerprint`]); used by the traced-vs-untraced parity
+    /// tests to assert final memory state equality.
+    pub fn memory_fingerprint(&self) -> u64 {
+        self.mem.fingerprint()
+    }
+
     /// Merged statistics over the whole hierarchy.
     pub fn stats(&self) -> HierarchyStats {
         let mut s = HierarchyStats::default();
@@ -346,6 +365,21 @@ impl Uncore {
             let out =
                 l15.read(lane, vbase, pbase, &mut line).expect("lane index is within the cluster");
             if out.hit {
+                // A hit in a way the reading lane does not own is dependent
+                // data flowing producer → consumer through the L1.5.
+                if self.trace.sink_enabled() {
+                    if let Some(way) = out.way {
+                        let owned = l15.supply(lane).map(|m| m.contains(way)).unwrap_or(false);
+                        if !owned {
+                            let core = cluster * self.cfg.cores_per_cluster + lane;
+                            self.trace.emit(EventKind::GvConsume {
+                                core: core as u32,
+                                cluster: cluster as u32,
+                                way: way as u32,
+                            });
+                        }
+                    }
+                }
                 return (line, out.latency, ServedBy::L15);
             }
             // Miss in L1.5: fetch from below and allocate into the core's

@@ -1,0 +1,191 @@
+//! Plain-text diff of the Alg. 1 predicted plan against observed spans.
+//!
+//! The scheduler (`l15_core::gantt`) predicts, per node, a core and a
+//! `[start, finish)` cycle interval. A recording yields the *observed*
+//! intervals ([`Spans::nodes`]). This module aligns the two by node index
+//! and renders a fixed-width table with per-node slack (finished early)
+//! or overrun (finished late), plus makespan totals — the quickest way to
+//! see *which* node the model mispredicts rather than just *that* the
+//! makespan differs.
+//!
+//! The output is deterministic text: integer cycles plus `{:.3}`-rounded
+//! ratios (exact same bytes on every platform).
+
+use std::fmt::Write as _;
+
+use crate::span::{NodeSpan, Spans};
+
+/// One node of the predicted plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Planned {
+    /// Node index.
+    pub node: u32,
+    /// Core the plan assigns the node to.
+    pub core: u32,
+    /// Predicted start cycle.
+    pub start: u64,
+    /// Predicted finish cycle.
+    pub finish: u64,
+}
+
+impl Planned {
+    /// Predicted duration in cycles.
+    pub fn duration(&self) -> u64 {
+        self.finish.saturating_sub(self.start)
+    }
+}
+
+/// Comparison of one node's prediction against its observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDiff {
+    /// The plan entry.
+    pub planned: Planned,
+    /// The observed span, if the node appears in the recording.
+    pub observed: Option<NodeSpan>,
+}
+
+impl NodeDiff {
+    /// Observed finish minus predicted finish (positive = overrun).
+    pub fn finish_delta(&self) -> Option<i64> {
+        self.observed.map(|o| o.finish as i64 - self.planned.finish as i64)
+    }
+}
+
+/// Aligns a plan with observed node spans (by node index).
+pub fn align(planned: &[Planned], spans: &Spans) -> Vec<NodeDiff> {
+    planned
+        .iter()
+        .map(|&p| NodeDiff {
+            planned: p,
+            observed: spans.nodes.iter().find(|s| s.node == p.node).copied(),
+        })
+        .collect()
+}
+
+fn ratio(observed: u64, planned: u64) -> String {
+    if planned == 0 {
+        String::from("   -  ")
+    } else {
+        format!("{:6.3}", observed as f64 / planned as f64)
+    }
+}
+
+/// Renders the plan-vs-observed table as deterministic plain text.
+pub fn diff(planned: &[Planned], spans: &Spans) -> String {
+    let rows = align(planned, spans);
+    let mut out = String::new();
+    out.push_str(
+        "node  core(plan/obs)  planned[start..finish]  observed[start..finish]  \
+         delta  ratio  note\n",
+    );
+    let mut overruns = 0usize;
+    let mut missing = 0usize;
+    for row in &rows {
+        let p = row.planned;
+        match row.observed {
+            Some(o) => {
+                let delta = o.finish as i64 - p.finish as i64;
+                if delta > 0 {
+                    overruns += 1;
+                }
+                let note = if o.truncated {
+                    "truncated"
+                } else if o.core != p.core {
+                    "migrated"
+                } else if delta > 0 {
+                    "overrun"
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>4}  {:>4}/{:<4}      [{:>8}..{:>8}]     [{:>8}..{:>8}]    {:>+6}  {}  {}",
+                    p.node,
+                    p.core,
+                    o.core,
+                    p.start,
+                    p.finish,
+                    o.start,
+                    o.finish,
+                    delta,
+                    ratio(o.duration(), p.duration()),
+                    note,
+                );
+            }
+            None => {
+                missing += 1;
+                let _ = writeln!(
+                    out,
+                    "{:>4}  {:>4}/-         [{:>8}..{:>8}]     [       -..       -]         -     -   unobserved",
+                    p.node, p.core, p.start, p.finish,
+                );
+            }
+        }
+    }
+    let planned_makespan = planned.iter().map(|p| p.finish).max().unwrap_or(0);
+    let observed_makespan = spans.nodes.iter().map(|s| s.finish).max().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "makespan: planned {} observed {} ratio {}",
+        planned_makespan,
+        observed_makespan,
+        ratio(observed_makespan, planned_makespan).trim(),
+    );
+    let _ = writeln!(
+        out,
+        "nodes: {} planned, {} overrun, {} unobserved, walloc {} cycles",
+        rows.len(),
+        overruns,
+        missing,
+        spans.walloc_cycles(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans_with(nodes: Vec<NodeSpan>) -> Spans {
+        Spans { nodes, ..Spans::default() }
+    }
+
+    #[test]
+    fn diff_flags_overrun_slack_and_missing() {
+        let planned = vec![
+            Planned { node: 0, core: 0, start: 0, finish: 100 },
+            Planned { node: 1, core: 1, start: 0, finish: 50 },
+            Planned { node: 2, core: 0, start: 100, finish: 180 },
+        ];
+        let spans = spans_with(vec![
+            NodeSpan { node: 0, core: 0, start: 0, finish: 120, truncated: false },
+            NodeSpan { node: 1, core: 1, start: 0, finish: 40, truncated: false },
+        ]);
+        let text = diff(&planned, &spans);
+        assert!(text.contains("overrun"), "{text}");
+        assert!(text.contains("  ok"), "{text}");
+        assert!(text.contains("unobserved"), "{text}");
+        assert!(text.contains("makespan: planned 180 observed 120"), "{text}");
+        let rows = align(&planned, &spans);
+        assert_eq!(rows[0].finish_delta(), Some(20));
+        assert_eq!(rows[1].finish_delta(), Some(-10));
+        assert_eq!(rows[2].finish_delta(), None);
+    }
+
+    #[test]
+    fn migrated_nodes_are_called_out() {
+        let planned = vec![Planned { node: 0, core: 0, start: 0, finish: 10 }];
+        let spans =
+            spans_with(vec![NodeSpan { node: 0, core: 3, start: 0, finish: 9, truncated: false }]);
+        assert!(diff(&planned, &spans).contains("migrated"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let planned = vec![Planned { node: 0, core: 0, start: 0, finish: 7 }];
+        let spans =
+            spans_with(vec![NodeSpan { node: 0, core: 0, start: 1, finish: 9, truncated: true }]);
+        assert_eq!(diff(&planned, &spans), diff(&planned, &spans));
+        assert!(diff(&planned, &spans).contains("1.286"), "fixed-precision ratio");
+    }
+}

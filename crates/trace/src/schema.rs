@@ -1,0 +1,185 @@
+//! In-tree schema checker for exported Chrome traces.
+//!
+//! CI validates every trace artefact with this before diffing bytes:
+//! parsing with [`crate::json`] and then asserting the structural
+//! invariants the exporters promise — so a regression that still happens
+//! to be byte-stable (e.g. a float `ts` sneaking in on *every* platform)
+//! is caught by shape, not just by diff.
+
+use crate::json::{self, Value};
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// Complete spans (`ph == "X"`).
+    pub spans: usize,
+    /// Instants (`ph == "i"`).
+    pub instants: usize,
+    /// Metadata entries (`ph == "M"`).
+    pub metadata: usize,
+    /// Largest `ts + dur` seen (cycles).
+    pub max_ts: u64,
+    /// Total dropped events declared in `otherData`.
+    pub dropped: u64,
+}
+
+fn req_str<'a>(ev: &'a Value, key: &str, at: usize, errors: &mut Vec<String>) -> Option<&'a str> {
+    match ev.get(key).and_then(Value::as_str) {
+        Some(s) => Some(s),
+        None => {
+            errors.push(format!("event {at}: missing string field '{key}'"));
+            None
+        }
+    }
+}
+
+fn req_uint(ev: &Value, key: &str, at: usize, errors: &mut Vec<String>) -> Option<u64> {
+    match ev.get(key) {
+        Some(Value::Int(i)) if *i >= 0 => Some(*i as u64),
+        Some(Value::Int(_)) => {
+            errors.push(format!("event {at}: field '{key}' is negative"));
+            None
+        }
+        Some(Value::Num(_)) => {
+            errors.push(format!("event {at}: field '{key}' is a float (must be integer cycles)"));
+            None
+        }
+        _ => {
+            errors.push(format!("event {at}: missing integer field '{key}'"));
+            None
+        }
+    }
+}
+
+fn check_event(ev: &Value, at: usize, stats: &mut TraceStats, errors: &mut Vec<String>) {
+    if ev.as_obj().is_none() {
+        errors.push(format!("event {at}: not an object"));
+        return;
+    }
+    req_str(ev, "name", at, errors);
+    req_str(ev, "cat", at, errors);
+    let ph = req_str(ev, "ph", at, errors).map(str::to_string);
+    let ts = req_uint(ev, "ts", at, errors);
+    req_uint(ev, "pid", at, errors);
+    req_uint(ev, "tid", at, errors);
+    if ev.get("args").map(|a| a.as_obj().is_none()).unwrap_or(false) {
+        errors.push(format!("event {at}: 'args' is not an object"));
+    }
+    let dur = ev.get("dur");
+    match ph.as_deref() {
+        Some("X") => {
+            stats.spans += 1;
+            if let Some(d) = req_uint(ev, "dur", at, errors) {
+                if let Some(t) = ts {
+                    stats.max_ts = stats.max_ts.max(t + d);
+                }
+            }
+        }
+        Some("i") => {
+            stats.instants += 1;
+            if dur.is_some() {
+                errors.push(format!("event {at}: instants must not carry 'dur'"));
+            }
+            if let Some(t) = ts {
+                stats.max_ts = stats.max_ts.max(t);
+            }
+        }
+        Some("M") => {
+            stats.metadata += 1;
+            if dur.is_some() {
+                errors.push(format!("event {at}: metadata must not carry 'dur'"));
+            }
+        }
+        Some(other) => errors.push(format!("event {at}: unsupported ph '{other}'")),
+        None => {}
+    }
+}
+
+/// Validates an exported trace; returns stats or every violation found.
+pub fn validate(text: &str) -> Result<TraceStats, Vec<String>> {
+    let root = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![e.to_string()]),
+    };
+    let mut errors = Vec::new();
+    let mut stats = TraceStats::default();
+    if root.as_obj().is_none() {
+        return Err(vec![String::from("root is not an object")]);
+    }
+    match root.get("traceEvents").and_then(Value::as_arr) {
+        Some(events) => {
+            stats.events = events.len();
+            for (at, ev) in events.iter().enumerate() {
+                check_event(ev, at, &mut stats, &mut errors);
+            }
+        }
+        None => errors.push(String::from("missing 'traceEvents' array")),
+    }
+    if let Some(other) = root.get("otherData") {
+        match other.get("dropped_events").and_then(Value::as_obj) {
+            Some(pairs) => {
+                for (cat, count) in pairs {
+                    match count.as_i64() {
+                        Some(n) if n >= 0 => stats.dropped += n as u64,
+                        _ => errors.push(format!("dropped_events.{cat}: not a non-negative int")),
+                    }
+                }
+            }
+            None => errors.push(String::from("otherData missing 'dropped_events' object")),
+        }
+    } else {
+        errors.push(String::from("missing 'otherData' object"));
+    }
+    if errors.is_empty() {
+        Ok(stats)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome;
+    use crate::event::{EventKind, TraceEvent};
+    use crate::recorder::FlightRecorder;
+
+    #[test]
+    fn validates_a_real_export() {
+        let mut rec = FlightRecorder::new(16);
+        rec.record(TraceEvent { cycle: 0, kind: EventKind::NodeStart { node: 0, core: 0 } });
+        rec.record(TraceEvent { cycle: 8, kind: EventKind::NodeFinish { node: 0, core: 0 } });
+        let stats = validate(&chrome::export("t", &rec)).expect("valid");
+        assert_eq!(stats.spans, 1);
+        assert!(stats.metadata >= 2, "process + thread names");
+        assert_eq!(stats.max_ts, 8);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn rejects_float_timestamps_and_bad_ph() {
+        let text = r#"{"traceEvents":[
+            {"name":"a","cat":"c","ph":"i","ts":1.5,"pid":0,"tid":0},
+            {"name":"b","cat":"c","ph":"Q","ts":1,"pid":0,"tid":0}
+        ],"otherData":{"dropped_events":{}}}"#;
+        let errors = validate(text).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("float")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("unsupported ph")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejects_span_without_duration() {
+        let text = r#"{"traceEvents":[
+            {"name":"a","cat":"c","ph":"X","ts":1,"pid":0,"tid":0}
+        ],"otherData":{"dropped_events":{}}}"#;
+        assert!(validate(text).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_trace_events() {
+        let errors = validate(r#"{"otherData":{"dropped_events":{}}}"#).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("traceEvents")));
+    }
+}

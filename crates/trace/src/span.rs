@@ -1,0 +1,243 @@
+//! Span derivation: pairs start/finish events from a raw recording into
+//! intervals.
+//!
+//! A flight recorder keeps the *newest* window of events, so a recording
+//! may open mid-flight: a `NodeFinish` whose `NodeStart` was evicted, or a
+//! node still running when capture stopped. Both are represented rather
+//! than discarded — the missing endpoint is clamped to the window edge and
+//! the span is flagged `truncated` so downstream consumers (the Gantt
+//! diff, the exporters) can tell a measured interval from a clamped one.
+
+use crate::event::{EventKind, SectionKind, TraceEvent};
+
+/// Observed execution interval of one DAG node on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSpan {
+    /// Node index.
+    pub node: u32,
+    /// Core the node ran on.
+    pub core: u32,
+    /// Cycle of the `NodeStart` (or window start if it was evicted).
+    pub start: u64,
+    /// Cycle of the `NodeFinish` (or window end if still running).
+    pub finish: u64,
+    /// Whether either endpoint was clamped to the window edge.
+    pub truncated: bool,
+}
+
+impl NodeSpan {
+    /// Observed duration in cycles.
+    pub fn duration(&self) -> u64 {
+        self.finish.saturating_sub(self.start)
+    }
+}
+
+/// One Walloc reconfiguration episode on a core: from the kernel's
+/// `demand` to the cycle the FSM finished applying it. The sum of these
+/// windows over a run is the numerator of the misconfiguration ratio φ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallocEpisode {
+    /// Core whose configuration changed.
+    pub core: u32,
+    /// Demanded total way count.
+    pub want: u32,
+    /// Ways owned when the episode closed (0 if truncated open).
+    pub got: u32,
+    /// Cycle the demand was issued (or window start).
+    pub start: u64,
+    /// Cycle the configuration settled (or window end).
+    pub finish: u64,
+    /// Whether either endpoint was clamped to the window edge.
+    pub truncated: bool,
+}
+
+impl WallocEpisode {
+    /// Cycles spent misconfigured (in-flight window).
+    pub fn duration(&self) -> u64 {
+        self.finish.saturating_sub(self.start)
+    }
+}
+
+/// A point-in-time kernel section marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionMark {
+    /// Cycle the kernel performed the step.
+    pub cycle: u64,
+    /// Core the kernel acted on.
+    pub core: u32,
+    /// Node the step belongs to.
+    pub node: u32,
+    /// Which Sec. 4.3 step.
+    pub kind: SectionKind,
+}
+
+/// All spans derived from one recording.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Spans {
+    /// Node execution intervals, in finish order (open spans last).
+    pub nodes: Vec<NodeSpan>,
+    /// Walloc reconfiguration episodes, in finish order (open last).
+    pub walloc: Vec<WallocEpisode>,
+    /// Kernel section markers in recording order.
+    pub sections: Vec<SectionMark>,
+    /// First cycle covered by the recording window (0 when empty).
+    pub window_start: u64,
+    /// Last cycle covered by the recording window (0 when empty).
+    pub window_end: u64,
+}
+
+impl Spans {
+    /// Derives spans from the events of a recording (oldest first).
+    pub fn from_events(events: &[TraceEvent]) -> Spans {
+        let window_start = events.first().map_or(0, |e| e.cycle);
+        let window_end = events.last().map_or(0, |e| e.cycle);
+        let mut spans = Spans { window_start, window_end, ..Spans::default() };
+
+        // Open starts keyed by node / core; ordered vecs keep the
+        // derivation deterministic without hashing.
+        let mut open_nodes: Vec<(u32, u32, u64)> = Vec::new(); // (node, core, start)
+        let mut open_walloc: Vec<(u32, u32, u64)> = Vec::new(); // (core, want, start)
+
+        for ev in events {
+            match ev.kind {
+                EventKind::NodeStart { node, core } => {
+                    open_nodes.push((node, core, ev.cycle));
+                }
+                EventKind::NodeFinish { node, core } => {
+                    let pos = open_nodes.iter().position(|&(n, c, _)| n == node && c == core);
+                    match pos {
+                        Some(i) => {
+                            let (_, _, start) = open_nodes.remove(i);
+                            spans.nodes.push(NodeSpan {
+                                node,
+                                core,
+                                start,
+                                finish: ev.cycle,
+                                truncated: false,
+                            });
+                        }
+                        None => spans.nodes.push(NodeSpan {
+                            node,
+                            core,
+                            start: window_start,
+                            finish: ev.cycle,
+                            truncated: true,
+                        }),
+                    }
+                }
+                EventKind::WallocStart { core, want } => {
+                    open_walloc.push((core, want, ev.cycle));
+                }
+                EventKind::WallocDone { core, got } => {
+                    let pos = open_walloc.iter().position(|&(c, _, _)| c == core);
+                    match pos {
+                        Some(i) => {
+                            let (_, want, start) = open_walloc.remove(i);
+                            spans.walloc.push(WallocEpisode {
+                                core,
+                                want,
+                                got,
+                                start,
+                                finish: ev.cycle,
+                                truncated: false,
+                            });
+                        }
+                        None => spans.walloc.push(WallocEpisode {
+                            core,
+                            want: got,
+                            got,
+                            start: window_start,
+                            finish: ev.cycle,
+                            truncated: true,
+                        }),
+                    }
+                }
+                EventKind::Section { core, node, kind } => {
+                    spans.sections.push(SectionMark { cycle: ev.cycle, core, node, kind });
+                }
+                _ => {}
+            }
+        }
+
+        // Still-open spans clamp to the window end.
+        for (node, core, start) in open_nodes {
+            spans.nodes.push(NodeSpan { node, core, start, finish: window_end, truncated: true });
+        }
+        for (core, want, start) in open_walloc {
+            spans.walloc.push(WallocEpisode {
+                core,
+                want,
+                got: 0,
+                start,
+                finish: window_end,
+                truncated: true,
+            });
+        }
+        spans
+    }
+
+    /// Sum of Walloc in-flight cycles (numerator of a recorded φ).
+    pub fn walloc_cycles(&self) -> u64 {
+        self.walloc.iter().map(|w| w.duration()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn ev(cycle: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { cycle, kind }
+    }
+
+    #[test]
+    fn pairs_nested_spans_and_marks_sections() {
+        let events = [
+            ev(10, EventKind::NodeStart { node: 0, core: 0 }),
+            ev(12, EventKind::Section { core: 0, node: 0, kind: SectionKind::Dispatch }),
+            ev(15, EventKind::NodeStart { node: 1, core: 1 }),
+            ev(40, EventKind::NodeFinish { node: 1, core: 1 }),
+            ev(50, EventKind::NodeFinish { node: 0, core: 0 }),
+        ];
+        let spans = Spans::from_events(&events);
+        assert_eq!(spans.nodes.len(), 2);
+        assert_eq!(
+            spans.nodes[0],
+            NodeSpan { node: 1, core: 1, start: 15, finish: 40, truncated: false }
+        );
+        assert_eq!(spans.nodes[1].duration(), 40);
+        assert_eq!(spans.sections.len(), 1);
+        assert_eq!(spans.window_start, 10);
+        assert_eq!(spans.window_end, 50);
+    }
+
+    #[test]
+    fn truncated_spans_clamp_to_window_edges() {
+        let events = [
+            ev(100, EventKind::NodeFinish { node: 3, core: 2 }), // start evicted
+            ev(120, EventKind::NodeStart { node: 4, core: 2 }),  // still running
+            ev(130, EventKind::Load { core: 2, level: crate::event::Level::L2 }),
+        ];
+        let spans = Spans::from_events(&events);
+        assert_eq!(spans.nodes.len(), 2);
+        assert!(spans.nodes[0].truncated);
+        assert_eq!(spans.nodes[0].start, 100);
+        assert!(spans.nodes[1].truncated);
+        assert_eq!(spans.nodes[1].finish, 130);
+    }
+
+    #[test]
+    fn walloc_episodes_sum_to_phi_numerator() {
+        let events = [
+            ev(0, EventKind::WallocStart { core: 0, want: 4 }),
+            ev(4, EventKind::WallocDone { core: 0, got: 4 }),
+            ev(10, EventKind::WallocStart { core: 1, want: 2 }),
+            ev(11, EventKind::WallocDone { core: 1, got: 2 }),
+        ];
+        let spans = Spans::from_events(&events);
+        assert_eq!(spans.walloc.len(), 2);
+        assert_eq!(spans.walloc_cycles(), 5);
+        assert!(!spans.walloc[0].truncated);
+    }
+}

@@ -1,0 +1,106 @@
+//! Golden-file tests: the exporters' exact bytes for a fixed recording.
+//!
+//! Run with `L15_UPDATE_GOLDEN=1 cargo test -p l15-trace --test golden`
+//! to regenerate after an intentional format change, then review the
+//! diff like any other code change.
+
+use std::path::PathBuf;
+
+use l15_trace::gantt::{self, Planned};
+use l15_trace::span::Spans;
+use l15_trace::{
+    chrome, schema, CtrlKind, EventKind, FlightRecorder, Level, SectionKind, TraceEvent,
+};
+
+fn fixture() -> FlightRecorder {
+    // A hand-written two-node producer → consumer episode exercising
+    // every event kind, sized to overflow a 24-slot ring so the dropped
+    // counters are non-zero in the golden output.
+    let mut rec = FlightRecorder::new(24);
+    let mut put = |cycle: u64, kind: EventKind| rec.record(TraceEvent { cycle, kind });
+
+    put(0, EventKind::Section { core: 0, node: 0, kind: SectionKind::Dispatch });
+    put(0, EventKind::Ctrl { core: 0, op: CtrlKind::Demand, arg: 2 });
+    put(0, EventKind::WallocStart { core: 0, want: 2 });
+    put(1, EventKind::WayGrant { cluster: 0, lane: 0, way: 0 });
+    put(2, EventKind::WayGrant { cluster: 0, lane: 0, way: 1 });
+    put(2, EventKind::WallocDone { core: 0, got: 2 });
+    put(2, EventKind::Ctrl { core: 0, op: CtrlKind::IpSet, arg: 1 });
+    put(3, EventKind::NodeStart { node: 0, core: 0 });
+    put(4, EventKind::Fetch { core: 0, level: Level::Mem });
+    put(5, EventKind::Fetch { core: 0, level: Level::L1 });
+    put(6, EventKind::Load { core: 0, level: Level::L2 });
+    put(7, EventKind::PipeStall { core: 0, if_stall: 2, ma_stall: 4, hazard: 0, flush: 0, ex: 0 });
+    put(8, EventKind::Store { core: 0, via_l15: true });
+    put(20, EventKind::NodeFinish { node: 0, core: 0 });
+    put(20, EventKind::Section { core: 0, node: 0, kind: SectionKind::Publish });
+    put(20, EventKind::Ctrl { core: 0, op: CtrlKind::GvSet, arg: 3 });
+    put(20, EventKind::GvPublish { cluster: 0, lane: 0, mask: 3 });
+    put(21, EventKind::Section { core: 1, node: 1, kind: SectionKind::Dispatch });
+    put(21, EventKind::Ctrl { core: 1, op: CtrlKind::Demand, arg: 1 });
+    put(21, EventKind::WallocStart { core: 1, want: 1 });
+    put(22, EventKind::SduStall { cluster: 0, backlog: 1 });
+    put(23, EventKind::WayRevoke { cluster: 0, way: 0 });
+    put(24, EventKind::WayGrant { cluster: 0, lane: 1, way: 0 });
+    put(24, EventKind::WallocDone { core: 1, got: 1 });
+    put(25, EventKind::NodeStart { node: 1, core: 1 });
+    put(26, EventKind::Load { core: 1, level: Level::L15 });
+    put(26, EventKind::GvConsume { core: 1, cluster: 0, way: 1 });
+    put(
+        27,
+        EventKind::PipeStall { core: 1, if_stall: 0, ma_stall: 0, hazard: 1, flush: 2, ex: 33 },
+    );
+    put(34, EventKind::NodeFinish { node: 1, core: 1 });
+    put(34, EventKind::Section { core: 1, node: 1, kind: SectionKind::Reclaim });
+    rec
+}
+
+fn plan() -> Vec<Planned> {
+    vec![
+        Planned { node: 0, core: 0, start: 3, finish: 18 },
+        Planned { node: 1, core: 1, start: 25, finish: 40 },
+        Planned { node: 2, core: 0, start: 18, finish: 30 },
+    ]
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("L15_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with L15_UPDATE_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; if intentional, regenerate with L15_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn chrome_export_matches_golden() {
+    let text = chrome::export("golden", &fixture());
+    schema::validate(&text).expect("golden export passes its own schema");
+    assert_golden("chrome.json", &text);
+}
+
+#[test]
+fn gantt_diff_matches_golden() {
+    let rec = fixture();
+    let spans = Spans::from_events(&rec.to_vec());
+    assert_golden("gantt.txt", &gantt::diff(&plan(), &spans));
+}
+
+#[test]
+fn fixture_overflows_the_ring() {
+    let rec = fixture();
+    assert!(rec.dropped().total() > 0, "fixture must exercise drop accounting");
+    assert_eq!(rec.len(), 24);
+    assert_eq!(rec.recorded(), 30);
+}

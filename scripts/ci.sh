@@ -29,7 +29,9 @@ lg_seq=$(mktemp)
 lg_par=$(mktemp)
 chk_seq=$(mktemp)
 chk_par=$(mktemp)
-trap 'rm -f "$seq_out" "$par_out" "$serve_log" "$lg_seq" "$lg_par" "$lg_seq.det" "$lg_par.det" "$chk_seq" "$chk_par"' EXIT
+tr_seq=$(mktemp)
+tr_par=$(mktemp)
+trap 'rm -f "$seq_out" "$par_out" "$serve_log" "$lg_seq" "$lg_par" "$lg_seq.det" "$lg_par.det" "$chk_seq" "$chk_par" "$tr_seq" "$tr_par"' EXIT
 L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$seq_out"
 L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$par_out"
 diff -u "$seq_out" "$par_out"
@@ -41,6 +43,21 @@ L15_JOBS=4 cargo run --release --offline -q -p l15-check --bin l15-check -- --qu
 diff -u "$chk_seq" "$chk_par"
 grep -q "all programs clean" "$chk_seq"
 echo "l15-check output is clean and byte-identical across worker counts"
+
+echo "==> trace determinism (l15-trace capture + bench artifact, L15_JOBS=1 vs 4)"
+# Preset capture: the Chrome JSON must be byte-identical at any worker
+# count and pass the in-tree schema checker.
+L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin l15-trace -- capture --out "$tr_seq"
+L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin l15-trace -- capture --out "$tr_par"
+cmp "$tr_seq" "$tr_par"
+cargo run --release --offline -q -p l15-bench --bin l15-trace -- validate "$tr_seq"
+# The fig7 trace artifact: DAG instances fan across the pool, assembly is
+# index-ordered, so the bytes must not depend on L15_JOBS either.
+L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin l15-trace -- bench --out "$tr_seq" > /dev/null
+L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin l15-trace -- bench --out "$tr_par" > /dev/null
+cmp "$tr_seq" "$tr_par"
+cargo run --release --offline -q -p l15-bench --bin l15-trace -- validate "$tr_seq"
+echo "trace artifacts are byte-identical across worker counts and schema-clean"
 
 echo "==> serve smoke (l15-serve + loadgen, L15_JOBS=1 vs 4 determinism)"
 # A deliberately tiny queue so the loadgen burst saturates it: the run must

@@ -15,6 +15,8 @@
 //! * [`area`] — the Sec. 5.4 area model.
 //! * [`serve`] — scheduling-as-a-service: a zero-dependency HTTP layer
 //!   exposing the pipeline with batching, backpressure and metrics.
+//! * [`trace`] — cycle-level flight recorder, span model and the
+//!   deterministic Chrome/Perfetto trace exporters.
 //! * [`testkit`] — in-tree PRNG, property-testing engine and differential
 //!   harness (the workspace has no external dependencies).
 //!
@@ -33,3 +35,4 @@ pub use l15_rvcore as rvcore;
 pub use l15_serve as serve;
 pub use l15_soc as soc;
 pub use l15_testkit as testkit;
+pub use l15_trace as trace;
