@@ -652,6 +652,34 @@ impl L15Cache {
         dirty
     }
 
+    /// Back-invalidates every resident copy of the line at
+    /// (`vaddr`, `paddr`), regardless of way permissions, returning the
+    /// dropped contents when a copy was dirty (the caller must write them
+    /// back below). A write-back that bypasses the L1.5 — no
+    /// write-permitted way holds the line, e.g. after `gv_set` removed
+    /// the way from the owner's write mask — must purge stale readable
+    /// copies, or later reads through a GV-shared way would return
+    /// pre-write data.
+    pub fn invalidate_line(&mut self, vaddr: u64, paddr: u64) -> Option<EvictedLine> {
+        let set = self.geo.index_of(vaddr) as usize;
+        let tag = self.geo.tag_of(paddr);
+        let mut dropped = None;
+        for way in 0..self.cfg.ways {
+            let line = &mut self.lines[set][way];
+            if line.valid && line.tag == tag {
+                if line.dirty && dropped.is_none() {
+                    dropped = Some(EvictedLine {
+                        addr: self.geo.addr_of(tag, set as u64),
+                        data: line.data.clone(),
+                    });
+                }
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+        dropped
+    }
+
     /// Number of valid lines currently buffered (occupancy diagnostics).
     pub fn valid_lines(&self) -> usize {
         self.lines.iter().flat_map(|s| s.iter()).filter(|l| l.valid).count()
@@ -711,6 +739,28 @@ mod tests {
         assert_eq!(buf, [7; 4]);
         let o1 = c.read(1, 0x1000, 0x1000, &mut buf).unwrap();
         assert!(!o1.hit, "core 1 must not hit a private way of core 0");
+    }
+
+    #[test]
+    fn invalidate_line_purges_all_copies_and_returns_dirty_contents() {
+        let mut c = small();
+        grant_ways(&mut c, 0, 2);
+        c.fill(0, 0x1000, 0x1000, &line(7), true).unwrap();
+        let dropped = c.invalidate_line(0x1000, 0x1000).expect("dirty contents returned");
+        assert_eq!(dropped.addr, 0x1000);
+        assert_eq!(dropped.data, line(7));
+        let mut buf = [0u8; 4];
+        let o = c.read(0, 0x1000, 0x1000, &mut buf).unwrap();
+        assert!(!o.hit, "invalidated line must not hit");
+        assert!(c.invalidate_line(0x1000, 0x1000).is_none(), "nothing left to drop");
+
+        // A clean copy is dropped silently, even from a GV-shared way the
+        // owner can no longer write (the back-invalidate ignores masks).
+        let (way, _) = c.fill(0, 0x2000, 0x2000, &line(9), false).unwrap();
+        c.gv_set(0, WayMask::single(way.unwrap())).unwrap();
+        assert!(c.invalidate_line(0x2000, 0x2000).is_none(), "clean copy has no contents");
+        let o = c.read(0, 0x2000, 0x2000, &mut buf).unwrap();
+        assert!(!o.hit, "clean copy purged from the shared way");
     }
 
     #[test]

@@ -141,6 +141,47 @@ mod tests {
         });
     }
 
+    /// Mid-episode revocation: the mask logic's enable (demand) vector
+    /// shrinks between probes as the Walloc peels ways off the episode —
+    /// the selector must degrade way by way and miss outright once the
+    /// vector empties, with no memory of earlier enables.
+    #[test]
+    fn demand_vector_emptying_mid_episode_degrades_to_a_miss() {
+        let ds = DataSelector::new(16);
+        let tag = 0x7a;
+        let lines = vec![
+            LatchedLine { valid: true, tag },
+            LatchedLine { valid: true, tag },
+            LatchedLine { valid: true, tag },
+        ];
+        // Episode start: all three ways enabled, way 0 wins.
+        let mut enables = WayMask::first_n(3);
+        assert_eq!(ds.select(&lines, enables, tag), Some(0));
+        // One revocation per tick: the winner moves to the next way.
+        enables.remove(0);
+        assert_eq!(ds.select(&lines, enables, tag), Some(1));
+        enables.remove(1);
+        assert_eq!(ds.select(&lines, enables, tag), Some(2));
+        // The vector empties mid-episode: matching, valid content must
+        // still miss, and the hit vector is exactly empty.
+        enables.remove(2);
+        assert!(enables.is_empty());
+        assert_eq!(ds.select(&lines, enables, tag), None);
+        assert!(ds.hit_vector(&lines, enables, tag).is_empty());
+        // Re-granting (episode restart) restores the hit statelessly.
+        enables.insert(1);
+        assert_eq!(ds.select(&lines, enables, tag), Some(1));
+    }
+
+    /// An empty latch array (no line selectors forwarded anything, e.g.
+    /// every way mid-transfer) never hits, whatever the enables say.
+    #[test]
+    fn empty_latch_array_never_hits() {
+        let ds = DataSelector::new(8);
+        assert_eq!(ds.select(&[], WayMask::first_n(8), 0), None);
+        assert!(ds.hit_vector(&[], WayMask::first_n(8), 0).is_empty());
+    }
+
     /// The hit vector is always a subset of the enables.
     #[test]
     fn hits_are_gated_by_enables() {

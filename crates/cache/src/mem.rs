@@ -87,6 +87,26 @@ impl MainMemory {
         }
         h
     }
+
+    /// Every byte that reads non-zero, as `(address, value)` pairs sorted
+    /// by address — the flat-image diff surface of the fuzz harness. Two
+    /// memories return equal vectors iff every address reads equal, so a
+    /// mismatch pinpoints the first diverging byte (including writes to
+    /// addresses the reference never touched).
+    pub fn nonzero_bytes(&self) -> Vec<(u64, u8)> {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = Vec::new();
+        for key in keys {
+            let base = key << PAGE_BITS;
+            for (off, &b) in self.pages[&key].iter().enumerate() {
+                if b != 0 {
+                    out.push((base + off as u64, b));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

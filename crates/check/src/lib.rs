@@ -60,11 +60,16 @@
 #![warn(missing_docs)]
 
 pub mod fsm;
+pub mod fuzz;
 pub mod program;
 pub mod replay;
 pub mod rules;
 
 pub use fsm::{check_walloc, FsmBounds, WallocModel};
+pub use fuzz::{
+    case_from_seed, check_case, check_case_with, parse_corpus_entry, sweep, CaseOutcome,
+    CorpusEntry, FuzzBug, FuzzVerdict,
+};
 pub use program::{parse_program_text, write_program, CheckProgram, Mutation, ProgramSpec};
 pub use replay::{
     check_counters, check_recorded, counters_from_events, ReplayVerdict, TraceExpectation,

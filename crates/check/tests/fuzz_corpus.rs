@@ -1,0 +1,64 @@
+//! Replays the seeded fuzz regression corpus
+//! (`crates/testkit/corpus/fuzz/*.case`) through the full three-way
+//! harness — every entry must stay clean on a healthy tree — and proves
+//! the find→shrink→replay loop end to end: an injected bug fails the
+//! property, and the shrinker reports a replayable `L15_PROP_SEED`.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use l15_check::fuzz::{check_case, check_case_with, parse_corpus_entry, FuzzBug};
+use l15_testkit::fuzz::{draw_case, FuzzKnobs, OpMix};
+use l15_testkit::prop;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../testkit/corpus/fuzz")
+}
+
+#[test]
+fn every_corpus_entry_replays_clean() {
+    let mut paths: Vec<_> = fs::read_dir(corpus_dir())
+        .expect("the seeded corpus directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 10, "the seeded corpus holds at least 10 entries: {}", paths.len());
+    for path in paths {
+        let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let entry = parse_corpus_entry(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let verdict = check_case(&entry.case());
+        assert!(verdict.is_clean(), "{}", verdict.render(&name));
+    }
+}
+
+#[test]
+fn divergences_shrink_to_a_replayable_seed() {
+    // Produce/consume-heavy tiny cases so the injected R1 bug (skipped
+    // ip_set, skipped fallback flush) trips quickly and shrinks fast.
+    let knobs = FuzzKnobs {
+        private_slots: 8,
+        shared_slots: 4,
+        ops: 48,
+        mix: OpMix { load: 10, store: 10, consume: 30, produce: 30, reconfig: 5, advance: 5 },
+        ..FuzzKnobs::quick()
+    };
+    let cfg = prop::Config { cases: 8, max_shrink_iters: 200, seed: Some(0xf00d) };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        prop::run_with(cfg, "fuzz_shrink_integration", |g| {
+            let case = draw_case(g, &knobs);
+            let verdict = check_case_with(&case, Some(FuzzBug::DropIpSet));
+            assert!(verdict.is_clean(), "{}", verdict.headline());
+        });
+    }));
+    let payload = outcome.expect_err("an injected R1 bug must fail the property");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&'static str>().map(|s| (*s).to_owned()))
+        .expect("panic payload is a message");
+    assert!(msg.contains("L15_PROP_SEED="), "repro seed printed:\n{msg}");
+    assert!(msg.contains("shrunk:"), "the shrinker ran:\n{msg}");
+}

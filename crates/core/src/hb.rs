@@ -100,14 +100,35 @@ impl VectorClocks {
 /// Builds the per-node vector clocks of `sched` (see [`VectorClocks`]).
 pub fn vector_clocks(task: &DagTask, sched: &HbSchedule) -> VectorClocks {
     let dag = task.graph();
-    let n = dag.node_count();
-    let cores = sched.cores;
+    let preds: Vec<Vec<NodeId>> = (0..dag.node_count())
+        .map(|i| dag.predecessors(NodeId(i)).iter().map(|&(_, p)| p).collect())
+        .collect();
+    vector_clocks_from(sched.cores, &sched.core, &sched.order, &preds)
+}
+
+/// [`vector_clocks`] from raw schedule facts — per-node core assignment,
+/// dispatch `order` and per-node predecessor lists — for callers whose
+/// ordering guarantees do not come from a [`DagTask`] (the fuzz harness
+/// builds synthetic producer→consumer edges for its generated streams).
+///
+/// A predecessor dispatched *after* its successor contributes nothing to
+/// the successor's clock (its row is still zero when the successor is
+/// walked), so callers must list predecessors earlier in `order` for the
+/// edge to establish an ordering — exactly the property a real dispatch
+/// order has by construction.
+pub fn vector_clocks_from(
+    cores: usize,
+    core_of: &[usize],
+    order: &[NodeId],
+    preds: &[Vec<NodeId>],
+) -> VectorClocks {
+    let n = core_of.len();
     let mut clock = vec![0u64; n * cores];
     let mut core_clock = vec![vec![0u64; cores]; cores];
-    for &v in &sched.order {
-        let c = sched.core[v.0];
+    for &v in order {
+        let c = core_of[v.0];
         let mut row = core_clock[c].clone();
-        for &(_, p) in dag.predecessors(v) {
+        for &p in &preds[v.0] {
             for k in 0..cores {
                 row[k] = row[k].max(clock[p.0 * cores + k]);
             }
@@ -116,7 +137,7 @@ pub fn vector_clocks(task: &DagTask, sched: &HbSchedule) -> VectorClocks {
         clock[v.0 * cores..(v.0 + 1) * cores].copy_from_slice(&row);
         core_clock[c] = row;
     }
-    VectorClocks { cores, core_of: sched.core.clone(), clock }
+    VectorClocks { cores, core_of: core_of.to_vec(), clock }
 }
 
 #[cfg(test)]

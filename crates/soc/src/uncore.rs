@@ -293,6 +293,15 @@ impl Uncore {
         self.mem.fingerprint()
     }
 
+    /// Every non-zero byte of external memory, sorted by address (see
+    /// [`MainMemory::nonzero_bytes`]). The fuzz harness diffs this against
+    /// its sequential oracle after [`Uncore::flush_all`], so the snapshot
+    /// reflects every cached dirty line only once the hierarchy has been
+    /// written back.
+    pub fn memory_nonzero_bytes(&self) -> Vec<(u64, u8)> {
+        self.mem.nonzero_bytes()
+    }
+
     /// Merged statistics over the whole hierarchy.
     pub fn stats(&self) -> HierarchyStats {
         let mut s = HierarchyStats::default();
@@ -333,6 +342,7 @@ impl Uncore {
     /// Absorbs a dirty L1 victim line: into a permitted L1.5 way when it
     /// holds the line, else down to L2.
     fn absorb_l1_victim(&mut self, cluster: usize, lane: usize, addr: u64, data: &[u8]) {
+        let mut stale = None;
         if let Some(l15) = self.l15[cluster].as_mut() {
             // The L1.5 is VIPT; for write-back we only have the physical
             // address. Kernel data is identity-mapped and user windows are
@@ -345,6 +355,15 @@ impl Uncore {
                     return;
                 }
             }
+            // The lane has no write-permitted way holding the line (e.g.
+            // `gv_set` moved the way out of its write mask), so the victim
+            // bypasses the L1.5. Any copy a read-permitted way still holds
+            // is about to go stale and must be back-invalidated; its dirty
+            // contents go down first so the newer L1 data lands on top.
+            stale = l15.invalidate_line(addr, addr);
+        }
+        if let Some(s) = stale {
+            write_back(&mut self.l2, &mut self.mem, &mut self.mem_lines, s.addr, &s.data);
         }
         write_back(&mut self.l2, &mut self.mem, &mut self.mem_lines, addr, data);
     }
@@ -692,6 +711,32 @@ mod tests {
         let v = u.load(4, 0x5000, 0x5000, 4);
         assert_eq!(v.value, 0xbeef);
         assert!(!v.from_l15);
+    }
+
+    #[test]
+    fn gv_bypass_write_back_invalidates_stale_l15_copy() {
+        // Regression (found by the l15-fuzz differential harness): a core
+        // with one way loads a private line (clean copy lands in its L1.5
+        // way), dirties it in the L1, then `gv_set` removes the way from
+        // its write mask. The dirty L1 victim can no longer be absorbed
+        // and bypasses to the L2 — the stale readable L1.5 copy must be
+        // back-invalidated, or the next load returns pre-store data.
+        let mut u = uncore();
+        {
+            let l15 = u.l15_mut(0).unwrap();
+            l15.demand(0, 1).unwrap();
+            l15.settle();
+        }
+        u.load(0, 0x6000, 0x6000, 4); // clean copy in L1 and the L1.5 way
+        u.store(0, 0x6000, 0x6000, 4, 0x1234_5678); // dirty in L1 only
+        {
+            let l15 = u.l15_mut(0).unwrap();
+            let owned = l15.supply(0).unwrap();
+            l15.gv_set(0, owned).unwrap(); // write mask is now empty
+        }
+        u.flush_l1d(0); // victim bypasses the L1.5
+        let v = u.load(0, 0x6000, 0x6000, 4);
+        assert_eq!(v.value, 0x1234_5678, "stale L1.5 copy must not serve the load");
     }
 
     #[test]

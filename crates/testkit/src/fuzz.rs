@@ -1,0 +1,499 @@
+//! `ParallelRegressionGen`-style stimulus generation for the L1.5 memory
+//! subsystem (FlexiCAS's parallel regression scheme, adapted to the
+//! paper's protocol), plus the flat sequential memory oracle the harness
+//! checks against.
+//!
+//! # Address pools
+//!
+//! Following FlexiCAS's `PAddrN`/`SAddrN` split, every core draws from a
+//! *private* pool (`private_slots` lines, disjoint per core) and all
+//! cores share one *shared* pool (`shared_slots` lines). Private traffic
+//! exercises the plain hierarchy; shared traffic exercises the L1.5
+//! producer/consumer protocol — supply writes, GV publication, TID
+//! protection and Walloc reconfiguration.
+//!
+//! # Legality by construction
+//!
+//! The platform has no inter-L1 coherence: sharing is only legal through
+//! the L1.5 (same cluster, same TID, published via GV) or through an
+//! explicit flush to the L2. [`draw_case`] therefore only emits
+//! protocol-*legal* interleavings — each shared line has exactly one
+//! producer, consumers touch a line only after its produce step, and way
+//! demands never oversubscribe the cluster. Any divergence from the
+//! sequential oracle is then a real (or deliberately injected) bug, never
+//! an artefact of racy stimulus. The decoder keeps this invariant under
+//! the [`crate::prop`] shrinker: every legality decision falls back to a
+//! simpler legal op (an unproducible produce becomes a private store, an
+//! unconsumable consume a private load), so *any* choice stream — shrunk,
+//! zero-padded or truncated — decodes to a legal case.
+//!
+//! # Determinism
+//!
+//! A case is a pure function of `(knobs, seed)`: the binary derives
+//! per-case seeds via [`crate::pool::item_seed`] and decodes through
+//! [`crate::prop::seeded_g`], so findings are byte-identical at any
+//! `L15_JOBS` and every reported seed replays bit-for-bit.
+
+use std::collections::BTreeMap;
+
+use crate::prop::G;
+
+/// Base physical address of the private pools (per-core, disjoint).
+pub const PRIVATE_BASE: u64 = 0x0010_0000;
+/// Base physical address of the shared pool.
+pub const SHARED_BASE: u64 = 0x0020_0000;
+
+/// Relative weights of the op categories [`draw_case`] mixes.
+///
+/// Categories are drawn via [`G::weighted`] in field order, so a zero
+/// choice shrinks towards a plain private load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Demand load from the core's private pool.
+    pub load: u32,
+    /// Demand store to the core's private pool.
+    pub store: u32,
+    /// Consume (load) of an already-produced shared line.
+    pub consume: u32,
+    /// Produce episode: supply write + GV publication of a shared line.
+    pub produce: u32,
+    /// Mid-stream Walloc reconfiguration (new demand + partial settle).
+    pub reconfig: u32,
+    /// Idle cycles (lets reconfiguration backlog drain asynchronously).
+    pub advance: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix { load: 40, store: 30, consume: 12, produce: 8, reconfig: 5, advance: 5 }
+    }
+}
+
+impl OpMix {
+    /// The weights in category order (the argument to [`G::weighted`]).
+    pub fn weights(&self) -> [u32; 6] {
+        [self.load, self.store, self.consume, self.produce, self.reconfig, self.advance]
+    }
+}
+
+/// Generator knobs — the `NCore`/`PAddrN`/`SAddrN`/`TestN` quartet of
+/// FlexiCAS's `ParallelRegressionGen`, plus the protocol-specific mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzKnobs {
+    /// Cores in the (single) cluster under test.
+    pub cores: usize,
+    /// L1.5 ways of the cluster (the Walloc demand budget).
+    pub ways: usize,
+    /// Private pool size per core, in lines (FlexiCAS `PAddrN`).
+    pub private_slots: usize,
+    /// Shared pool size, in lines (FlexiCAS `SAddrN`).
+    pub shared_slots: usize,
+    /// Interleaved ops per case (FlexiCAS `TestN`).
+    pub ops: usize,
+    /// Cache line size in bytes (fixed across the hierarchy).
+    pub line_bytes: u64,
+    /// Upper bound on one `Advance`/`Reconfig` settle draw, in cycles.
+    pub max_advance: u32,
+    /// Op category mix.
+    pub mix: OpMix,
+}
+
+impl Default for FuzzKnobs {
+    fn default() -> Self {
+        FuzzKnobs {
+            cores: 4,
+            ways: 8,
+            private_slots: 1024,
+            shared_slots: 256,
+            ops: (1024 + 256) * 4 * 2,
+            line_bytes: 64,
+            max_advance: 8,
+            mix: OpMix::default(),
+        }
+    }
+}
+
+impl FuzzKnobs {
+    /// The seconds-scale smoke configuration (FlexiCAS's quick profile:
+    /// `PAddrN=128`, `SAddrN=64`, `TestN=512`).
+    pub fn quick() -> Self {
+        FuzzKnobs { private_slots: 128, shared_slots: 64, ops: 512, ..Default::default() }
+    }
+
+    /// Physical address of private line `slot` of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` or `slot` is out of range.
+    pub fn private_addr(&self, core: usize, slot: usize) -> u64 {
+        assert!(core < self.cores && slot < self.private_slots, "private pool index");
+        PRIVATE_BASE + ((core * self.private_slots + slot) as u64) * self.line_bytes
+    }
+
+    /// Physical address of shared line `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range.
+    pub fn shared_addr(&self, slot: usize) -> u64 {
+        assert!(slot < self.shared_slots, "shared pool index");
+        SHARED_BASE + (slot as u64) * self.line_bytes
+    }
+
+    /// Whether both pools fit their regions without overlap (and below
+    /// the 32-bit physical address space of the SoC model).
+    pub fn pools_fit(&self) -> bool {
+        let private_end = PRIVATE_BASE + (self.cores * self.private_slots) as u64 * self.line_bytes;
+        let shared_end = SHARED_BASE + self.shared_slots as u64 * self.line_bytes;
+        private_end <= SHARED_BASE && shared_end <= u64::from(u32::MAX)
+    }
+}
+
+/// One generated per-core operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreOp {
+    /// Demand load from the core's private pool.
+    Load {
+        /// Private pool slot.
+        slot: usize,
+    },
+    /// Demand store to the core's private pool.
+    Store {
+        /// Private pool slot.
+        slot: usize,
+        /// Value written.
+        value: u32,
+    },
+    /// Consume (load) of shared line `slot`, produced by an earlier step.
+    Consume {
+        /// Shared pool slot.
+        slot: usize,
+    },
+    /// Produce episode over shared line `slot`: inclusive store routed
+    /// into the L1.5 (or flushed to L2 when the core owns no ways),
+    /// followed by GV publication of the supply mask.
+    Produce {
+        /// Shared pool slot (each slot is produced at most once).
+        slot: usize,
+        /// Value published.
+        value: u32,
+    },
+    /// Walloc reconfiguration: the core demands `ways` ways, then the
+    /// cluster settles for `settle` cycles (possibly leaving a backlog —
+    /// the mid-stream reconfiguration episodes the SDU must survive).
+    Reconfig {
+        /// New way demand for the acting core.
+        ways: usize,
+        /// Settle cycles granted before the stream resumes.
+        settle: u32,
+    },
+    /// Idle cycles with no memory traffic.
+    Advance {
+        /// Cycles to advance.
+        cycles: u32,
+    },
+}
+
+/// How many times each category was *drawn* (before legality fallback
+/// downgraded impossible consumes/produces), for mix-ratio properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MixCounts {
+    /// Draws of the load category.
+    pub load: usize,
+    /// Draws of the store category.
+    pub store: usize,
+    /// Draws of the consume category (including those downgraded).
+    pub consume: usize,
+    /// Draws of the produce category (including those downgraded).
+    pub produce: usize,
+    /// Draws of the reconfig category.
+    pub reconfig: usize,
+    /// Draws of the advance category.
+    pub advance: usize,
+}
+
+impl MixCounts {
+    /// The counts in category order, matching [`OpMix::weights`].
+    pub fn as_array(&self) -> [usize; 6] {
+        [self.load, self.store, self.consume, self.produce, self.reconfig, self.advance]
+    }
+}
+
+/// One generated regression case: a legal interleaving of per-core ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// The knobs the case was drawn under.
+    pub knobs: FuzzKnobs,
+    /// Cluster-wide TID every core runs under (sharing requires TID
+    /// equality; the R4 bug injection perturbs one core's copy).
+    pub tid: u32,
+    /// Initial per-core way demand (Σ ≤ `knobs.ways`; every core gets at
+    /// least one way when the budget allows, so produce episodes route
+    /// through the L1.5 rather than degenerating to flush-to-L2).
+    pub init_demand: Vec<usize>,
+    /// The interleaved stream: `(core, op)` in global program order.
+    pub steps: Vec<(usize, CoreOp)>,
+    /// Category draw counts (see [`MixCounts`]).
+    pub mix: MixCounts,
+}
+
+impl FuzzCase {
+    /// Emitted ops per category — the post-fallback complement of
+    /// [`FuzzCase::mix`].
+    pub fn emitted_counts(&self) -> MixCounts {
+        let mut c = MixCounts::default();
+        for (_, op) in &self.steps {
+            match op {
+                CoreOp::Load { .. } => c.load += 1,
+                CoreOp::Store { .. } => c.store += 1,
+                CoreOp::Consume { .. } => c.consume += 1,
+                CoreOp::Produce { .. } => c.produce += 1,
+                CoreOp::Reconfig { .. } => c.reconfig += 1,
+                CoreOp::Advance { .. } => c.advance += 1,
+            }
+        }
+        c
+    }
+
+    /// One-line shape summary (`ops=512 load=210 ... produce=31`).
+    pub fn summary(&self) -> String {
+        let c = self.emitted_counts();
+        format!(
+            "ops={} load={} store={} consume={} produce={} reconfig={} advance={}",
+            self.steps.len(),
+            c.load,
+            c.store,
+            c.consume,
+            c.produce,
+            c.reconfig,
+            c.advance
+        )
+    }
+}
+
+/// Draws one legal case from `g` under `knobs` (see the module docs for
+/// the legality invariants the decoder maintains).
+///
+/// # Panics
+///
+/// Panics when the knobs are degenerate: zero cores/slots or pools that
+/// do not fit their address regions.
+pub fn draw_case(g: &mut G, knobs: &FuzzKnobs) -> FuzzCase {
+    assert!(knobs.cores > 0, "need at least one core");
+    assert!(knobs.private_slots > 0 && knobs.shared_slots > 0, "need non-empty pools");
+    assert!(knobs.max_advance > 0, "need a positive advance bound");
+    assert!(knobs.pools_fit(), "pools must fit their address regions");
+
+    let tid = g.u32_in(1..=3);
+
+    // Initial demand: hand every core a way while the budget lasts
+    // (reserving one for each core still to draw), so producers normally
+    // own ways and supply writes exercise the L1.5 routing path.
+    let mut init_demand = Vec::with_capacity(knobs.cores);
+    let mut remaining = knobs.ways;
+    for core in 0..knobs.cores {
+        let later = knobs.cores - core - 1;
+        let lo = usize::from(remaining > later);
+        let hi = remaining.saturating_sub(later).max(lo);
+        let n = g.usize_in(lo..=hi);
+        init_demand.push(n);
+        remaining -= n;
+    }
+
+    let weights = knobs.mix.weights();
+    let mut demand = init_demand.clone();
+    let mut produced = vec![false; knobs.shared_slots];
+    let mut produced_list: Vec<usize> = Vec::new();
+    let mut steps = Vec::with_capacity(knobs.ops);
+    let mut mix = MixCounts::default();
+
+    for _ in 0..knobs.ops {
+        let core = g.usize_in(0..knobs.cores);
+        let op = match g.weighted(&weights) {
+            0 => {
+                mix.load += 1;
+                CoreOp::Load { slot: g.usize_in(0..knobs.private_slots) }
+            }
+            1 => {
+                mix.store += 1;
+                CoreOp::Store { slot: g.usize_in(0..knobs.private_slots), value: g.any_u32() }
+            }
+            2 => {
+                mix.consume += 1;
+                if produced_list.is_empty() {
+                    // Nothing published yet: downgrade to a private load.
+                    CoreOp::Load { slot: g.usize_in(0..knobs.private_slots) }
+                } else {
+                    CoreOp::Consume { slot: produced_list[g.usize_in(0..produced_list.len())] }
+                }
+            }
+            3 => {
+                mix.produce += 1;
+                let free: Vec<usize> = (0..knobs.shared_slots).filter(|&s| !produced[s]).collect();
+                if free.is_empty() {
+                    // Single-writer pool exhausted: downgrade to a store.
+                    CoreOp::Store { slot: g.usize_in(0..knobs.private_slots), value: g.any_u32() }
+                } else {
+                    let slot = free[g.usize_in(0..free.len())];
+                    produced[slot] = true;
+                    produced_list.push(slot);
+                    CoreOp::Produce { slot, value: g.any_u32() }
+                }
+            }
+            4 => {
+                mix.reconfig += 1;
+                let others: usize = demand.iter().sum::<usize>() - demand[core];
+                let n = g.usize_in(0..=knobs.ways - others);
+                demand[core] = n;
+                CoreOp::Reconfig { ways: n, settle: g.u32_in(0..=knobs.max_advance) }
+            }
+            _ => {
+                mix.advance += 1;
+                CoreOp::Advance { cycles: g.u32_in(1..=knobs.max_advance) }
+            }
+        };
+        steps.push((core, op));
+    }
+
+    FuzzCase { knobs: knobs.clone(), tid, init_demand, steps, mix }
+}
+
+// ---------------------------------------------------------------------
+// Sequential oracle
+// ---------------------------------------------------------------------
+
+/// Provenance of the freshest write to an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LastWrite {
+    /// Writing core.
+    pub core: usize,
+    /// Global step index of the write (`usize::MAX` for host writes).
+    pub step: usize,
+    /// Value written.
+    pub value: u32,
+}
+
+/// The flat sequential memory oracle: a byte-addressed map with zero
+/// default and per-address last-writer provenance.
+///
+/// The oracle executes the case's global program order with *immediate*
+/// writes — no posted-write buffering, no cache residency, no timing.
+/// Because generated cases are single-writer per shared line and private
+/// lines are per-core, the final image of a correct hierarchy must equal
+/// the oracle's regardless of caching effects; any load must observe the
+/// oracle's current value at that step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeqOracle {
+    bytes: BTreeMap<u64, u8>,
+    writers: BTreeMap<u64, LastWrite>,
+}
+
+impl SeqOracle {
+    /// An empty (all-zero) oracle.
+    pub fn new() -> Self {
+        SeqOracle::default()
+    }
+
+    /// Writes a little-endian `u32`, recording `(core, step)` provenance.
+    pub fn write_u32(&mut self, addr: u64, value: u32, core: usize, step: usize) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            if b == 0 {
+                self.bytes.remove(&(addr + i as u64));
+            } else {
+                self.bytes.insert(addr + i as u64, b);
+            }
+        }
+        self.writers.insert(addr, LastWrite { core, step, value });
+    }
+
+    /// Reads a little-endian `u32`; unwritten memory reads zero.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut raw = [0u8; 4];
+        for (i, b) in raw.iter_mut().enumerate() {
+            *b = self.bytes.get(&(addr + i as u64)).copied().unwrap_or(0);
+        }
+        u32::from_le_bytes(raw)
+    }
+
+    /// The freshest write covering `addr` (word-aligned lookup).
+    pub fn last_writer(&self, addr: u64) -> Option<LastWrite> {
+        self.writers.get(&addr).copied()
+    }
+
+    /// Human-readable provenance for a diverging address.
+    pub fn describe_writer(&self, addr: u64) -> String {
+        match self.last_writer(addr & !3) {
+            Some(w) => {
+                format!("last writer core {} at step {} (value {:#010x})", w.core, w.step, w.value)
+            }
+            None => "never written".to_owned(),
+        }
+    }
+
+    /// Every byte that reads non-zero, sorted by address — directly
+    /// comparable with `MainMemory::nonzero_bytes` /
+    /// `Uncore::memory_nonzero_bytes` after a full flush.
+    pub fn nonzero_bytes(&self) -> Vec<(u64, u8)> {
+        self.bytes.iter().map(|(&a, &b)| (a, b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop;
+
+    #[test]
+    fn default_knobs_are_well_formed() {
+        for knobs in [FuzzKnobs::default(), FuzzKnobs::quick()] {
+            assert!(knobs.pools_fit(), "{knobs:?}");
+            assert!(knobs.mix.weights().iter().sum::<u32>() > 0);
+        }
+    }
+
+    #[test]
+    fn address_pools_are_disjoint() {
+        let knobs = FuzzKnobs::default();
+        let last_private = knobs.private_addr(knobs.cores - 1, knobs.private_slots - 1);
+        assert!(last_private + knobs.line_bytes <= SHARED_BASE);
+        // Distinct (core, slot) pairs map to distinct lines.
+        assert_ne!(knobs.private_addr(0, 1), knobs.private_addr(1, 0));
+        assert_eq!(knobs.shared_addr(1) - knobs.shared_addr(0), knobs.line_bytes);
+    }
+
+    #[test]
+    fn zero_choice_stream_decodes_to_a_legal_case() {
+        // The shrinker pads exhausted streams with zeros; the all-zero
+        // decode must be legal (and is the global minimum every shrink
+        // converges towards).
+        let knobs = FuzzKnobs { ops: 32, ..FuzzKnobs::quick() };
+        let mut g = prop::seeded_g(0);
+        let case = draw_case(&mut g, &knobs);
+        assert_eq!(case.steps.len(), knobs.ops);
+        let total: usize = case.init_demand.iter().sum();
+        assert!(total <= knobs.ways);
+    }
+
+    #[test]
+    fn oracle_reads_what_it_wrote() {
+        let mut o = SeqOracle::new();
+        assert_eq!(o.read_u32(0x40), 0);
+        o.write_u32(0x40, 0xdead_beef, 2, 17);
+        assert_eq!(o.read_u32(0x40), 0xdead_beef);
+        let w = o.last_writer(0x40).unwrap();
+        assert_eq!((w.core, w.step, w.value), (2, 17, 0xdead_beef));
+        // Overwriting with zero clears the non-zero image.
+        o.write_u32(0x40, 0, 2, 18);
+        assert_eq!(o.read_u32(0x40), 0);
+        assert!(o.nonzero_bytes().is_empty());
+        assert!(o.describe_writer(0x40).contains("step 18"));
+        assert_eq!(o.describe_writer(0x80), "never written");
+    }
+
+    #[test]
+    fn oracle_nonzero_bytes_are_little_endian() {
+        let mut o = SeqOracle::new();
+        o.write_u32(0x100, 0x0000_ff01, 0, 0);
+        assert_eq!(o.nonzero_bytes(), vec![(0x100, 0x01), (0x101, 0xff)]);
+    }
+}

@@ -66,6 +66,7 @@ pub mod bench;
 pub mod cli;
 pub mod diag;
 pub mod diff;
+pub mod fuzz;
 pub mod gen;
 pub mod pool;
 pub mod prop;

@@ -515,6 +515,14 @@ pub fn run_with(cfg: Config, name: &str, property: impl Fn(&mut G) + Sync) {
     }
 }
 
+/// A fresh draw context seeded exactly like an exploration case or an
+/// `L15_PROP_SEED` replay. External drivers (the `l15-fuzz` binary) use
+/// this to decode a value from a reported seed bit-for-bit as
+/// [`check_seed`] would, without going through the runner.
+pub fn seeded_g(seed: u64) -> G {
+    G { src: Source::fresh(seed) }
+}
+
 /// Replays a single known-failure seed — used to pin regression corpora
 /// (the replacement for proptest's `.proptest-regressions` files).
 pub fn check_seed(name: &str, seed: u64, property: impl Fn(&mut G)) {

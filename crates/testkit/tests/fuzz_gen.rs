@@ -1,0 +1,158 @@
+//! Property tests for the fuzz case generator (`l15_testkit::fuzz`):
+//! pool bounds, the shared/private address partition, op-mix fidelity
+//! and bit-identical generation regardless of worker count.
+
+use l15_testkit::fuzz::{draw_case, CoreOp, FuzzCase, FuzzKnobs, OpMix, PRIVATE_BASE, SHARED_BASE};
+use l15_testkit::{pool, prop};
+
+fn knobs() -> FuzzKnobs {
+    FuzzKnobs { private_slots: 32, shared_slots: 16, ops: 192, ..FuzzKnobs::quick() }
+}
+
+#[test]
+fn every_slot_stays_inside_its_pool() {
+    prop::run("fuzz_gen_pool_bounds", |g| {
+        let k = knobs();
+        let case = draw_case(g, &k);
+        assert_eq!(case.steps.len(), k.ops);
+        assert!((1..=3).contains(&case.tid), "tid in the register range: {}", case.tid);
+        assert_eq!(case.init_demand.len(), k.cores);
+        assert!(case.init_demand.iter().sum::<usize>() <= k.ways, "Σ demand ≤ ways");
+        for &(core, op) in &case.steps {
+            assert!(core < k.cores, "core {core} out of range");
+            match op {
+                CoreOp::Load { slot } | CoreOp::Store { slot, .. } => {
+                    assert!(slot < k.private_slots, "private slot {slot} out of pool");
+                }
+                CoreOp::Consume { slot } | CoreOp::Produce { slot, .. } => {
+                    assert!(slot < k.shared_slots, "shared slot {slot} out of pool");
+                }
+                CoreOp::Reconfig { ways, settle } => {
+                    assert!(ways <= k.ways, "reconfig beyond way count");
+                    assert!(settle <= k.max_advance, "settle draw beyond the knob");
+                }
+                CoreOp::Advance { cycles } => {
+                    assert!((1..=k.max_advance).contains(&cycles));
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn private_and_shared_address_pools_partition() {
+    prop::run("fuzz_gen_addr_partition", |g| {
+        let k = knobs();
+        let case = draw_case(g, &k);
+        for &(core, op) in &case.steps {
+            match op {
+                CoreOp::Load { slot } | CoreOp::Store { slot, .. } => {
+                    let addr = k.private_addr(core, slot);
+                    assert!(
+                        (PRIVATE_BASE..SHARED_BASE).contains(&addr),
+                        "private address {addr:#x} escapes its region"
+                    );
+                    // Per-core sub-pools never alias another core's.
+                    for other in 0..k.cores {
+                        if other != core {
+                            let lo = k.private_addr(other, 0);
+                            let hi = k.private_addr(other, k.private_slots - 1);
+                            assert!(
+                                addr < lo || addr > hi,
+                                "core {core} slot {slot} aliases core {other}'s pool"
+                            );
+                        }
+                    }
+                }
+                CoreOp::Consume { slot } | CoreOp::Produce { slot, .. } => {
+                    assert!(k.shared_addr(slot) >= SHARED_BASE);
+                }
+                _ => {}
+            }
+        }
+    });
+}
+
+#[test]
+fn shared_slots_have_a_single_writer_and_consumes_follow_produces() {
+    prop::run("fuzz_gen_single_writer", |g| {
+        let k = knobs();
+        let case = draw_case(g, &k);
+        let mut produced = vec![false; k.shared_slots];
+        for &(_, op) in &case.steps {
+            match op {
+                CoreOp::Produce { slot, .. } => {
+                    assert!(!produced[slot], "slot {slot} produced twice");
+                    produced[slot] = true;
+                }
+                CoreOp::Consume { slot } => {
+                    assert!(produced[slot], "slot {slot} consumed before production");
+                }
+                _ => {}
+            }
+        }
+    });
+}
+
+#[test]
+fn drawn_mix_tracks_the_requested_weights_within_tolerance() {
+    // Big single case so the multinomial noise is small: each drawn
+    // category fraction must sit within 5 percentage points of its
+    // weight. The drawn counts are pre-fallback (a downgraded produce
+    // still counts as a produce draw), so the comparison is exact in
+    // expectation.
+    let k = FuzzKnobs { ops: 4096, ..FuzzKnobs::default() };
+    let mix = OpMix::default();
+    let weights = mix.weights();
+    let total_weight: u32 = weights.iter().sum();
+    let case = draw_case(&mut prop::seeded_g(0xa11ce), &k);
+    let drawn = case.mix.as_array();
+    let total: usize = drawn.iter().sum();
+    assert_eq!(total, k.ops);
+    for (i, (&d, &w)) in drawn.iter().zip(&weights).enumerate() {
+        let got = d as f64 / total as f64;
+        let want = w as f64 / total_weight as f64;
+        assert!(
+            (got - want).abs() < 0.05,
+            "category {i}: drawn fraction {got:.3} vs weight {want:.3}"
+        );
+    }
+}
+
+#[test]
+fn emitted_counts_match_the_steps() {
+    prop::run("fuzz_gen_emitted_counts", |g| {
+        let case = draw_case(g, &knobs());
+        let emitted = case.emitted_counts();
+        let by_hand = case.steps.iter().fold([0usize; 6], |mut acc, &(_, op)| {
+            let i = match op {
+                CoreOp::Load { .. } => 0,
+                CoreOp::Store { .. } => 1,
+                CoreOp::Consume { .. } => 2,
+                CoreOp::Produce { .. } => 3,
+                CoreOp::Reconfig { .. } => 4,
+                CoreOp::Advance { .. } => 5,
+            };
+            acc[i] += 1;
+            acc
+        });
+        assert_eq!(emitted.as_array(), by_hand);
+    });
+}
+
+#[test]
+fn generation_is_identical_on_one_and_four_workers() {
+    // The per-case seed stream comes from pool::item_seed, so the drawn
+    // cases must be byte-identical however many workers decode them.
+    let k = knobs();
+    let master = 0xdead_beef;
+    let draw = |i: usize| -> FuzzCase {
+        let seed = pool::item_seed(master, i);
+        draw_case(&mut prop::seeded_g(seed), &k)
+    };
+    let seq: Vec<FuzzCase> = pool::run_on(1, 16, draw);
+    let par: Vec<FuzzCase> = pool::run_on(4, 16, draw);
+    assert_eq!(seq, par, "L15_JOBS must never change what is generated");
+    let again: Vec<FuzzCase> = pool::run_on(4, 16, draw);
+    assert_eq!(par, again, "re-generation is deterministic");
+}

@@ -1,0 +1,97 @@
+//! Differential-oracle unit tests: `l15_testkit::fuzz::SeqOracle` versus
+//! the real `l15_cache::mem::MainMemory`, and versus the full SoC on a
+//! hand-written producer/consumer interleaving covering posted-write
+//! timing (dirty data lives above memory until the flush) and GV consume
+//! ordering (the consumer observes the published value through the L1.5
+//! before it ever reaches the L2).
+
+use l15_cache::l15::InclusionPolicy;
+use l15_cache::mem::MainMemory;
+use l15_rvcore::bus::SystemBus;
+use l15_soc::{SocConfig, Uncore};
+use l15_testkit::fuzz::SeqOracle;
+
+#[test]
+fn oracle_matches_main_memory_on_an_interleaved_write_sequence() {
+    let mut mem = MainMemory::new(100);
+    let mut oracle = SeqOracle::new();
+    // Overlapping, unaligned-page, zero-overwrite and re-write cases.
+    let writes: [(u64, u32, usize); 6] = [
+        (0x0000_1000, 0xdead_beef, 0),
+        (0x0000_1004, 0x0000_0001, 1),
+        (0x0000_1000, 0x0000_0000, 2), // overwrite with zero (bytes vanish)
+        (0x0003_fffc, 0xaabb_ccdd, 0), // page-straddling neighbourhood
+        (0x0004_0000, 0x1122_3344, 3),
+        (0x0000_1004, 0xffff_ffff, 1), // re-write the same word
+    ];
+    for (step, &(addr, value, core)) in writes.iter().enumerate() {
+        mem.write_u32(addr, value);
+        oracle.write_u32(addr, value, core, step);
+    }
+    for &(addr, ..) in &writes {
+        assert_eq!(mem.read_u32(addr), oracle.read_u32(addr), "word at {addr:#x}");
+    }
+    assert_eq!(mem.read_u32(0x9_0000), 0, "unwritten memory reads zero");
+    assert_eq!(oracle.read_u32(0x9_0000), 0);
+    assert_eq!(
+        mem.nonzero_bytes(),
+        oracle.nonzero_bytes(),
+        "byte images agree including dropped zero bytes"
+    );
+    // Last-writer provenance survives overwrites.
+    assert_eq!(
+        oracle.describe_writer(0x0000_1004),
+        "last writer core 1 at step 5 (value 0xffffffff)"
+    );
+    assert_eq!(oracle.describe_writer(0x9_0000), "never written");
+}
+
+#[test]
+fn posted_write_timing_and_gv_consume_ordering_match_the_oracle() {
+    let mut u = Uncore::new(SocConfig::proposed_8core());
+    let mut oracle = SeqOracle::new();
+    let addr: u64 = 0x0002_0000;
+
+    // Producer (core 0) takes two inclusive ways and posts a write.
+    {
+        let l15 = u.l15_mut(0).unwrap();
+        l15.demand(0, 2).unwrap();
+        l15.settle();
+        l15.ip_set(0, InclusionPolicy::Inclusive).unwrap();
+    }
+    u.store(0, addr as u32, addr as u32, 4, 0xfeed_f00d);
+    oracle.write_u32(addr, 0xfeed_f00d, 0, 0);
+
+    // Posted-write timing: the store retired into the L1.5, so external
+    // memory must NOT hold the value yet — the oracle (which models the
+    // final, fully-written-back image) already does.
+    assert_eq!(u.memory_nonzero_bytes(), Vec::new(), "posted write stays above memory");
+    assert_eq!(oracle.read_u32(addr), 0xfeed_f00d);
+
+    // GV consume ordering: after gv_set, the consumer (core 1, same
+    // cluster) observes the published value through the L1.5 — still
+    // before anything reached the L2 or memory.
+    {
+        let l15 = u.l15_mut(0).unwrap();
+        let owned = l15.supply(0).unwrap();
+        l15.gv_set(0, owned).unwrap();
+    }
+    let consumed = u.load(1, addr as u32, addr as u32, 4);
+    assert_eq!(consumed.value, oracle.read_u32(addr), "consume sees the produced value");
+    assert!(consumed.from_l15, "the consume is served by the L1.5, not the L2");
+    assert_eq!(u.memory_nonzero_bytes(), Vec::new(), "consume does not write memory");
+
+    // Only the flush reconciles the hierarchy with the oracle's image.
+    u.flush_all();
+    assert_eq!(u.memory_nonzero_bytes(), oracle.nonzero_bytes());
+}
+
+#[test]
+fn consume_before_produce_reads_zero_like_the_oracle() {
+    let mut u = Uncore::new(SocConfig::proposed_8core());
+    let oracle = SeqOracle::new();
+    let addr: u64 = 0x0002_1000;
+    let v = u.load(1, addr as u32, addr as u32, 4);
+    assert_eq!(v.value, oracle.read_u32(addr));
+    assert_eq!(v.value, 0, "an unproduced slot reads zero everywhere");
+}

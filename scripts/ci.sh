@@ -86,6 +86,25 @@ grep -v '^~' "$lg_par" > "$lg_par.det"
 diff -u "$lg_seq.det" "$lg_par.det"
 echo "loadgen deterministic output is byte-identical across worker counts"
 
+echo "==> fuzz regression (l15-fuzz, fixed seed, L15_JOBS=1 vs 4 determinism)"
+# Fixed-seed smoke sweep on the quick profile: the clean tree must report
+# zero findings, and the findings report (like every sweep artifact) must
+# be byte-identical at any worker count.
+fz_seq=$(mktemp)
+fz_par=$(mktemp)
+L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin l15-fuzz -- \
+    run --quick --seed 1 > "$fz_seq"
+L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin l15-fuzz -- \
+    run --quick --seed 1 > "$fz_par"
+diff -u "$fz_seq" "$fz_par"
+grep -q "0 finding(s)" "$fz_seq"
+# The seeded regression corpus replays clean.
+cargo run --release --offline -q -p l15-bench --bin l15-fuzz -- \
+    corpus crates/testkit/corpus/fuzz > "$fz_seq"
+grep -q "10 case(s), 0 finding(s)" "$fz_seq"
+rm -f "$fz_seq" "$fz_par"
+echo "l15-fuzz is clean and byte-identical across worker counts"
+
 echo "==> bench binaries (--quick smoke)"
 for bin in crates/bench/src/bin/*.rs; do
     name=$(basename "$bin" .rs)
