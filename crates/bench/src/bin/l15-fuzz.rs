@@ -114,8 +114,14 @@ fn shrink_and_report(knobs: &FuzzKnobs, seed: u64) -> usize {
             println!("{}", payload_message(payload.as_ref()));
             println!(
                 "corpus entry for this finding:\n\
-                 seed = {seed:#x}\nops = {}\ncores = {}\nways = {}\nprivate = {}\nshared = {}",
-                knobs.ops, knobs.cores, knobs.ways, knobs.private_slots, knobs.shared_slots
+                 seed = {seed:#x}\nops = {}\ncores = {}\nclusters = {}\nways = {}\n\
+                 private = {}\nshared = {}",
+                knobs.ops,
+                knobs.cores,
+                knobs.clusters,
+                knobs.ways,
+                knobs.private_slots,
+                knobs.shared_slots
             );
             1
         }

@@ -94,14 +94,14 @@ fn build_plan(args: &cli::Parsed) -> Plan {
             textio::write_task(&task)
         })
         .collect();
-    // Endpoint mix is seed-derived, never timing-derived.
+    // Endpoint mix is seed-derived, never timing-derived. The third arm
+    // exercises the federated cluster-schedule path (a 422 "infeasible"
+    // verdict is a valid, deterministic answer there).
     let targets: Vec<&'static str> = (0..requests)
-        .map(|j| {
-            if pool::item_seed(seed ^ 0x6c6f_6164, j) & 1 == 0 {
-                "/schedule?cores=8"
-            } else {
-                "/analyze?cores=8"
-            }
+        .map(|j| match pool::item_seed(seed ^ 0x6c6f_6164, j) % 3 {
+            0 => "/schedule?cores=8",
+            1 => "/analyze?cores=8",
+            _ => "/schedule?clusters=2&cores_per_cluster=4",
         })
         .collect();
     Plan {

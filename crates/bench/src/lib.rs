@@ -26,6 +26,7 @@ use l15_testkit::rng::SmallRng;
 
 use l15_core::baseline::SystemModel;
 use l15_core::casestudy::{generate_case_study, CaseStudyParams};
+use l15_core::federated::{federated_partition, ClusterTopology};
 use l15_core::periodic::{simulate_taskset, PeriodicOutcome, PeriodicParams};
 use l15_dag::gen::{DagGenParams, DagGenerator};
 use l15_dag::DagTask;
@@ -259,6 +260,50 @@ pub fn success_at(
     ok as f64 / trials.max(1) as f64
 }
 
+/// Success-ratio measurement over a *cluster-count* axis: admission by
+/// the federated tier (heavy/light split, dedicated clusters, first-fit
+/// packing — [`federated_partition`]) composed with the periodic engine
+/// on the admitted platform. A trial succeeds when the set is both
+/// admitted and simulates without a deadline miss, so the curve shows how
+/// success scales as clusters are added at a **fixed absolute**
+/// utilisation — the L1.5 benefit term folds into admission via the
+/// single-cluster ETM bound.
+///
+/// Same determinism contract as [`success_at`]: per-trial streams derive
+/// from `(seed, trial)` alone, so the sweep is byte-identical at every
+/// `L15_JOBS` worker count.
+pub fn success_at_clusters(
+    model: &SystemModel,
+    clusters: usize,
+    total_util: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let cores = clusters * 4;
+    let params = PeriodicParams {
+        cores,
+        cores_per_cluster: 4,
+        zeta: 16,
+        releases: 5,
+        way_config_time: 0.0005,
+    };
+    let topo = ClusterTopology { clusters, cores_per_cluster: 4 };
+    let cs = CaseStudyParams { width: 4, ..Default::default() };
+    let outcomes = par_sweep(trials, |trial| {
+        let mut set_rng = SmallRng::seed_from_u64(seed ^ (trial as u64) << 16);
+        let n_tasks = (cores / 2).max(2);
+        let tasks = generate_case_study(n_tasks, total_util, &cs, &mut set_rng)
+            .expect("case-study parameters are valid");
+        if federated_partition(&tasks, topo, model).is_err() {
+            return false; // typed infeasible verdict = failed trial
+        }
+        let mut sim_rng = SmallRng::seed_from_u64(seed.wrapping_add(trial as u64));
+        simulate_taskset(&tasks, model, &params, &mut sim_rng).success()
+    });
+    let ok = outcomes.into_iter().filter(|&s| s).count();
+    ok as f64 / trials.max(1) as f64
+}
+
 /// Side-effects measurement (Fig. 8(c)): runs the proposed system at a
 /// target utilisation and returns the aggregated outcome.
 pub fn side_effects_at(
@@ -406,6 +451,24 @@ mod tests {
         let m = SystemModel::proposed();
         let s = success_at(&m, 8, 0.4, 3, 5);
         assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn tiny_cluster_success_ratio_runs_and_is_jobs_independent() {
+        let m = SystemModel::proposed();
+        let s = success_at_clusters(&m, 2, 2.0, 3, 5);
+        assert!((0.0..=1.0).contains(&s));
+        // The same sweep driven at explicit worker counts must agree.
+        let eval = |jobs: usize| {
+            l15_testkit::pool::run_on(jobs, 4, |trial| {
+                let mut set_rng = SmallRng::seed_from_u64(5 ^ (trial as u64) << 16);
+                let cs = CaseStudyParams { width: 4, ..Default::default() };
+                let tasks = generate_case_study(4, 2.0, &cs, &mut set_rng).unwrap();
+                let topo = ClusterTopology { clusters: 2, cores_per_cluster: 4 };
+                federated_partition(&tasks, topo, &SystemModel::proposed()).is_ok()
+            })
+        };
+        assert_eq!(eval(1), eval(4));
     }
 
     #[test]

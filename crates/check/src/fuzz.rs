@@ -1,6 +1,6 @@
 //! The parallel regression fuzz harness: executes generated
-//! [`FuzzCase`]s (see [`l15_testkit::fuzz`]) on a real single-cluster
-//! [`Uncore`] and checks every run three ways —
+//! [`FuzzCase`]s (see [`l15_testkit::fuzz`]) on a real [`Uncore`] and
+//! checks every run three ways —
 //!
 //! 1. **differentially** against the flat sequential [`SeqOracle`]:
 //!    every load must return the oracle's value at that step, and the
@@ -18,6 +18,13 @@
 //! Generated cases are protocol-legal by construction, so on a healthy
 //! tree every check must come back clean; [`FuzzBug`] injects one
 //! representative mutation per rule class to prove each alarm fires.
+//!
+//! With `knobs.clusters > 1` the same per-lane stream is replayed on
+//! every cluster as a **co-resident application** — each cluster under
+//! its own TID (`case.tid + cluster`) and disjoint address pools. Bug
+//! injections stay scoped to cluster 0, so the other clusters double as
+//! an in-run control group: a clean replica whose traffic must neither
+//! leak into nor mask the mutated cluster's divergence.
 
 use std::collections::BTreeMap;
 
@@ -170,8 +177,14 @@ pub fn check_case(case: &FuzzCase) -> FuzzVerdict {
 /// injected bug shows up as a violation rather than being expected away.
 pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
     let knobs = &case.knobs;
+    let clusters = knobs.clusters;
+    assert!(clusters > 0, "need at least one cluster");
     let victim = first_consumer_core(case);
-    let mut tids: Vec<u32> = vec![case.tid; knobs.cores];
+    // Cluster-major global TIDs: cluster `cl` runs its replica as its own
+    // application under `case.tid + cl` (the co-residency contract the
+    // per-cluster protectors must keep separate).
+    let mut tids: Vec<u32> =
+        (0..knobs.total_cores()).map(|c| case.tid + (c / knobs.cores) as u32).collect();
     if bug == Some(FuzzBug::ForeignTid) {
         if let Some(c) = victim {
             tids[c] = case.tid + 1;
@@ -179,14 +192,16 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
     }
 
     let mut u = small_soc(knobs);
-    let capacity = case.steps.len() * 4 + knobs.ways * 64 + 4096;
+    let capacity = (case.steps.len() * 4 + knobs.ways * 64) * clusters + 4096;
     u.trace_mut().set_sink(Box::new(FlightRecorder::new(capacity)));
 
     for (core, &tid) in tids.iter().enumerate() {
         u.set_tid(core, tid).expect("core in range");
     }
-    for (core, &d) in case.init_demand.iter().enumerate() {
-        u.l15_ctrl(core, L15Op::Demand, d as u32);
+    for (lane, &d) in case.init_demand.iter().enumerate() {
+        for cl in 0..clusters {
+            u.l15_ctrl(cl * knobs.cores + lane, L15Op::Demand, d as u32);
+        }
     }
     u.advance(settle_budget(knobs));
 
@@ -194,57 +209,78 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
     let mut divergences = Vec::new();
     let mut produce_ways: Vec<Vec<usize>> = Vec::new();
 
-    for (step, &(core, op)) in case.steps.iter().enumerate() {
+    for (step, &(lane, op)) in case.steps.iter().enumerate() {
         match op {
             CoreOp::Load { slot } => {
-                let addr = knobs.private_addr(core, slot);
-                check_load(&mut u, &oracle, core, addr, step, &mut divergences);
+                for cl in 0..clusters {
+                    let core = cl * knobs.cores + lane;
+                    let addr = knobs.private_addr(core, slot);
+                    check_load(&mut u, &oracle, core, addr, step, &mut divergences);
+                }
             }
             CoreOp::Store { slot, value } => {
-                let addr = knobs.private_addr(core, slot);
-                u.store(core, addr as u32, addr as u32, 4, value);
-                oracle.write_u32(addr, value, core, step);
+                for cl in 0..clusters {
+                    let core = cl * knobs.cores + lane;
+                    let addr = knobs.private_addr(core, slot);
+                    u.store(core, addr as u32, addr as u32, 4, value);
+                    oracle.write_u32(addr, value, core, step);
+                }
             }
             CoreOp::Consume { slot } => {
-                let addr = knobs.shared_addr(slot);
-                check_load(&mut u, &oracle, core, addr, step, &mut divergences);
+                for cl in 0..clusters {
+                    let core = cl * knobs.cores + lane;
+                    let addr = knobs.shared_addr_in(cl, slot);
+                    check_load(&mut u, &oracle, core, addr, step, &mut divergences);
+                }
             }
             CoreOp::Produce { slot, value } => {
-                let addr = knobs.shared_addr(slot);
-                let drop_ip = bug == Some(FuzzBug::DropIpSet);
-                if !drop_ip {
-                    u.l15_ctrl(core, L15Op::IpSet, 1);
+                for cl in 0..clusters {
+                    let core = cl * knobs.cores + lane;
+                    let addr = knobs.shared_addr_in(cl, slot);
+                    // Injections stay on cluster 0; the other clusters
+                    // run the clean protocol as the control group.
+                    let drop_ip = cl == 0 && bug == Some(FuzzBug::DropIpSet);
+                    let skip_gv = cl == 0 && bug == Some(FuzzBug::SkipGvSet);
+                    if !drop_ip {
+                        u.l15_ctrl(core, L15Op::IpSet, 1);
+                    }
+                    let routed =
+                        u.l15(cl).map(|l| l.routes_stores(lane).unwrap_or(false)).unwrap_or(false);
+                    u.store(core, addr as u32, addr as u32, 4, value);
+                    let supply = u.l15_ctrl(core, L15Op::Supply, 0).value;
+                    if !skip_gv {
+                        u.l15_ctrl(core, L15Op::GvSet, supply);
+                    }
+                    if !routed && !drop_ip {
+                        // Unrouted supply writes must reach the L2 before
+                        // any consumer looks (the flush-and-share
+                        // fallback).
+                        u.flush_l1d(core);
+                    }
+                    if !drop_ip {
+                        u.l15_ctrl(core, L15Op::IpSet, 0);
+                    }
+                    if cl == 0 {
+                        produce_ways.push(WayMask::from(u64::from(supply)).iter().collect());
+                    }
+                    oracle.write_u32(addr, value, core, step);
                 }
-                let routed =
-                    u.l15(0).map(|l| l.routes_stores(core).unwrap_or(false)).unwrap_or(false);
-                u.store(core, addr as u32, addr as u32, 4, value);
-                let supply = u.l15_ctrl(core, L15Op::Supply, 0).value;
-                if bug != Some(FuzzBug::SkipGvSet) {
-                    u.l15_ctrl(core, L15Op::GvSet, supply);
-                }
-                if !routed && !drop_ip {
-                    // Unrouted supply writes must reach the L2 before any
-                    // consumer looks (the flush-and-share fallback).
-                    u.flush_l1d(core);
-                }
-                if !drop_ip {
-                    u.l15_ctrl(core, L15Op::IpSet, 0);
-                }
-                produce_ways.push(WayMask::from(u64::from(supply)).iter().collect());
-                oracle.write_u32(addr, value, core, step);
             }
             CoreOp::Reconfig { ways, settle } => {
-                u.l15_ctrl(core, L15Op::Demand, ways as u32);
+                for cl in 0..clusters {
+                    u.l15_ctrl(cl * knobs.cores + lane, L15Op::Demand, ways as u32);
+                }
                 u.advance(settle);
             }
             CoreOp::Advance { cycles } => u.advance(cycles),
         }
     }
 
-    // Epilogue: return every way (modulo the R2 injection), settle the
-    // Walloc, write the hierarchy back.
+    // Epilogue: return every way (modulo the R2 injection, which keeps
+    // cluster 0's last producer from releasing), settle the Wallocs,
+    // write the hierarchy back.
     let leak_core = if bug == Some(FuzzBug::LeakWays) { last_producer_core(case) } else { None };
-    for core in 0..knobs.cores {
+    for core in 0..knobs.total_cores() {
         if Some(core) == leak_core {
             continue;
         }
@@ -273,7 +309,9 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
     let replay = check_recorded(&rec, &expectation_of(case));
     let mut findings = replay.findings;
 
-    let (ks, vc) = build_streams(case, &tids, &produce_ways, bug);
+    // The static-rule model covers cluster 0 (the mutated cluster); the
+    // replicas are protocol-identical, so one model speaks for all.
+    let (ks, vc) = build_streams(case, &tids[..knobs.cores], &produce_ways, bug);
     findings.extend(check_streams(&ks, &vc));
 
     if bug == Some(FuzzBug::StuckWalloc) {
@@ -349,7 +387,8 @@ impl CorpusEntry {
 
 /// Parses a `key = value` corpus entry (`#` comments, blank lines
 /// allowed). `seed` is required (decimal or `0x` hex); `ops`, `cores`,
-/// `ways`, `private` and `shared` override the quick-profile knobs.
+/// `clusters`, `ways`, `private` and `shared` override the quick-profile
+/// knobs.
 ///
 /// # Errors
 ///
@@ -373,6 +412,7 @@ pub fn parse_corpus_entry(text: &str) -> Result<CorpusEntry, String> {
             "seed" => seed = Some(number),
             "ops" => knobs.ops = number as usize,
             "cores" => knobs.cores = number as usize,
+            "clusters" => knobs.clusters = number as usize,
             "ways" => knobs.ways = number as usize,
             "private" => knobs.private_slots = number as usize,
             "shared" => knobs.shared_slots = number as usize,
@@ -406,13 +446,14 @@ impl WallocModel for StuckWalloc {
     }
 }
 
-/// A single-cluster SoC sized for fuzzing: small L1/L2 so the generated
-/// pools overflow every level and exercise eviction and write-back.
+/// A SoC sized for fuzzing: small L1/L2 so the generated pools overflow
+/// every level and exercise eviction and write-back. One identical L1.5
+/// cluster per `knobs.clusters`.
 fn small_soc(knobs: &FuzzKnobs) -> Uncore {
     let line_bytes = knobs.line_bytes;
     let l1 = LevelConfig { capacity: 4096, ways: 2, line_bytes, lat_min: 1, lat_max: 2 };
     Uncore::new(SocConfig {
-        clusters: 1,
+        clusters: knobs.clusters,
         cores_per_cluster: knobs.cores,
         l1i: l1,
         l1d: l1,
@@ -516,32 +557,35 @@ fn step_counts(case: &FuzzCase) -> StepCounts {
 /// The clean contract of `case` in conservation terms: every produce
 /// publishes, and the harness issues an exactly known number of control
 /// ops (init demands + 4 per produce + 1 per reconfig + epilogue
-/// demands).
+/// demands) — everything multiplied by the cluster count, since each
+/// cluster replays the full stream.
 fn expectation_of(case: &FuzzCase) -> TraceExpectation {
     let c = step_counts(case);
+    let k = case.knobs.clusters as u64;
     TraceExpectation {
-        publishers: c.produces,
+        publishers: k * c.produces,
         l15_stores_expected: false,
-        min_ctrl_ops: 2 * case.knobs.cores as u64 + 4 * c.produces + c.reconfigs,
+        min_ctrl_ops: k * (2 * case.knobs.cores as u64 + 4 * c.produces + c.reconfigs),
     }
 }
 
 /// Exact counter accounting for clean runs: the always-on counters must
-/// equal what the harness issued, op for op.
+/// equal what the harness issued, op for op, across every cluster.
 fn exact_accounting(case: &FuzzCase, counters: &TraceCounters) -> Vec<String> {
     let c = step_counts(case);
+    let k = case.knobs.clusters as u64;
     let expect = expectation_of(case);
     let mut out = Vec::new();
     let loads: u64 = counters.loads.iter().sum();
-    if loads != c.loads {
-        out.push(format!("counters: {} loads recorded, harness issued {}", loads, c.loads));
+    if loads != k * c.loads {
+        out.push(format!("counters: {} loads recorded, harness issued {}", loads, k * c.loads));
     }
     let stores = counters.stores_via_l15 + counters.stores_conventional;
-    if stores != c.stores + c.produces {
+    if stores != k * (c.stores + c.produces) {
         out.push(format!(
             "counters: {} stores recorded, harness issued {}",
             stores,
-            c.stores + c.produces
+            k * (c.stores + c.produces)
         ));
     }
     if counters.ctrl_ops != expect.min_ctrl_ops {
@@ -550,10 +594,11 @@ fn exact_accounting(case: &FuzzCase, counters: &TraceCounters) -> Vec<String> {
             counters.ctrl_ops, expect.min_ctrl_ops
         ));
     }
-    if counters.gv_updates != c.produces {
+    if counters.gv_updates != k * c.produces {
         out.push(format!(
             "counters: {} gv updates recorded, harness published {}",
-            counters.gv_updates, c.produces
+            counters.gv_updates,
+            k * c.produces
         ));
     }
     out
@@ -814,6 +859,61 @@ mod tests {
     }
 
     #[test]
+    fn two_cluster_coresidency_is_clean_and_scales_the_counters() {
+        let mut case = handwritten_case();
+        case.knobs.clusters = 2;
+        let v = check_case(&case);
+        assert!(v.is_clean(), "{}", v.render("two-cluster"));
+        // Both clusters replayed the full stream: one publication each,
+        // twice the single-cluster control traffic.
+        assert_eq!(v.counters.gv_updates, 2);
+        let single = check_case(&handwritten_case());
+        assert_eq!(v.counters.ctrl_ops, 2 * single.counters.ctrl_ops);
+    }
+
+    #[test]
+    fn cluster_zero_bugs_still_fire_under_coresidency() {
+        // The clean replica on cluster 1 must not mask cluster 0's
+        // mutation — each injected class still raises its rule finding
+        // (through the stream model or the conservation laws).
+        let mut case = handwritten_case();
+        case.knobs.clusters = 2;
+        for bug in FuzzBug::ALL {
+            let v = check_case_with(&case, Some(bug));
+            assert!(
+                !v.is_clean(),
+                "{bug:?} must still be caught on a two-cluster run:\n{}",
+                v.render("injected")
+            );
+            assert!(
+                v.findings.iter().any(|f| f.rule == bug.rule()) || !v.divergences.is_empty(),
+                "{bug:?} must surface its class:\n{}",
+                v.render("injected")
+            );
+        }
+    }
+
+    #[test]
+    fn generated_two_cluster_cases_check_clean() {
+        let knobs = FuzzKnobs {
+            clusters: 2,
+            private_slots: 16,
+            shared_slots: 8,
+            ops: 96,
+            ..FuzzKnobs::quick()
+        };
+        for outcome in sweep(&knobs, 0xc0ffee, 2, None) {
+            assert!(
+                outcome.verdict.is_clean(),
+                "case {} (seed {:#x}): {}",
+                outcome.index,
+                outcome.seed,
+                outcome.verdict.render("two-cluster sweep")
+            );
+        }
+    }
+
+    #[test]
     fn generated_cases_check_clean_on_the_healthy_tree() {
         let knobs =
             FuzzKnobs { private_slots: 32, shared_slots: 16, ops: 160, ..FuzzKnobs::quick() };
@@ -847,6 +947,10 @@ mod tests {
         assert_eq!(entry.knobs.private_slots, 16);
         let case = entry.case();
         assert_eq!(case.steps.len(), 64);
+
+        let multi = parse_corpus_entry("seed = 7\nclusters = 2\nops = 32\n").unwrap();
+        assert_eq!(multi.knobs.clusters, 2);
+        assert_eq!(multi.case().knobs.total_cores(), 8);
 
         assert!(parse_corpus_entry("ops = 64\n").unwrap_err().contains("missing `seed`"));
         assert!(parse_corpus_entry("seed = banana\n").unwrap_err().contains("needs a number"));

@@ -1,0 +1,526 @@
+//! Federated scheduling across L1.5 clusters.
+//!
+//! The paper schedules one DAG inside one cluster (Alg. 1); Tessler et
+//! al. (arXiv:2002.12516) show how inter-thread cache benefit folds into
+//! *federated* scheduling across processor groups. This module is that
+//! missing tier: it classifies DAG tasks as **heavy** or **light** by
+//! density (worst-case work over deadline), dedicates whole clusters to
+//! heavy tasks, and first-fit partitions light tasks onto the remaining
+//! clusters — emitting a [`ClusterPlan`] that composes the existing
+//! per-cluster [`SchedulePlan`] (Alg. 1) and Graham-style RTA
+//! ([`rta::makespan_bound`]) per task.
+//!
+//! The capacity bound is Alg.-1-aware: a task confined to **one** cluster
+//! is analysed with the ETM-reduced edge costs its way allocation earns
+//! (the L1.5 benefit term), while a heavy task spilled over several
+//! clusters pays the full communication cost on every edge — placement
+//! across clusters is not known analytically, and the L1.5 does not reach
+//! across a cluster boundary ([`SystemModel::comm_cost`] with
+//! `same_cluster = false`). That asymmetry is exactly why the L1.5 raises
+//! the success ratio of the cluster sweeps: tasks fit in fewer clusters
+//! when the benefit term applies.
+//!
+//! An unschedulable input is an explicit, typed [`FederatedError`] — never
+//! a panic — so callers (the `l15-serve` endpoints, the bench sweeps) can
+//! surface an infeasible verdict end-to-end.
+
+use std::fmt;
+
+use l15_dag::DagTask;
+
+use crate::baseline::SystemModel;
+use crate::plan::SchedulePlan;
+use crate::rta;
+
+/// The cluster shape the federated tier partitions over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterTopology {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Cores per cluster (the paper: 4).
+    pub cores_per_cluster: usize,
+}
+
+impl ClusterTopology {
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+}
+
+impl Default for ClusterTopology {
+    /// The proposed 8-core shape: 2 clusters × 4 cores.
+    fn default() -> Self {
+        ClusterTopology { clusters: 2, cores_per_cluster: 4 }
+    }
+}
+
+/// Why a task set does not fit the topology. The variants carry enough
+/// context to render a useful diagnostic (the `l15-serve` 422 body).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FederatedError {
+    /// The topology has no clusters or no cores per cluster.
+    NoClusters,
+    /// The task set is empty.
+    EmptyTaskset,
+    /// The set's total worst-case utilisation exceeds the platform's core
+    /// count — infeasible before any placement is attempted.
+    Overutilized {
+        /// Total worst-case utilisation of the set.
+        utilisation: f64,
+        /// Total cores of the topology.
+        cores: usize,
+    },
+    /// A task's makespan bound exceeds its deadline even on every cluster
+    /// of the platform.
+    TaskUnschedulable {
+        /// Input index of the task.
+        task: usize,
+        /// Its best achievable bound.
+        bound: f64,
+        /// Its deadline.
+        deadline: f64,
+    },
+    /// The heavy tasks together need more dedicated clusters than exist.
+    NotEnoughClusters {
+        /// Clusters the heavy prefix of the set needs.
+        needed: usize,
+        /// Clusters available.
+        available: usize,
+    },
+    /// A light task fits no remaining cluster under the first-fit
+    /// utilisation bound.
+    LightTaskUnplaceable {
+        /// Input index of the task.
+        task: usize,
+        /// Its worst-case utilisation.
+        utilisation: f64,
+    },
+}
+
+impl fmt::Display for FederatedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederatedError::NoClusters => write!(f, "topology has no clusters"),
+            FederatedError::EmptyTaskset => write!(f, "task set is empty"),
+            FederatedError::Overutilized { utilisation, cores } => write!(
+                f,
+                "task set is over-utilized: total utilisation {utilisation:.3} \
+                 exceeds {cores} cores"
+            ),
+            FederatedError::TaskUnschedulable { task, bound, deadline } => write!(
+                f,
+                "task {task} is unschedulable on the whole platform: \
+                 bound {bound:.3} > deadline {deadline:.3}"
+            ),
+            FederatedError::NotEnoughClusters { needed, available } => {
+                write!(f, "heavy tasks need {needed} dedicated cluster(s), only {available} exist")
+            }
+            FederatedError::LightTaskUnplaceable { task, utilisation } => write!(
+                f,
+                "light task {task} (utilisation {utilisation:.3}) fits no remaining cluster"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FederatedError {}
+
+/// One task's placement in the federated plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskAssignment {
+    /// Input index of the task.
+    pub task: usize,
+    /// Whether the task is heavy (dedicated clusters).
+    pub heavy: bool,
+    /// The clusters the task runs on: several dedicated ones for a heavy
+    /// task, exactly one (possibly shared with other light tasks) for a
+    /// light task. Never empty.
+    pub clusters: Vec<usize>,
+    /// The task's makespan bound on its assigned capacity.
+    pub bound: f64,
+    /// Worst-case density (work / deadline) that drove the classification.
+    pub density: f64,
+    /// The application id the runtime registers with the TID protector
+    /// (input index + 1; 0 is reserved for "no application").
+    pub tid: u32,
+    /// The inner per-cluster plan (Alg. 1 for the proposed system).
+    pub plan: SchedulePlan,
+}
+
+/// The federated tier's output: per-task placements over the topology,
+/// composing the per-cluster Alg. 1 plan + RTA verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPlan {
+    /// The topology the plan was built for.
+    pub topology: ClusterTopology,
+    /// One assignment per input task, in input order.
+    pub assignments: Vec<TaskAssignment>,
+}
+
+impl ClusterPlan {
+    /// The home cluster of `task` (its first assigned cluster).
+    pub fn cluster_of(&self, task: usize) -> Option<usize> {
+        self.assignments.get(task).and_then(|a| a.clusters.first().copied())
+    }
+
+    /// The tasks placed on `cluster`, in input order.
+    pub fn tasks_on(&self, cluster: usize) -> Vec<usize> {
+        self.assignments.iter().filter(|a| a.clusters.contains(&cluster)).map(|a| a.task).collect()
+    }
+}
+
+/// Worst-case execution and edge-cost closures for one task under
+/// `model`: in-cluster edges earn the ETM benefit of the task's way
+/// allocation, cross-cluster edges pay the full cost.
+fn bound_on(
+    task: &DagTask,
+    plan: &SchedulePlan,
+    model: &SystemModel,
+    cores: usize,
+    single_cluster: bool,
+) -> rta::MakespanBound {
+    let dag = task.graph();
+    rta::makespan_bound(
+        task,
+        cores,
+        |v| model.worst_case_exec(dag.node(v).wcet),
+        |e| {
+            let edge = dag.edge(e);
+            let producer = dag.node(edge.from);
+            model.worst_case_edge_cost(
+                edge.cost,
+                edge.alpha,
+                producer.data_bytes,
+                plan.local_ways[edge.from.0],
+                false,
+                single_cluster,
+            )
+        },
+    )
+}
+
+/// Partitions `tasks` over `topo` federated-style under `model`.
+///
+/// Heavy tasks (density > 1, or bound over one full cluster exceeding the
+/// deadline) get the smallest dedicated cluster count whose bound meets
+/// the deadline — one cluster is analysed with the L1.5 benefit term,
+/// more pay full communication costs. Light tasks are first-fit packed
+/// onto the remaining clusters under the conservative non-preemptive
+/// utilisation bound `U ≤ (cores_per_cluster + 1) / 2` per cluster; each
+/// runs under its own Alg. 1 plan and RTA inside its home cluster.
+///
+/// The result is deterministic: placement depends only on the input
+/// order, never on iteration over unordered containers.
+///
+/// # Errors
+///
+/// Returns a typed [`FederatedError`] — degenerate topology, empty or
+/// over-utilized input, or an explicit infeasible verdict.
+pub fn federated_partition(
+    tasks: &[DagTask],
+    topo: ClusterTopology,
+    model: &SystemModel,
+) -> Result<ClusterPlan, FederatedError> {
+    if topo.clusters == 0 || topo.cores_per_cluster == 0 {
+        return Err(FederatedError::NoClusters);
+    }
+    if tasks.is_empty() {
+        return Err(FederatedError::EmptyTaskset);
+    }
+    let total_util: f64 = tasks
+        .iter()
+        .map(|t| {
+            t.graph().node_ids().map(|v| model.worst_case_exec(t.graph().node(v).wcet)).sum::<f64>()
+                / t.period()
+        })
+        .sum();
+    if total_util > topo.total_cores() as f64 + 1e-9 {
+        return Err(FederatedError::Overutilized {
+            utilisation: total_util,
+            cores: topo.total_cores(),
+        });
+    }
+
+    let cpc = topo.cores_per_cluster;
+    let mut assignments: Vec<TaskAssignment> = Vec::with_capacity(tasks.len());
+    let mut next_cluster = 0usize; // heavy tasks take clusters from the front
+    let mut light: Vec<(usize, f64, f64, SchedulePlan)> = Vec::new(); // (task, util, bound, plan)
+
+    for (i, t) in tasks.iter().enumerate() {
+        let plan = model.plan(t);
+        let work: f64 =
+            t.graph().node_ids().map(|v| model.worst_case_exec(t.graph().node(v).wcet)).sum();
+        let density = work / t.deadline();
+        let b1 = bound_on(t, &plan, model, cpc, true);
+        let feasible_1 = b1.bound <= t.deadline() + 1e-9;
+
+        if density <= 1.0 + 1e-9 && feasible_1 {
+            // Light: placed after every heavy task has its clusters.
+            let util = work / t.period();
+            light.push((i, util, b1.bound, plan));
+            continue;
+        }
+
+        // Heavy: smallest cluster count meeting the deadline. One cluster
+        // keeps the L1.5 benefit term; several pay full edge costs.
+        let mut chosen = None;
+        if feasible_1 {
+            chosen = Some((1usize, b1.bound));
+        } else {
+            let mut best = b1.bound;
+            for n in 2..=topo.clusters {
+                let b = bound_on(t, &plan, model, n * cpc, false);
+                best = best.min(b.bound);
+                if b.bound <= t.deadline() + 1e-9 {
+                    chosen = Some((n, b.bound));
+                    break;
+                }
+            }
+            if chosen.is_none() {
+                return Err(FederatedError::TaskUnschedulable {
+                    task: i,
+                    bound: best,
+                    deadline: t.deadline(),
+                });
+            }
+        }
+        let (n, bound) = chosen.expect("assigned above");
+        if next_cluster + n > topo.clusters {
+            return Err(FederatedError::NotEnoughClusters {
+                needed: next_cluster + n,
+                available: topo.clusters,
+            });
+        }
+        let clusters: Vec<usize> = (next_cluster..next_cluster + n).collect();
+        next_cluster += n;
+        assignments.push(TaskAssignment {
+            task: i,
+            heavy: true,
+            clusters,
+            bound,
+            density,
+            tid: i as u32 + 1,
+            plan,
+        });
+    }
+
+    // First-fit light packing onto the clusters the heavy tasks left over,
+    // under the conservative non-preemptive utilisation bound per cluster.
+    let shared: Vec<usize> = (next_cluster..topo.clusters).collect();
+    let cap = (cpc as f64 + 1.0) / 2.0;
+    let mut load = vec![0.0f64; shared.len()];
+    for (task, util, bound, plan) in light {
+        let density = {
+            let t = &tasks[task];
+            let work: f64 =
+                t.graph().node_ids().map(|v| model.worst_case_exec(t.graph().node(v).wcet)).sum();
+            work / t.deadline()
+        };
+        let slot = load.iter().position(|&u| u + util <= cap + 1e-9);
+        let Some(slot) = slot else {
+            return Err(if shared.is_empty() {
+                FederatedError::NotEnoughClusters {
+                    needed: next_cluster + 1,
+                    available: topo.clusters,
+                }
+            } else {
+                FederatedError::LightTaskUnplaceable { task, utilisation: util }
+            });
+        };
+        load[slot] += util;
+        assignments.push(TaskAssignment {
+            task,
+            heavy: false,
+            clusters: vec![shared[slot]],
+            bound,
+            density,
+            tid: task as u32 + 1,
+            plan,
+        });
+    }
+
+    assignments.sort_by_key(|a| a.task);
+    Ok(ClusterPlan { topology: topo, assignments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy::{generate_case_study, CaseStudyParams};
+    use l15_dag::{DagBuilder, Node};
+    use l15_testkit::rng::SmallRng;
+    use l15_testkit::{pool, prop};
+
+    fn light_task(work: f64, period: f64) -> DagTask {
+        let mut b = DagBuilder::new();
+        b.add_node(Node::new(work, 1024));
+        DagTask::new(b.build().unwrap(), period, period).unwrap()
+    }
+
+    fn wide_task(branch_wcet: f64, deadline: f64) -> DagTask {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(Node::new(0.1, 2048));
+        let t = b.add_node(Node::new(0.1, 0));
+        for _ in 0..6 {
+            let v = b.add_node(Node::new(branch_wcet, 2048));
+            b.add_edge(s, v, 0.2, 0.5).unwrap();
+            b.add_edge(v, t, 0.2, 0.5).unwrap();
+        }
+        DagTask::new(b.build().unwrap(), deadline, deadline).unwrap()
+    }
+
+    fn topo(clusters: usize) -> ClusterTopology {
+        ClusterTopology { clusters, cores_per_cluster: 4 }
+    }
+
+    #[test]
+    fn heavy_and_light_split_composes_cluster_plans() {
+        // One heavy DAG (6 × 5.0 of work against a deadline of 9) and two
+        // small light tasks on a 4-cluster / 16-core platform.
+        let tasks = vec![wide_task(5.0, 9.0), light_task(1.0, 10.0), light_task(2.0, 20.0)];
+        let model = SystemModel::proposed();
+        let plan = federated_partition(&tasks, topo(4), &model).unwrap();
+        assert_eq!(plan.assignments.len(), 3);
+        let heavy = &plan.assignments[0];
+        assert!(heavy.heavy, "{heavy:?}");
+        assert!(heavy.density > 1.0);
+        assert!(!heavy.clusters.is_empty());
+        // Light tasks land on clusters the heavy task does not own.
+        for a in &plan.assignments[1..] {
+            assert!(!a.heavy);
+            assert_eq!(a.clusters.len(), 1);
+            assert!(!heavy.clusters.contains(&a.clusters[0]), "{a:?}");
+            assert_eq!(plan.cluster_of(a.task), Some(a.clusters[0]));
+        }
+        // TIDs are distinct and non-zero.
+        let mut tids: Vec<u32> = plan.assignments.iter().map(|a| a.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3);
+        assert!(tids.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn single_cluster_bound_keeps_the_l15_benefit_term() {
+        // A task that fits one cluster only because the ETM reduces its
+        // edge costs: the bound over 4 cores with the benefit must beat
+        // the full-cost bound over the same 4 cores.
+        let t = wide_task(1.0, 20.0);
+        let model = SystemModel::proposed();
+        let plan = model.plan(&t);
+        let etm = bound_on(&t, &plan, &model, 4, true);
+        let full = bound_on(&t, &plan, &model, 4, false);
+        assert!(etm.bound < full.bound, "etm {} vs full {}", etm.bound, full.bound);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        let model = SystemModel::proposed();
+        let t = light_task(1.0, 10.0);
+        assert_eq!(
+            federated_partition(std::slice::from_ref(&t), topo(0), &model),
+            Err(FederatedError::NoClusters)
+        );
+        assert_eq!(federated_partition(&[], topo(2), &model), Err(FederatedError::EmptyTaskset));
+        // Over-utilized: 3 tasks of utilisation ≈ 4 each on 8 cores.
+        let fat = light_task(40.0, 10.0);
+        let err =
+            federated_partition(&[fat.clone(), fat.clone(), fat], topo(2), &model).unwrap_err();
+        assert!(matches!(err, FederatedError::Overutilized { .. }), "{err}");
+        assert!(err.to_string().contains("over-utilized"), "{err}");
+    }
+
+    #[test]
+    fn infeasible_critical_path_is_an_explicit_verdict() {
+        // A two-node chain whose path alone exceeds the deadline can never
+        // be schedulable — more clusters do not shorten the path.
+        let mut b = DagBuilder::new();
+        let x = b.add_node(Node::new(20.0, 512));
+        let y = b.add_node(Node::new(20.0, 512));
+        b.add_edge(x, y, 1.0, 0.5).unwrap();
+        let t = DagTask::new(b.build().unwrap(), 60.0, 30.0).unwrap();
+        let err = federated_partition(&[t], topo(8), &SystemModel::proposed()).unwrap_err();
+        assert!(matches!(err, FederatedError::TaskUnschedulable { task: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn heavy_tasks_exhausting_the_platform_report_not_enough_clusters() {
+        let tasks = vec![wide_task(5.0, 9.0), wide_task(5.0, 9.0), wide_task(5.0, 9.0)];
+        let err = federated_partition(&tasks, topo(2), &SystemModel::proposed()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FederatedError::NotEnoughClusters { .. } | FederatedError::Overutilized { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    /// Satellite property: every task is assigned exactly once (one
+    /// assignment, non-empty cluster list, heavy clusters never shared)
+    /// or the whole set is reported infeasible — no drops, no
+    /// double-assignment. `L15_PROP_SEED`-replayable via the prop runner.
+    #[test]
+    fn prop_every_task_assigned_exactly_once_or_infeasible() {
+        prop::run_with(prop::Config::with_cases(48), "federated_exactly_once", |g| {
+            let seed = g.any_u64();
+            let n_tasks = g.usize_in(1..=6);
+            let clusters = g.usize_in(1..=8);
+            let util = g.f64_in(0.2, 1.2) * (clusters * 4) as f64;
+            let params = CaseStudyParams { width: 4, ..Default::default() };
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let Ok(tasks) = generate_case_study(n_tasks, util, &params, &mut rng) else {
+                return;
+            };
+            let model = SystemModel::proposed();
+            match federated_partition(&tasks, topo(clusters), &model) {
+                Ok(plan) => {
+                    assert_eq!(plan.assignments.len(), tasks.len(), "one assignment per task");
+                    for (i, a) in plan.assignments.iter().enumerate() {
+                        assert_eq!(a.task, i, "assignments in input order");
+                        assert!(!a.clusters.is_empty(), "task {i} got no cluster");
+                        assert!(
+                            a.clusters.iter().all(|&c| c < clusters),
+                            "task {i} placed off-platform: {:?}",
+                            a.clusters
+                        );
+                    }
+                    // A heavy task's clusters are dedicated: nobody else
+                    // may touch them.
+                    for a in plan.assignments.iter().filter(|a| a.heavy) {
+                        for b in plan.assignments.iter().filter(|b| b.task != a.task) {
+                            assert!(
+                                a.clusters.iter().all(|c| !b.clusters.contains(c)),
+                                "cluster shared with heavy task: {a:?} vs {b:?}"
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Infeasible is a verdict, not a crash; it renders.
+                    assert!(!e.to_string().is_empty());
+                }
+            }
+        });
+    }
+
+    /// Satellite property: the partition is a pure function of its input
+    /// — fanned out over the worker pool it returns exactly the
+    /// sequential result, so reports built from it are byte-identical at
+    /// any `L15_JOBS`.
+    #[test]
+    fn partition_is_deterministic_across_the_worker_pool() {
+        let model = SystemModel::proposed();
+        let params = CaseStudyParams { width: 4, ..Default::default() };
+        let build = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let tasks = generate_case_study(3, 6.0, &params, &mut rng).unwrap();
+            format!("{:?}", federated_partition(&tasks, topo(4), &model))
+        };
+        let pooled = pool::run_seeded(0x5eed, 8, |_, seed| build(seed));
+        let sequential: Vec<String> = (0..8).map(|i| build(pool::item_seed(0x5eed, i))).collect();
+        assert_eq!(pooled, sequential);
+    }
+}

@@ -48,6 +48,7 @@
 pub mod alg1;
 pub mod baseline;
 pub mod casestudy;
+pub mod federated;
 pub mod gantt;
 pub mod hb;
 pub mod makespan;
@@ -58,6 +59,12 @@ pub mod sharedl1;
 
 pub use alg1::schedule_with_l15;
 pub use baseline::{baseline_priorities, SystemKind, SystemModel};
+pub use federated::{
+    federated_partition, ClusterPlan, ClusterTopology, FederatedError, TaskAssignment,
+};
 pub use makespan::{simulate, SimResult};
-pub use periodic::{simulate_taskset, success_ratio, PeriodicOutcome, PeriodicParams};
+pub use periodic::{
+    simulate_taskset, success_ratio, try_simulate_taskset, PeriodicOutcome, PeriodicParams,
+    TasksetError,
+};
 pub use plan::{SchedulePlan, WayGroup, WayGroupKind};

@@ -18,12 +18,50 @@
 //! global-way lifecycle) and cross-**cluster** edges cannot use the L1.5 at
 //! all (the paper's sharing scope is one computing cluster).
 
+use std::fmt;
+
 use l15_testkit::rng::Rng;
 
 use l15_dag::{DagTask, NodeId};
 
 use crate::baseline::{SystemKind, SystemModel};
 use crate::plan::SchedulePlan;
+
+/// Why a task set cannot be admitted for simulation. Returned by
+/// [`try_simulate_taskset`] so callers (the `l15-serve` endpoints, the
+/// federated tier) can surface an infeasible verdict instead of a panic.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TasksetError {
+    /// The platform has no cores.
+    NoCores,
+    /// The task set is empty.
+    EmptyTaskset,
+    /// The set's total utilisation exceeds the core count — no scheduler
+    /// can meet every deadline, so admission is refused up front.
+    Overutilized {
+        /// Total utilisation of the set.
+        utilisation: f64,
+        /// Core count of the platform.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for TasksetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TasksetError::NoCores => write!(f, "platform has no cores"),
+            TasksetError::EmptyTaskset => write!(f, "task set is empty"),
+            TasksetError::Overutilized { utilisation, cores } => write!(
+                f,
+                "task set is over-utilized: total utilisation {utilisation:.3} \
+                 exceeds {cores} cores"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TasksetError {}
 
 /// Parameters of the periodic simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,7 +135,42 @@ struct Job {
     nodes_left: usize,
 }
 
+/// Strict admission + simulation: refuses degenerate platforms, empty
+/// sets, and sets whose total utilisation exceeds the core count —
+/// over-utilized input is an explicit [`TasksetError`], never a panic or
+/// a silently doomed simulation.
+///
+/// Use [`simulate_taskset`] for overload *experiments* (the success-ratio
+/// curves deliberately push past 100 % utilisation to find the knee).
+///
+/// # Errors
+///
+/// Returns [`TasksetError::NoCores`], [`TasksetError::EmptyTaskset`], or
+/// [`TasksetError::Overutilized`].
+pub fn try_simulate_taskset<R: Rng + ?Sized>(
+    tasks: &[DagTask],
+    model: &SystemModel,
+    params: &PeriodicParams,
+    rng: &mut R,
+) -> Result<PeriodicOutcome, TasksetError> {
+    if params.cores == 0 {
+        return Err(TasksetError::NoCores);
+    }
+    if tasks.is_empty() {
+        return Err(TasksetError::EmptyTaskset);
+    }
+    let utilisation: f64 = tasks.iter().map(|t| t.utilisation()).sum();
+    if utilisation > params.cores as f64 + 1e-9 {
+        return Err(TasksetError::Overutilized { utilisation, cores: params.cores });
+    }
+    Ok(simulate_taskset(tasks, model, params, rng))
+}
+
 /// Simulates one trial of `tasks` under `model`.
+///
+/// Admits any non-empty set — including over-utilized ones, which the
+/// success-ratio experiments rely on. For strict admission with a typed
+/// error, use [`try_simulate_taskset`].
 ///
 /// # Panics
 ///
@@ -520,6 +593,54 @@ mod tests {
         let hi = ratio_at(12.0, &mut rng);
         assert!(lo >= hi, "lo {lo} hi {hi}");
         assert!(lo > 0.5);
+    }
+
+    #[test]
+    fn try_simulate_rejects_degenerate_inputs_with_typed_errors() {
+        let tasks = taskset(1.0, 21);
+        let model = SystemModel::proposed();
+        let mut rng = SmallRng::seed_from_u64(22);
+        let no_cores = PeriodicParams { cores: 0, ..Default::default() };
+        assert_eq!(
+            try_simulate_taskset(&tasks, &model, &no_cores, &mut rng),
+            Err(TasksetError::NoCores)
+        );
+        assert_eq!(
+            try_simulate_taskset(&[], &model, &PeriodicParams::default(), &mut rng),
+            Err(TasksetError::EmptyTaskset)
+        );
+    }
+
+    #[test]
+    fn try_simulate_refuses_overutilized_sets_end_to_end() {
+        // 24 units of utilisation on 8 cores: simulate_taskset happily
+        // runs it (the overload experiments depend on that), but the
+        // strict admission path must return a typed verdict.
+        let tasks = taskset(24.0, 23);
+        let model = SystemModel::proposed();
+        let mut rng = SmallRng::seed_from_u64(24);
+        let err =
+            try_simulate_taskset(&tasks, &model, &PeriodicParams::default(), &mut rng).unwrap_err();
+        match err {
+            TasksetError::Overutilized { utilisation, cores } => {
+                assert!(utilisation > cores as f64, "{utilisation} vs {cores}");
+                assert_eq!(cores, 8);
+            }
+            other => panic!("expected Overutilized, got {other:?}"),
+        }
+        assert!(err.to_string().contains("over-utilized"), "{err}");
+    }
+
+    #[test]
+    fn try_simulate_matches_simulate_on_feasible_sets() {
+        let tasks = taskset(1.0, 25);
+        let model = SystemModel::proposed();
+        let params = PeriodicParams::default();
+        let strict =
+            try_simulate_taskset(&tasks, &model, &params, &mut SmallRng::seed_from_u64(26))
+                .unwrap();
+        let loose = simulate_taskset(&tasks, &model, &params, &mut SmallRng::seed_from_u64(26));
+        assert_eq!(strict, loose);
     }
 
     #[test]

@@ -76,6 +76,14 @@ pub enum KernelError {
     },
     /// The requested cluster does not exist on this SoC.
     NoSuchCluster(usize),
+    /// A federated [`ClusterPlan`](l15_core::federated::ClusterPlan) does
+    /// not cover the task set one-to-one.
+    PlanMismatch {
+        /// Tasks handed to the runner.
+        tasks: usize,
+        /// Assignments in the plan.
+        assignments: usize,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -86,6 +94,9 @@ impl fmt::Display for KernelError {
                 write!(f, "timed out with {completed}/{total} nodes complete")
             }
             KernelError::NoSuchCluster(c) => write!(f, "no cluster {c} on this SoC"),
+            KernelError::PlanMismatch { tasks, assignments } => {
+                write!(f, "cluster plan covers {assignments} task(s), runner got {tasks}")
+            }
         }
     }
 }

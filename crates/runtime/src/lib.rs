@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod capture;
+pub mod coresidency;
 pub mod emit;
 pub mod kernel;
 pub mod layout;
@@ -49,6 +50,7 @@ pub mod multitask;
 pub mod workgen;
 
 pub use capture::{run_task_traced, DEFAULT_CAPTURE_EVENTS};
+pub use coresidency::{run_cluster_plan, AppOutcome, CoResidencyReport};
 pub use emit::{emit_kernel_streams, EmitOptions, KernelStreams, NodeStream};
 pub use kernel::{run_task, KernelConfig, KernelError, RunReport};
 pub use layout::TaskLayout;

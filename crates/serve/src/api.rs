@@ -12,7 +12,8 @@
 
 use l15_check::program::{CheckProgram, ParseProgramError};
 use l15_core::alg1::schedule_with_l15;
-use l15_core::baseline::baseline_priorities;
+use l15_core::baseline::{baseline_priorities, SystemModel};
+use l15_core::federated::{federated_partition, ClusterTopology};
 use l15_core::makespan::simulate;
 use l15_core::rta;
 use l15_dag::{analysis, textio, DagTask, ExecutionTimeModel};
@@ -42,6 +43,10 @@ pub struct Limits {
     pub max_check_nodes: usize,
     /// Cap on the `cores` query parameter.
     pub max_cores: usize,
+    /// Cap on the `clusters` query parameter (federated scheduling).
+    pub max_clusters: usize,
+    /// Task cap for a multi-task `/schedule?clusters=` body.
+    pub max_federated_tasks: usize,
     /// Flight-recorder capacity cap for `/trace` (events per capture;
     /// bounds both the default and the `max_events` query parameter).
     pub max_trace_events: usize,
@@ -56,6 +61,8 @@ impl Default for Limits {
             max_sim_cycles: 20_000_000,
             max_check_nodes: 1024,
             max_cores: 64,
+            max_clusters: 16,
+            max_federated_tasks: 64,
             max_trace_events: 1 << 18,
         }
     }
@@ -113,6 +120,11 @@ fn handle_inner(endpoint: Endpoint, req: &Request, limits: &Limits) -> Result<Re
     if endpoint == Endpoint::Check {
         return check(req, limits);
     }
+    // `/schedule?clusters=N` is the federated tier: it accepts a body of
+    // *several* task blocks and partitions them over N clusters.
+    if endpoint == Endpoint::Schedule && req.query_param("clusters").is_some() {
+        return schedule_federated(req, limits);
+    }
     let task = parse_body(&req.body, limits)?;
     match endpoint {
         Endpoint::Schedule => schedule(&task, req, limits),
@@ -137,6 +149,87 @@ fn parse_body(body: &[u8], limits: &Limits) -> Result<DagTask, Response> {
         ));
     }
     Ok(task)
+}
+
+/// Parses a body holding one task block per `task` directive line — the
+/// multi-application input of the federated `/schedule?clusters=` path.
+/// A single-task body parses to a one-element set, so the federated path
+/// accepts everything the plain path does.
+fn parse_multi_body(body: &[u8], limits: &Limits) -> Result<Vec<DagTask>, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "body must be UTF-8 `.dag` task text"))?;
+    let mut chunks: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let fresh = line.trim_start().starts_with("task")
+            && chunks
+                .last()
+                .is_some_and(|c: &String| c.lines().any(|l| l.trim_start().starts_with("task")));
+        if chunks.is_empty() || fresh {
+            chunks.push(String::new());
+        }
+        let chunk = chunks.last_mut().expect("pushed above");
+        chunk.push_str(line);
+        chunk.push('\n');
+    }
+    if chunks.len() > limits.max_federated_tasks {
+        return Err(Response::error(
+            413,
+            &format!("body has {} task blocks; limit {}", chunks.len(), limits.max_federated_tasks),
+        ));
+    }
+    let mut tasks = Vec::with_capacity(chunks.len());
+    let mut nodes = 0usize;
+    for (i, chunk) in chunks.iter().enumerate() {
+        let task = textio::parse_task(chunk).map_err(|e| match e {
+            textio::ParseDagError::TooLarge { .. } => Response::error(413, &format!("{e}")),
+            e => Response::error(422, &format!("task block {i}: {e}")),
+        })?;
+        nodes += task.graph().node_count();
+        tasks.push(task);
+    }
+    if nodes > limits.max_nodes {
+        return Err(Response::error(
+            413,
+            &format!("task blocks total {nodes} nodes; limit {}", limits.max_nodes),
+        ));
+    }
+    Ok(tasks)
+}
+
+/// Renders one federated [`TaskAssignment`](l15_core::federated::TaskAssignment)
+/// as a JSON object.
+fn assignment_obj(a: &l15_core::federated::TaskAssignment) -> String {
+    let mut o = Obj::new();
+    o.int("task", a.task as u64);
+    o.bool("heavy", a.heavy);
+    o.num("density", a.density);
+    o.raw("clusters", &json::int_array(a.clusters.iter().map(|&c| c as u64)));
+    o.num("bound", a.bound);
+    o.int("tid", u64::from(a.tid));
+    o.finish()
+}
+
+/// `POST /schedule?clusters=N` — the federated tier over a multi-task
+/// body: heavy/light classification, dedicated clusters for heavy tasks,
+/// first-fit packing for light ones. An infeasible set is a 422 carrying
+/// the typed verdict's message, never a panic.
+fn schedule_federated(req: &Request, limits: &Limits) -> Result<Response, Response> {
+    let clusters = int_param(req, "clusters", 2, limits.max_clusters as u64)? as usize;
+    let cores_per_cluster = int_param(req, "cores_per_cluster", 4, 16)? as usize;
+    let tasks = parse_multi_body(&req.body, limits)?;
+    let topo = ClusterTopology { clusters, cores_per_cluster };
+    let model = SystemModel::proposed();
+    let plan = federated_partition(&tasks, topo, &model)
+        .map_err(|e| Response::error(422, &format!("infeasible: {e}")))?;
+
+    let items: Vec<String> = plan.assignments.iter().map(assignment_obj).collect();
+    let mut o = Obj::new();
+    o.int("clusters", clusters as u64);
+    o.int("cores_per_cluster", cores_per_cluster as u64);
+    o.int("tasks", tasks.len() as u64);
+    o.bool("feasible", true);
+    o.raw("assignments", &format!("[{}]", items.join(",")));
+    Ok(Response::json(200, o.finish()))
 }
 
 /// Parses an integer query parameter in `[1, max]`, with a default.
@@ -236,6 +329,23 @@ fn analyze(task: &DagTask, req: &Request, limits: &Limits) -> Result<Response, R
     r.num("interference_term", bound.interference_term);
     r.bool("schedulable", bound.bound <= task.deadline() + 1e-9);
     o.raw("rta", &r.finish());
+    // `clusters=N` adds the federated verdict for this task alone: its
+    // heavy/light class and the clusters it needs on an N-cluster
+    // platform. Absent the parameter the response is unchanged.
+    if req.query_param("clusters").is_some() {
+        let clusters = int_param(req, "clusters", 2, limits.max_clusters as u64)? as usize;
+        let topo = ClusterTopology { clusters, cores_per_cluster: 4 };
+        let plan = federated_partition(std::slice::from_ref(task), topo, &SystemModel::proposed())
+            .map_err(|e| Response::error(422, &format!("infeasible: {e}")))?;
+        let a = &plan.assignments[0];
+        let mut fo = Obj::new();
+        fo.int("clusters", clusters as u64);
+        fo.bool("heavy", a.heavy);
+        fo.num("density", a.density);
+        fo.int("clusters_needed", a.clusters.len() as u64);
+        fo.num("bound", a.bound);
+        o.raw("federated", &fo.finish());
+    }
     Ok(Response::json(200, o.finish()))
 }
 
@@ -521,6 +631,113 @@ edge 2 3 cost=1 alpha=0.6
         let a = handle_compute(Endpoint::Schedule, &req, &Limits::default());
         let b = handle_compute(Endpoint::Schedule, &req, &Limits::default());
         assert_eq!(a, b, "handlers must be pure functions of the request");
+    }
+
+    /// Two SAMPLE-shaped applications with distinct periods as one
+    /// federated request body.
+    fn two_task_body() -> String {
+        format!("{SAMPLE}{}", SAMPLE.replace("period=100 deadline=90", "period=80 deadline=70"))
+    }
+
+    #[test]
+    fn schedule_with_clusters_returns_the_federated_assignment() {
+        let req = post("/schedule", "clusters=2", &two_task_body());
+        let resp = handle_compute(Endpoint::Schedule, &req, &Limits::default());
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8(resp.body));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"clusters\":2"), "{body}");
+        assert!(body.contains("\"tasks\":2"), "{body}");
+        assert!(body.contains("\"feasible\":true"), "{body}");
+        assert!(body.contains("\"assignments\":["), "{body}");
+        assert!(body.contains("\"tid\":1"), "{body}");
+        assert!(body.contains("\"tid\":2"), "{body}");
+    }
+
+    #[test]
+    fn schedule_without_clusters_is_unchanged_by_the_federated_tier() {
+        // The legacy single-task path must stay byte-identical: no
+        // `clusters` parameter, no federated fields.
+        let req = post("/schedule", "cores=4", SAMPLE);
+        let resp = handle_compute(Endpoint::Schedule, &req, &Limits::default());
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(!body.contains("assignments"), "{body}");
+        assert!(!body.contains("feasible"), "{body}");
+    }
+
+    #[test]
+    fn overutilized_federated_body_is_a_422_with_the_typed_verdict() {
+        // Utilisation 40/10 per task × 3 tasks on 2 clusters × 4 cores:
+        // the core tier's Overutilized error must surface as a 422.
+        let fat = "task period=10 deadline=10\nnode 0 wcet=40 data=0\n";
+        let body = format!("{fat}{fat}{fat}");
+        let req = post("/schedule", "clusters=2", &body);
+        let resp = handle_compute(Endpoint::Schedule, &req, &Limits::default());
+        assert_eq!(resp.status, 422, "{:?}", String::from_utf8(resp.body));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("over-utilized"), "{text}");
+    }
+
+    #[test]
+    fn federated_schedule_is_deterministic() {
+        let req = post("/schedule", "clusters=4", &two_task_body());
+        let a = handle_compute(Endpoint::Schedule, &req, &Limits::default());
+        let b = handle_compute(Endpoint::Schedule, &req, &Limits::default());
+        assert_eq!(a, b, "federated handler must be a pure function of the request");
+    }
+
+    #[test]
+    fn federated_bad_task_block_and_params_are_4xx() {
+        let broken = format!("{SAMPLE}task period=0 deadline=0\n");
+        let resp = handle_compute(
+            Endpoint::Schedule,
+            &post("/schedule", "clusters=2", &broken),
+            &Limits::default(),
+        );
+        assert_eq!(resp.status, 422, "{:?}", String::from_utf8(resp.body));
+
+        for q in ["clusters=0", "clusters=abc", "clusters=999"] {
+            let resp = handle_compute(
+                Endpoint::Schedule,
+                &post("/schedule", q, SAMPLE),
+                &Limits::default(),
+            );
+            assert_eq!(resp.status, 400, "{q}");
+        }
+    }
+
+    #[test]
+    fn analyze_with_clusters_adds_the_federated_verdict() {
+        let req = post("/analyze", "cores=4&clusters=2", SAMPLE);
+        let resp = handle_compute(Endpoint::Analyze, &req, &Limits::default());
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8(resp.body));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"federated\":{"), "{body}");
+        assert!(body.contains("\"clusters_needed\":"), "{body}");
+        assert!(body.contains("\"density\":"), "{body}");
+
+        // Without the parameter, nothing federated appears.
+        let plain = handle_compute(
+            Endpoint::Analyze,
+            &post("/analyze", "cores=4", SAMPLE),
+            &Limits::default(),
+        );
+        let plain_body = String::from_utf8(plain.body).unwrap();
+        assert!(!plain_body.contains("federated"), "{plain_body}");
+    }
+
+    #[test]
+    fn analyze_infeasible_task_on_clusters_is_422() {
+        // A chain whose critical path alone exceeds the deadline is
+        // unschedulable at any cluster count.
+        let doomed = "task period=10 deadline=10\n\
+                      node 0 wcet=20 data=0\nnode 1 wcet=20 data=0\n\
+                      edge 0 1 cost=1 alpha=0.5\n";
+        let req = post("/analyze", "clusters=8", doomed);
+        let resp = handle_compute(Endpoint::Analyze, &req, &Limits::default());
+        assert_eq!(resp.status, 422, "{:?}", String::from_utf8(resp.body));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("infeasible"), "{text}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! SoC configuration mirroring the paper's experimental platform (Sec. 5):
-//! 8/16-core SoCs organised as clusters of four cores, each core with 4 KiB
+//! 8/16/32-core SoCs organised as clusters of four cores, each core with 4 KiB
 //! L1 I/D caches (1–2 cycles), one L1.5 per cluster (16 × 2 KiB ways, 2–8
 //! cycles), a shared 512 KiB L2 (15–25 cycles) and external memory.
 
@@ -120,6 +120,29 @@ impl SocConfig {
         cfg
     }
 
+    /// The proposed system scaled to 32 cores (8 clusters × 4 cores): the
+    /// many-core point of the cluster sweeps. Each cluster keeps the
+    /// paper's 32 KiB L1.5; only the cluster count grows.
+    pub fn proposed_32core() -> Self {
+        SocConfig { clusters: 8, ..Self::proposed_8core() }
+    }
+
+    /// CMP|L1 at 32 cores (capacity-equalised, no L1.5).
+    pub fn cmp_l1_32core() -> Self {
+        SocConfig { clusters: 8, ..Self::cmp_l1_8core() }
+    }
+
+    /// CMP|L2 at 32 cores: eight clusters' worth of L1.5 capacity folded
+    /// into the L2 (768 KiB = 12 ways x 1024 sets x 64 B).
+    pub fn cmp_l2_32core() -> Self {
+        let mut cfg = Self::proposed_32core();
+        let clusters = cfg.clusters as u64;
+        cfg.l15 = None;
+        cfg.l2.capacity += clusters * 32 * 1024;
+        cfg.l2.ways = (cfg.l2.capacity / (cfg.l2.line_bytes * 1024)) as usize;
+        cfg
+    }
+
     /// The named derived presets, for callers that select a configuration
     /// from untrusted text (the `l15-serve` `/simulate` endpoint, CLI
     /// tools): `(name, constructor)` in a stable, documented order.
@@ -131,6 +154,9 @@ impl SocConfig {
             "cmp_l2_8core",
             "cmp_l1_16core",
             "cmp_l2_16core",
+            "proposed_32core",
+            "cmp_l1_32core",
+            "cmp_l2_32core",
         ]
     }
 
@@ -143,6 +169,9 @@ impl SocConfig {
             "cmp_l2_8core" => Some(Self::cmp_l2_8core()),
             "cmp_l1_16core" => Some(Self::cmp_l1_16core()),
             "cmp_l2_16core" => Some(Self::cmp_l2_16core()),
+            "proposed_32core" => Some(Self::proposed_32core()),
+            "cmp_l1_32core" => Some(Self::cmp_l1_32core()),
+            "cmp_l2_32core" => Some(Self::cmp_l2_32core()),
             _ => None,
         }
     }
@@ -205,7 +234,7 @@ mod tests {
     fn preset_registry_is_complete_and_consistent() {
         for &name in SocConfig::preset_names() {
             let cfg = SocConfig::preset(name).expect("every listed preset resolves");
-            assert!(cfg.total_cores() == 8 || cfg.total_cores() == 16, "{name}");
+            assert!(matches!(cfg.total_cores(), 8 | 16 | 32), "{name}");
             // The derived CMP presets drop the L1.5; the proposed keep it.
             assert_eq!(cfg.l15.is_some(), name.starts_with("proposed"), "{name}");
         }
@@ -221,9 +250,11 @@ mod tests {
 
         // CMP|L1 spreads that budget over the cluster's 4 cores: each L1D
         // grows by 32 KiB / 4 = 8 KiB (4 → 12 KiB), associativity 2 → 6.
-        for (cfg, name) in
-            [(SocConfig::cmp_l1_8core(), "8core"), (SocConfig::cmp_l1_16core(), "16core")]
-        {
+        for (cfg, name) in [
+            (SocConfig::cmp_l1_8core(), "8core"),
+            (SocConfig::cmp_l1_16core(), "16core"),
+            (SocConfig::cmp_l1_32core(), "32core"),
+        ] {
             let per_core = prop.l15_bytes_per_cluster() / prop.cores_per_cluster as u64;
             assert_eq!(per_core, 8 * 1024, "{name}");
             assert_eq!(cfg.l1d.capacity, prop.l1d.capacity + per_core, "{name}");
@@ -239,10 +270,12 @@ mod tests {
         // CMP|L2 grows the one shared L2 by clusters × 32 KiB, absorbing
         // the extra capacity into associativity so the set count stays a
         // power of two: 8c → 576 KiB = 9 ways × 1024 sets × 64 B,
-        // 16c → 640 KiB = 10 ways × 1024 sets × 64 B.
+        // 16c → 640 KiB = 10 ways × 1024 sets × 64 B,
+        // 32c → 768 KiB = 12 ways × 1024 sets × 64 B.
         let cases = [
             (SocConfig::cmp_l2_8core(), 2u64, 576u64, 9usize),
             (SocConfig::cmp_l2_16core(), 4, 640, 10),
+            (SocConfig::cmp_l2_32core(), 8, 768, 12),
         ];
         for (cfg, clusters, kib, ways) in cases {
             assert_eq!(cfg.clusters as u64, clusters);
@@ -255,6 +288,36 @@ mod tests {
             assert_eq!(sets, 1024);
             assert_eq!(cfg.l2.ways as u64 * sets * cfg.l2.line_bytes, cfg.l2.capacity);
         }
+    }
+
+    #[test]
+    fn l15_budget_per_cluster_is_constant_as_clusters_scale() {
+        // The multi-cluster axis scales by replicating whole clusters: the
+        // per-cluster L1.5 budget (32 KiB) never changes, and the folded
+        // CMP budgets track the cluster count exactly.
+        let presets = [
+            (SocConfig::proposed_8core(), 2usize),
+            (SocConfig::proposed_16core(), 4),
+            (SocConfig::proposed_32core(), 8),
+        ];
+        for (cfg, clusters) in presets {
+            assert_eq!(cfg.clusters, clusters);
+            assert_eq!(cfg.cores_per_cluster, 4);
+            assert_eq!(cfg.l15_bytes_per_cluster(), 32 * 1024);
+        }
+    }
+
+    #[test]
+    fn capacity_equalisation_holds_at_32_cores() {
+        let prop = SocConfig::proposed_32core();
+        let l1 = SocConfig::cmp_l1_32core();
+        let l2 = SocConfig::cmp_l2_32core();
+        assert_eq!(prop.total_cores(), 32);
+        assert_eq!(prop.total_cache_bytes(), l1.total_cache_bytes());
+        assert_eq!(prop.total_cache_bytes(), l2.total_cache_bytes());
+        // Geometries must build.
+        let _ = crate::uncore::Uncore::new(l1);
+        let _ = crate::uncore::Uncore::new(l2);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! each cluster sharing an L1.5 cache ([`l15_cache::l15`]), above a shared
 //! L2 and external memory.
 //!
-//! * [`config::SocConfig`] — 8/16-core configurations with and without the
+//! * [`config::SocConfig`] — 8/16/32-core configurations with and without the
 //!   L1.5 (total cache capacity equalised across compared systems, as the
 //!   paper requires);
 //! * [`uncore::Uncore`] — the memory system implementing
@@ -41,4 +41,4 @@ pub mod uncore;
 pub use config::{LevelConfig, SocConfig};
 pub use soc::Soc;
 pub use trace::{ServedBy, Trace, TraceCounters, TraceEvent, TraceEventKind};
-pub use uncore::{HierarchyStats, Uncore};
+pub use uncore::{ClusterStats, HierarchyStats, Uncore};

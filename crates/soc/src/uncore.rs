@@ -50,6 +50,17 @@ pub struct HierarchyStats {
     pub mem_lines: u64,
 }
 
+/// Per-cluster statistics: the counters of one cluster's private L1s and
+/// its L1.5, kept separate so multi-application co-residency runs can
+/// attribute cache behaviour to the cluster an application was pinned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterStats {
+    /// The cluster's L1 (I+D) counters merged over its cores.
+    pub l1: CacheStats,
+    /// The cluster's L1.5 counters (zero when the SoC has no L1.5).
+    pub l15: CacheStats,
+}
+
 /// The memory system shared by all cores.
 #[derive(Debug, Clone)]
 pub struct Uncore {
@@ -314,6 +325,29 @@ impl Uncore {
         s.l2.merge(self.l2.stats());
         s.mem_lines = self.mem_lines;
         s
+    }
+
+    /// Statistics of one cluster: its cores' L1s merged plus its L1.5.
+    /// Returns `None` for an out-of-range cluster.
+    pub fn cluster_stats(&self, cluster: usize) -> Option<ClusterStats> {
+        if cluster >= self.cfg.clusters {
+            return None;
+        }
+        let mut s = ClusterStats::default();
+        let base = cluster * self.cfg.cores_per_cluster;
+        for core in base..base + self.cfg.cores_per_cluster {
+            s.l1.merge(self.l1i[core].stats());
+            s.l1.merge(self.l1d[core].stats());
+        }
+        if let Some(l15) = self.l15(cluster) {
+            s.l15.merge(l15.stats());
+        }
+        Some(s)
+    }
+
+    /// [`Self::cluster_stats`] for every cluster, in cluster order.
+    pub fn per_cluster_stats(&self) -> Vec<ClusterStats> {
+        (0..self.cfg.clusters).map(|c| self.cluster_stats(c).expect("cluster in range")).collect()
     }
 
     /// Fetches the full line containing `paddr` from L2/memory, charging
@@ -822,6 +856,25 @@ mod tests {
             .filter(|e| matches!(e.kind, TraceEventKind::WayGrant { .. }))
             .collect();
         assert_eq!(grants.len(), 3);
+    }
+
+    #[test]
+    fn per_cluster_stats_attribute_traffic_to_the_right_cluster() {
+        let mut u = uncore();
+        // Core 0 (cluster 0) and core 5 (cluster 1, lane 1) each touch
+        // their own line; cluster stats must not bleed across.
+        u.load(0, 0x1000, 0x1000, 4);
+        u.load(5, 0x2000, 0x2000, 4);
+        u.load(5, 0x2000, 0x2000, 4);
+        let per = u.per_cluster_stats();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].l1.accesses(), 1);
+        assert_eq!(per[1].l1.accesses(), 2);
+        assert!(u.cluster_stats(2).is_none(), "out-of-range cluster");
+        // The merged view is exactly the sum of the per-cluster views.
+        let merged = u.stats();
+        assert_eq!(merged.l1.accesses(), per.iter().map(|c| c.l1.accesses()).sum::<u64>());
+        assert_eq!(merged.l15.accesses(), per.iter().map(|c| c.l15.accesses()).sum::<u64>());
     }
 
     #[test]

@@ -80,8 +80,13 @@ impl OpMix {
 /// FlexiCAS's `ParallelRegressionGen`, plus the protocol-specific mix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuzzKnobs {
-    /// Cores in the (single) cluster under test.
+    /// Cores per cluster.
     pub cores: usize,
+    /// Identical L1.5 clusters the case is replicated across (the
+    /// co-residency axis): the harness replays the same per-lane stream
+    /// on every cluster, each under its own TID and disjoint address
+    /// pools, so cross-cluster isolation is checked for free.
+    pub clusters: usize,
     /// L1.5 ways of the cluster (the Walloc demand budget).
     pub ways: usize,
     /// Private pool size per core, in lines (FlexiCAS `PAddrN`).
@@ -102,6 +107,7 @@ impl Default for FuzzKnobs {
     fn default() -> Self {
         FuzzKnobs {
             cores: 4,
+            clusters: 1,
             ways: 8,
             private_slots: 1024,
             shared_slots: 256,
@@ -120,31 +126,50 @@ impl FuzzKnobs {
         FuzzKnobs { private_slots: 128, shared_slots: 64, ops: 512, ..Default::default() }
     }
 
-    /// Physical address of private line `slot` of `core`.
+    /// Total cores across every cluster.
+    pub fn total_cores(&self) -> usize {
+        self.clusters * self.cores
+    }
+
+    /// Physical address of private line `slot` of global core `core`
+    /// (cluster-major numbering: `cluster * cores + lane`).
     ///
     /// # Panics
     ///
     /// Panics when `core` or `slot` is out of range.
     pub fn private_addr(&self, core: usize, slot: usize) -> u64 {
-        assert!(core < self.cores && slot < self.private_slots, "private pool index");
+        assert!(core < self.total_cores() && slot < self.private_slots, "private pool index");
         PRIVATE_BASE + ((core * self.private_slots + slot) as u64) * self.line_bytes
     }
 
-    /// Physical address of shared line `slot`.
+    /// Physical address of shared line `slot` of cluster 0 — the
+    /// single-cluster view; see [`FuzzKnobs::shared_addr_in`].
     ///
     /// # Panics
     ///
     /// Panics when `slot` is out of range.
     pub fn shared_addr(&self, slot: usize) -> u64 {
-        assert!(slot < self.shared_slots, "shared pool index");
-        SHARED_BASE + (slot as u64) * self.line_bytes
+        self.shared_addr_in(0, slot)
+    }
+
+    /// Physical address of shared line `slot` of `cluster`. Each cluster
+    /// owns a disjoint shared pool: with no inter-cluster coherence,
+    /// producer/consumer sharing is only legal within one cluster's L1.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cluster` or `slot` is out of range.
+    pub fn shared_addr_in(&self, cluster: usize, slot: usize) -> u64 {
+        assert!(cluster < self.clusters && slot < self.shared_slots, "shared pool index");
+        SHARED_BASE + ((cluster * self.shared_slots + slot) as u64) * self.line_bytes
     }
 
     /// Whether both pools fit their regions without overlap (and below
     /// the 32-bit physical address space of the SoC model).
     pub fn pools_fit(&self) -> bool {
-        let private_end = PRIVATE_BASE + (self.cores * self.private_slots) as u64 * self.line_bytes;
-        let shared_end = SHARED_BASE + self.shared_slots as u64 * self.line_bytes;
+        let private_end =
+            PRIVATE_BASE + (self.total_cores() * self.private_slots) as u64 * self.line_bytes;
+        let shared_end = SHARED_BASE + (self.clusters * self.shared_slots) as u64 * self.line_bytes;
         private_end <= SHARED_BASE && shared_end <= u64::from(u32::MAX)
     }
 }
@@ -224,14 +249,18 @@ impl MixCounts {
 pub struct FuzzCase {
     /// The knobs the case was drawn under.
     pub knobs: FuzzKnobs,
-    /// Cluster-wide TID every core runs under (sharing requires TID
-    /// equality; the R4 bug injection perturbs one core's copy).
+    /// Base TID: cluster `c` runs its replica under `tid + c`, so
+    /// co-resident clusters hold distinct TIDs (sharing requires TID
+    /// equality *within* a cluster; the R4 bug injection perturbs one
+    /// core's copy).
     pub tid: u32,
     /// Initial per-core way demand (Σ ≤ `knobs.ways`; every core gets at
     /// least one way when the budget allows, so produce episodes route
     /// through the L1.5 rather than degenerating to flush-to-L2).
     pub init_demand: Vec<usize>,
-    /// The interleaved stream: `(core, op)` in global program order.
+    /// The interleaved stream: `(lane, op)` in global program order. The
+    /// lane indexes a core *within* a cluster; multi-cluster harnesses
+    /// replay each step on every cluster's lane.
     pub steps: Vec<(usize, CoreOp)>,
     /// Category draw counts (see [`MixCounts`]).
     pub mix: MixCounts,
@@ -280,6 +309,7 @@ impl FuzzCase {
 /// do not fit their address regions.
 pub fn draw_case(g: &mut G, knobs: &FuzzKnobs) -> FuzzCase {
     assert!(knobs.cores > 0, "need at least one core");
+    assert!(knobs.clusters > 0, "need at least one cluster");
     assert!(knobs.private_slots > 0 && knobs.shared_slots > 0, "need non-empty pools");
     assert!(knobs.max_advance > 0, "need a positive advance bound");
     assert!(knobs.pools_fit(), "pools must fit their address regions");
@@ -459,6 +489,23 @@ mod tests {
         // Distinct (core, slot) pairs map to distinct lines.
         assert_ne!(knobs.private_addr(0, 1), knobs.private_addr(1, 0));
         assert_eq!(knobs.shared_addr(1) - knobs.shared_addr(0), knobs.line_bytes);
+    }
+
+    #[test]
+    fn cluster_pools_are_disjoint_and_replicated() {
+        let knobs = FuzzKnobs { clusters: 2, ..FuzzKnobs::quick() };
+        assert!(knobs.pools_fit(), "{knobs:?}");
+        assert_eq!(knobs.total_cores(), 2 * knobs.cores);
+        // Cluster 0's shared view is the single-cluster address map.
+        assert_eq!(knobs.shared_addr_in(0, 3), knobs.shared_addr(3));
+        // Cluster 1's pools start where cluster 0's end.
+        assert_eq!(
+            knobs.shared_addr_in(1, 0),
+            knobs.shared_addr(knobs.shared_slots - 1) + knobs.line_bytes
+        );
+        // Private pools extend across the global core range.
+        let last = knobs.private_addr(knobs.total_cores() - 1, knobs.private_slots - 1);
+        assert!(last + knobs.line_bytes <= SHARED_BASE);
     }
 
     #[test]

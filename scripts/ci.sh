@@ -101,9 +101,21 @@ grep -q "0 finding(s)" "$fz_seq"
 # The seeded regression corpus replays clean.
 cargo run --release --offline -q -p l15-bench --bin l15-fuzz -- \
     corpus crates/testkit/corpus/fuzz > "$fz_seq"
-grep -q "10 case(s), 0 finding(s)" "$fz_seq"
+grep -q "11 case(s), 0 finding(s)" "$fz_seq"
 rm -f "$fz_seq" "$fz_par"
 echo "l15-fuzz is clean and byte-identical across worker counts"
+
+echo "==> cluster sweep (l15-cluster --quick, fixed seed, L15_JOBS=1 vs 4)"
+# Fixed-seed federated success-ratio sweep over the 4/8/16-core platforms
+# (1, 2 and 4 clusters): the artifact must be byte-identical at any
+# worker count.
+cl_seq=$(mktemp)
+cl_par=$(mktemp)
+L15_SEED=1 L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin l15-cluster -- --quick > "$cl_seq"
+L15_SEED=1 L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin l15-cluster -- --quick > "$cl_par"
+diff -u "$cl_seq" "$cl_par"
+rm -f "$cl_seq" "$cl_par"
+echo "l15-cluster output is byte-identical across worker counts"
 
 echo "==> bench binaries (--quick smoke)"
 for bin in crates/bench/src/bin/*.rs; do
