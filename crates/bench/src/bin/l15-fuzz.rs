@@ -149,7 +149,7 @@ fn run(knobs: &FuzzKnobs, master_seed: u64, cases: usize, bug: Option<FuzzBug>) 
         if v.is_clean() {
             println!("case {:>4} seed {:#018x} [{}]: clean", o.index, o.seed, o.summary);
         } else {
-            let n = v.divergences.len() + v.findings.len();
+            let n = v.divergences.len() + v.soundness.len() + v.findings.len();
             findings += n;
             println!("case {:>4} seed {:#018x} [{}]: {n} finding(s)", o.index, o.seed, o.summary);
             print!("{}", v.render(&format!("  case {}", o.index)));
@@ -192,7 +192,8 @@ fn corpus(dir: &Path) -> Result<usize, String> {
         if verdict.is_clean() {
             println!("{name}: clean (seed {:#018x})", entry.seed);
         } else {
-            findings += verdict.divergences.len() + verdict.findings.len();
+            findings +=
+                verdict.divergences.len() + verdict.soundness.len() + verdict.findings.len();
             print!("{}", verdict.render(&name));
         }
     }

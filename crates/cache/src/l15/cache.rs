@@ -469,9 +469,7 @@ impl L15Cache {
     }
 
     fn probe_latency(&self, depth: usize) -> u32 {
-        let span = self.cfg.lat_max - self.cfg.lat_min;
-        let ways = self.cfg.ways.max(1) as u32;
-        self.cfg.lat_min + span * (depth as u32).min(ways - 1) / ways
+        crate::sa::probe_latency_at(self.cfg.lat_min, self.cfg.lat_max, self.cfg.ways, depth)
     }
 
     /// Read lookup for `core`: VIPT (`vaddr` indexes, `paddr` tags), masked

@@ -74,6 +74,24 @@ impl TreePlru {
         self.victim_in(WayMask::first_n(self.ways)).expect("full mask always yields a victim")
     }
 
+    /// Must-analysis capacity of a full-tree PLRU set: the number of
+    /// pairwise-distinct most-recently-used lines guaranteed to survive in
+    /// a `ways`-associative tree-PLRU set, `⌊log2(ways)⌋ + 1` (Reineke's
+    /// minimum-life-span bound; exact LRU for 2 ways, where the tree
+    /// degenerates to a single bit). Static cache analyses bound the
+    /// abstract must-cache age at this value. The bound only holds when
+    /// replacement chooses over the **full** tree — a masked
+    /// [`victim_in`](Self::victim_in) walk restarts from interior bits the
+    /// mask may have made stale, so per-way-masked fills (the L1.5 write
+    /// masks) must assume a capacity of 1.
+    pub fn must_capacity(ways: usize) -> usize {
+        if ways <= 1 {
+            1
+        } else {
+            (usize::BITS - 1 - ways.leading_zeros()) as usize + 1
+        }
+    }
+
     /// Selects the PLRU victim restricted to `allowed`.
     ///
     /// Walks the tree following the direction bits, but when the indicated

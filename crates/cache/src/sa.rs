@@ -45,6 +45,24 @@ pub struct EvictedLine {
     pub data: Vec<u8>,
 }
 
+/// Latency of a probe that resolves at depth `d` of a `[lat_min, lat_max]`
+/// banded, `ways`-associative lookup: the first probed way costs the
+/// minimum, deeper ways grow linearly towards (but, by integer division,
+/// never quite reach) the maximum. Exposed so static analyses can reproduce
+/// the exact latency model without instantiating a cache.
+pub fn probe_latency_at(lat_min: u32, lat_max: u32, ways: usize, d: usize) -> u32 {
+    let span = lat_max - lat_min;
+    let w = ways.max(1) as u32;
+    lat_min + span * (d as u32).min(w - 1) / w
+}
+
+/// Worst-case latency of any probe — hit in the deepest way or a full miss
+/// scan both cost `probe_latency_at(.., ways - 1)`. This is the sound
+/// per-probe upper bound a static timing analysis may charge.
+pub fn worst_probe_latency(lat_min: u32, lat_max: u32, ways: usize) -> u32 {
+    probe_latency_at(lat_min, lat_max, ways, ways.max(1) - 1)
+}
+
 /// Result of [`SetAssocCache::access`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessOutcome {
@@ -106,9 +124,7 @@ impl SetAssocCache {
 
     /// Latency charged for a probe that resolves at way-depth `d` (0-based).
     fn probe_latency(&self, d: usize) -> u32 {
-        let span = self.lat_max - self.lat_min;
-        let ways = self.geo.ways().max(1) as u32;
-        self.lat_min + span * (d as u32).min(ways - 1) / ways.max(1)
+        probe_latency_at(self.lat_min, self.lat_max, self.geo.ways(), d)
     }
 
     /// Probes for `addr` without touching replacement state or statistics.

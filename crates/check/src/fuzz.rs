@@ -106,6 +106,11 @@ pub struct FuzzVerdict {
     /// mismatches, then exact counter-accounting mismatches), in
     /// deterministic execution order.
     pub divergences: Vec<String>,
+    /// Soundness violations: per-core observed memory-system cycles that
+    /// exceeded the static bound of [`crate::absint::analyze_case`]
+    /// (clean runs only — an injected bug invalidates the bound's
+    /// protocol assumptions).
+    pub soundness: Vec<String>,
     /// Findings from the conservation laws and the static rules, in
     /// canonical sorted order.
     pub findings: Vec<Finding>,
@@ -114,18 +119,28 @@ pub struct FuzzVerdict {
     pub complete: bool,
     /// The run's always-on counters.
     pub counters: TraceCounters,
+    /// Concrete memory-system cycles charged per global core — the value
+    /// the soundness verdict compares against the static bounds. Exposed
+    /// so corpus tests can also assert *precision* (bound / observed).
+    pub observed_cycles: Vec<u64>,
 }
 
 impl FuzzVerdict {
-    /// No divergences, no findings, complete recording.
+    /// No divergences, no soundness violations, no findings, complete
+    /// recording.
     pub fn is_clean(&self) -> bool {
-        self.divergences.is_empty() && self.findings.is_empty() && self.complete
+        self.divergences.is_empty()
+            && self.soundness.is_empty()
+            && self.findings.is_empty()
+            && self.complete
     }
 
     /// The first piece of trouble, for one-line assertion messages.
     pub fn headline(&self) -> String {
         if let Some(d) = self.divergences.first() {
             format!("divergence: {d}")
+        } else if let Some(s) = self.soundness.first() {
+            format!("soundness: {s}")
         } else if let Some(f) = self.findings.first() {
             f.render()
         } else if !self.complete {
@@ -141,11 +156,16 @@ impl FuzzVerdict {
         if self.is_clean() {
             return format!("{subject}: clean\n");
         }
-        let total = self.divergences.len() + self.findings.len();
+        let total = self.divergences.len() + self.soundness.len() + self.findings.len();
         let mut out = format!("{subject}: {total} finding(s)\n");
         for d in &self.divergences {
             out.push_str("  DIVERGENCE ");
             out.push_str(d);
+            out.push('\n');
+        }
+        for s in &self.soundness {
+            out.push_str("  SOUNDNESS ");
+            out.push_str(s);
             out.push('\n');
         }
         for f in &self.findings {
@@ -198,9 +218,13 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
     for (core, &tid) in tids.iter().enumerate() {
         u.set_tid(core, tid).expect("core in range");
     }
+    // Per-core observed memory-system cycles — compared against the
+    // static bounds of `absint::analyze_case` on clean runs.
+    let mut observed = vec![0u64; knobs.total_cores()];
     for (lane, &d) in case.init_demand.iter().enumerate() {
         for cl in 0..clusters {
-            u.l15_ctrl(cl * knobs.cores + lane, L15Op::Demand, d as u32);
+            let core = cl * knobs.cores + lane;
+            observed[core] += u64::from(u.l15_ctrl(core, L15Op::Demand, d as u32).cycles);
         }
     }
     u.advance(settle_budget(knobs));
@@ -215,14 +239,15 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
                 for cl in 0..clusters {
                     let core = cl * knobs.cores + lane;
                     let addr = knobs.private_addr(core, slot);
-                    check_load(&mut u, &oracle, core, addr, step, &mut divergences);
+                    observed[core] +=
+                        check_load(&mut u, &oracle, core, addr, step, &mut divergences);
                 }
             }
             CoreOp::Store { slot, value } => {
                 for cl in 0..clusters {
                     let core = cl * knobs.cores + lane;
                     let addr = knobs.private_addr(core, slot);
-                    u.store(core, addr as u32, addr as u32, 4, value);
+                    observed[core] += u64::from(u.store(core, addr as u32, addr as u32, 4, value));
                     oracle.write_u32(addr, value, core, step);
                 }
             }
@@ -230,7 +255,8 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
                 for cl in 0..clusters {
                     let core = cl * knobs.cores + lane;
                     let addr = knobs.shared_addr_in(cl, slot);
-                    check_load(&mut u, &oracle, core, addr, step, &mut divergences);
+                    observed[core] +=
+                        check_load(&mut u, &oracle, core, addr, step, &mut divergences);
                 }
             }
             CoreOp::Produce { slot, value } => {
@@ -242,14 +268,16 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
                     let drop_ip = cl == 0 && bug == Some(FuzzBug::DropIpSet);
                     let skip_gv = cl == 0 && bug == Some(FuzzBug::SkipGvSet);
                     if !drop_ip {
-                        u.l15_ctrl(core, L15Op::IpSet, 1);
+                        observed[core] += u64::from(u.l15_ctrl(core, L15Op::IpSet, 1).cycles);
                     }
                     let routed =
                         u.l15(cl).map(|l| l.routes_stores(lane).unwrap_or(false)).unwrap_or(false);
-                    u.store(core, addr as u32, addr as u32, 4, value);
-                    let supply = u.l15_ctrl(core, L15Op::Supply, 0).value;
+                    observed[core] += u64::from(u.store(core, addr as u32, addr as u32, 4, value));
+                    let supply_out = u.l15_ctrl(core, L15Op::Supply, 0);
+                    observed[core] += u64::from(supply_out.cycles);
+                    let supply = supply_out.value;
                     if !skip_gv {
-                        u.l15_ctrl(core, L15Op::GvSet, supply);
+                        observed[core] += u64::from(u.l15_ctrl(core, L15Op::GvSet, supply).cycles);
                     }
                     if !routed && !drop_ip {
                         // Unrouted supply writes must reach the L2 before
@@ -258,7 +286,7 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
                         u.flush_l1d(core);
                     }
                     if !drop_ip {
-                        u.l15_ctrl(core, L15Op::IpSet, 0);
+                        observed[core] += u64::from(u.l15_ctrl(core, L15Op::IpSet, 0).cycles);
                     }
                     if cl == 0 {
                         produce_ways.push(WayMask::from(u64::from(supply)).iter().collect());
@@ -268,7 +296,9 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
             }
             CoreOp::Reconfig { ways, settle } => {
                 for cl in 0..clusters {
-                    u.l15_ctrl(cl * knobs.cores + lane, L15Op::Demand, ways as u32);
+                    let core = cl * knobs.cores + lane;
+                    observed[core] +=
+                        u64::from(u.l15_ctrl(core, L15Op::Demand, ways as u32).cycles);
                 }
                 u.advance(settle);
             }
@@ -280,11 +310,11 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
     // cluster 0's last producer from releasing), settle the Wallocs,
     // write the hierarchy back.
     let leak_core = if bug == Some(FuzzBug::LeakWays) { last_producer_core(case) } else { None };
-    for core in 0..knobs.total_cores() {
+    for (core, obs) in observed.iter_mut().enumerate() {
         if Some(core) == leak_core {
             continue;
         }
-        u.l15_ctrl(core, L15Op::Demand, 0);
+        *obs += u64::from(u.l15_ctrl(core, L15Op::Demand, 0).cycles);
     }
     u.advance(settle_budget(knobs));
     u.flush_all();
@@ -296,8 +326,21 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
     }
 
     let counters = *u.trace().counters();
+    let mut soundness = Vec::new();
     if bug.is_none() {
         divergences.extend(exact_accounting(case, &counters));
+        // Soundness: the static per-core bounds of the abstract
+        // interpretation must cover the concrete cycles, core for core.
+        let analysis = crate::absint::analyze_case(case, u.config());
+        for b in &analysis.per_core {
+            if observed[b.core] > b.bound_cycles {
+                soundness.push(format!(
+                    "core {}: observed {} memory-system cycles exceed the \
+                     static bound {} (ah {}, am {}, nc {})",
+                    b.core, observed[b.core], b.bound_cycles, b.ah, b.am, b.nc
+                ));
+            }
+        }
     }
 
     let rec = u
@@ -320,7 +363,14 @@ pub fn check_case_with(case: &FuzzCase, bug: Option<FuzzBug>) -> FuzzVerdict {
     }
     sort_findings(&mut findings);
 
-    FuzzVerdict { divergences, findings, complete: replay.complete, counters }
+    FuzzVerdict {
+        divergences,
+        soundness,
+        findings,
+        complete: replay.complete,
+        counters,
+        observed_cycles: observed,
+    }
 }
 
 /// One sweep item: the case's identity plus its verdict.
@@ -446,13 +496,15 @@ impl WallocModel for StuckWalloc {
     }
 }
 
-/// A SoC sized for fuzzing: small L1/L2 so the generated pools overflow
-/// every level and exercise eviction and write-back. One identical L1.5
-/// cluster per `knobs.clusters`.
-fn small_soc(knobs: &FuzzKnobs) -> Uncore {
+/// The [`SocConfig`] the fuzz harness runs under: small L1/L2 so the
+/// generated pools overflow every level and exercise eviction and
+/// write-back. Shared with [`crate::absint::analyze_case`] so the static
+/// bounds and the concrete run describe the same machine; public so
+/// external precision tests can analyze a case against the same config.
+pub fn fuzz_soc_config(knobs: &FuzzKnobs) -> SocConfig {
     let line_bytes = knobs.line_bytes;
     let l1 = LevelConfig { capacity: 4096, ways: 2, line_bytes, lat_min: 1, lat_max: 2 };
-    Uncore::new(SocConfig {
+    SocConfig {
         clusters: knobs.clusters,
         cores_per_cluster: knobs.cores,
         l1i: l1,
@@ -467,7 +519,12 @@ fn small_soc(knobs: &FuzzKnobs) -> Uncore {
         }),
         l2: LevelConfig { capacity: 64 * 1024, ways: 8, line_bytes, lat_min: 15, lat_max: 25 },
         mem_latency: 100,
-    })
+    }
+}
+
+/// One identical L1.5 cluster per `knobs.clusters`.
+fn small_soc(knobs: &FuzzKnobs) -> Uncore {
+    Uncore::new(fuzz_soc_config(knobs))
 }
 
 /// Cycles that drain any possible Walloc backlog (one action per tick).
@@ -486,6 +543,8 @@ fn last_producer_core(case: &FuzzCase) -> Option<usize> {
         .find_map(|&(core, op)| matches!(op, CoreOp::Produce { .. }).then_some(core))
 }
 
+/// Loads and checks against the oracle; returns the access's cycles for
+/// the per-core observed accounting.
 fn check_load(
     u: &mut Uncore,
     oracle: &SeqOracle,
@@ -493,8 +552,9 @@ fn check_load(
     addr: u64,
     step: usize,
     divergences: &mut Vec<String>,
-) {
-    let got = u.load(core, addr as u32, addr as u32, 4).value;
+) -> u64 {
+    let out = u.load(core, addr as u32, addr as u32, 4);
+    let got = out.value;
     let want = oracle.read_u32(addr);
     if got != want {
         divergences.push(format!(
@@ -503,6 +563,7 @@ fn check_load(
             oracle.describe_writer(addr)
         ));
     }
+    u64::from(out.cycles)
 }
 
 /// Diffs the flushed memory image against the oracle's, reporting the

@@ -59,16 +59,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod fsm;
 pub mod fuzz;
 pub mod program;
 pub mod replay;
 pub mod rules;
 
+pub use absint::{analyze_case, certify_task, CertifyReport, StreamAnalysis};
 pub use fsm::{check_walloc, FsmBounds, WallocModel};
 pub use fuzz::{
-    case_from_seed, check_case, check_case_with, parse_corpus_entry, sweep, CaseOutcome,
-    CorpusEntry, FuzzBug, FuzzVerdict,
+    case_from_seed, check_case, check_case_with, fuzz_soc_config, parse_corpus_entry, sweep,
+    CaseOutcome, CorpusEntry, FuzzBug, FuzzVerdict,
 };
 pub use program::{parse_program_text, write_program, CheckProgram, Mutation, ProgramSpec};
 pub use replay::{

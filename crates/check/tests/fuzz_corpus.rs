@@ -8,7 +8,8 @@ use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
-use l15_check::fuzz::{check_case, check_case_with, parse_corpus_entry, FuzzBug};
+use l15_check::analyze_case;
+use l15_check::fuzz::{check_case, check_case_with, fuzz_soc_config, parse_corpus_entry, FuzzBug};
 use l15_testkit::fuzz::{draw_case, FuzzKnobs, OpMix};
 use l15_testkit::prop;
 
@@ -31,6 +32,38 @@ fn every_corpus_entry_replays_clean() {
         let entry = parse_corpus_entry(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
         let verdict = check_case(&entry.case());
         assert!(verdict.is_clean(), "{}", verdict.render(&name));
+    }
+}
+
+/// The static bound must be *useful*, not just sound: on the all-hits
+/// corpus entry (12-all-hits-precision.case) the abstract interpreter
+/// proves almost every access a hit, so the summed per-core bound must
+/// land within 1.5x of the concrete memory-system cycles. The thrashing
+/// entry (13-thrash-soundness.case) checks the other direction — a
+/// stream the may analysis can barely ever prove a hit on still never
+/// undercuts the observed cycles (soundness is also asserted for every
+/// entry by `every_corpus_entry_replays_clean` via the fuzz verdict).
+#[test]
+fn all_hits_corpus_entry_bounds_are_near_exact() {
+    for (name, max_ratio) in
+        [("12-all-hits-precision.case", 1.5), ("13-thrash-soundness.case", 2.0)]
+    {
+        let text = fs::read_to_string(corpus_dir().join(name)).expect("corpus entry exists");
+        let entry = parse_corpus_entry(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let case = entry.case();
+        let verdict = check_case(&case);
+        assert!(verdict.is_clean(), "{}", verdict.render(name));
+
+        let analysis = analyze_case(&case, &fuzz_soc_config(&entry.knobs));
+        let bound: u64 = analysis.per_core.iter().map(|c| c.bound_cycles).sum();
+        let observed: u64 = verdict.observed_cycles.iter().sum();
+        assert!(observed > 0, "{name}: the case must touch memory");
+        assert!(bound >= observed, "{name}: bound {bound} undercuts observed {observed}");
+        let ratio = bound as f64 / observed as f64;
+        assert!(
+            ratio <= max_ratio,
+            "{name}: bound {bound} is {ratio:.3}x observed {observed} (limit {max_ratio}x)"
+        );
     }
 }
 

@@ -68,3 +68,4 @@ pub use periodic::{
     TasksetError,
 };
 pub use plan::{SchedulePlan, WayGroup, WayGroupKind};
+pub use rta::{certified_makespan_bound, CertifiedMakespan};

@@ -35,8 +35,32 @@ use crate::plan::SchedulePlan;
 pub enum TasksetError {
     /// The platform has no cores.
     NoCores,
+    /// The platform declares zero cores per cluster — cluster arithmetic
+    /// (way pools, cluster indices) is undefined on it.
+    NoClusterCores,
     /// The task set is empty.
     EmptyTaskset,
+    /// A task's period is zero, negative or non-finite. Unreachable for
+    /// tasks built through [`DagTask::new`] (which validates at
+    /// construction); kept as defense in depth so admission never turns a
+    /// degenerate period into NaN response times.
+    DegeneratePeriod {
+        /// Index of the offending task in the submitted set.
+        task: usize,
+        /// The period value.
+        period: f64,
+    },
+    /// A task's deadline is outside `(0, period]` — the paper's
+    /// constrained-deadline model. Same defense-in-depth rationale as
+    /// [`TasksetError::DegeneratePeriod`].
+    DeadlineExceedsPeriod {
+        /// Index of the offending task in the submitted set.
+        task: usize,
+        /// The deadline value.
+        deadline: f64,
+        /// The period it must not exceed.
+        period: f64,
+    },
     /// The set's total utilisation exceeds the core count — no scheduler
     /// can meet every deadline, so admission is refused up front.
     Overutilized {
@@ -51,7 +75,15 @@ impl fmt::Display for TasksetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TasksetError::NoCores => write!(f, "platform has no cores"),
+            TasksetError::NoClusterCores => write!(f, "platform has no cores per cluster"),
             TasksetError::EmptyTaskset => write!(f, "task set is empty"),
+            TasksetError::DegeneratePeriod { task, period } => {
+                write!(f, "task {task} has a degenerate period {period}: must be finite and > 0")
+            }
+            TasksetError::DeadlineExceedsPeriod { task, deadline, period } => write!(
+                f,
+                "task {task} has deadline {deadline} outside (0, period] with period {period}"
+            ),
             TasksetError::Overutilized { utilisation, cores } => write!(
                 f,
                 "task set is over-utilized: total utilisation {utilisation:.3} \
@@ -145,7 +177,9 @@ struct Job {
 ///
 /// # Errors
 ///
-/// Returns [`TasksetError::NoCores`], [`TasksetError::EmptyTaskset`], or
+/// Returns [`TasksetError::NoCores`], [`TasksetError::NoClusterCores`],
+/// [`TasksetError::EmptyTaskset`], [`TasksetError::DegeneratePeriod`],
+/// [`TasksetError::DeadlineExceedsPeriod`], or
 /// [`TasksetError::Overutilized`].
 pub fn try_simulate_taskset<R: Rng + ?Sized>(
     tasks: &[DagTask],
@@ -156,14 +190,35 @@ pub fn try_simulate_taskset<R: Rng + ?Sized>(
     if params.cores == 0 {
         return Err(TasksetError::NoCores);
     }
+    if params.cores_per_cluster == 0 {
+        return Err(TasksetError::NoClusterCores);
+    }
     if tasks.is_empty() {
         return Err(TasksetError::EmptyTaskset);
+    }
+    for (i, t) in tasks.iter().enumerate() {
+        validate_timing(i, t.period(), t.deadline())?;
     }
     let utilisation: f64 = tasks.iter().map(|t| t.utilisation()).sum();
     if utilisation > params.cores as f64 + 1e-9 {
         return Err(TasksetError::Overutilized { utilisation, cores: params.cores });
     }
     Ok(simulate_taskset(tasks, model, params, rng))
+}
+
+/// Checks one task's timing parameters against the constrained-deadline
+/// model (`0 < D_i ≤ T_i`, both finite). [`DagTask::new`] enforces the
+/// same invariant at construction; admission re-checks it so a future
+/// constructor (deserialization, test scaffolding) cannot smuggle NaN
+/// into response-time arithmetic.
+fn validate_timing(task: usize, period: f64, deadline: f64) -> Result<(), TasksetError> {
+    if !(period.is_finite() && period > 0.0) {
+        return Err(TasksetError::DegeneratePeriod { task, period });
+    }
+    if !(deadline.is_finite() && deadline > 0.0 && deadline <= period) {
+        return Err(TasksetError::DeadlineExceedsPeriod { task, deadline, period });
+    }
+    Ok(())
 }
 
 /// Simulates one trial of `tasks` under `model`.
@@ -182,6 +237,7 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PeriodicOutcome {
     assert!(params.cores > 0, "need at least one core");
+    assert!(params.cores_per_cluster > 0, "need at least one core per cluster");
     assert!(!tasks.is_empty(), "need at least one task");
     let n_clusters = params.cores.div_ceil(params.cores_per_cluster);
     let proposed = model.kind == SystemKind::Proposed;
@@ -189,9 +245,10 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
     let plans: Vec<SchedulePlan> = tasks.iter().map(|t| model.plan(t)).collect();
     // Rate-monotonic task priorities: shorter period = higher.
     let mut order: Vec<usize> = (0..tasks.len()).collect();
-    order.sort_by(|&a, &b| {
-        tasks[a].period().partial_cmp(&tasks[b].period()).expect("finite periods")
-    });
+    // total_cmp: a NaN period (impossible through DagTask::new, checked
+    // again by try_simulate_taskset) degrades to a stable order instead
+    // of a panic deep inside the scheduler.
+    order.sort_by(|&a, &b| tasks[a].period().total_cmp(&tasks[b].period()));
     let mut task_prio = vec![0u32; tasks.len()];
     for (rank, &t) in order.iter().enumerate() {
         task_prio[t] = (tasks.len() - rank) as u32;
@@ -238,8 +295,7 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
     let mut ready: Vec<(usize, NodeId)> = Vec::new();
     let mut running: Vec<(f64, usize, NodeId, usize)> = Vec::new();
     let mut pending: Vec<usize> = (0..jobs.len()).collect();
-    pending
-        .sort_by(|&a, &b| jobs[b].release.partial_cmp(&jobs[a].release).expect("finite releases")); // pop() yields earliest
+    pending.sort_by(|&a, &b| jobs[b].release.total_cmp(&jobs[a].release)); // pop() yields earliest
     let mut now = 0.0f64;
     let mut misses = 0usize;
     let mut done_jobs = 0usize;
@@ -272,12 +328,7 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
                 .max_by(|(_, &(ja, va)), (_, &(jb, vb))| {
                     let ka = (task_prio[jobs[ja].task], plans[jobs[ja].task].priorities[va.0]);
                     let kb = (task_prio[jobs[jb].task], plans[jobs[jb].task].priorities[vb.0]);
-                    ka.cmp(&kb).then(
-                        jobs[jb]
-                            .deadline
-                            .partial_cmp(&jobs[ja].deadline)
-                            .expect("finite deadlines"),
-                    )
+                    ka.cmp(&kb).then(jobs[jb].deadline.total_cmp(&jobs[ja].deadline))
                 })
                 .expect("ready non-empty");
             let job = &jobs[j];
@@ -369,7 +420,7 @@ pub fn simulate_taskset<R: Rng + ?Sized>(
         let (idx, _) = running
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.0.partial_cmp(&b.0).expect("finite"))
+            .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0))
             .expect("running non-empty");
         let (f, j, v, c) = running.swap_remove(idx);
         now = f;
@@ -609,6 +660,57 @@ mod tests {
             try_simulate_taskset(&[], &model, &PeriodicParams::default(), &mut rng),
             Err(TasksetError::EmptyTaskset)
         );
+        let no_cluster = PeriodicParams { cores_per_cluster: 0, ..Default::default() };
+        assert_eq!(
+            try_simulate_taskset(&tasks, &model, &no_cluster, &mut rng),
+            Err(TasksetError::NoClusterCores)
+        );
+    }
+
+    #[test]
+    fn timing_validation_catches_degenerate_periods_and_deadlines() {
+        // DagTask::new is the front line (a degenerate task cannot even
+        // be constructed); the admission re-check must agree with it on
+        // every class of bad input.
+        use l15_dag::DagBuilder;
+        let graph = || {
+            let mut b = DagBuilder::new();
+            b.add_node(l15_dag::Node::new(1.0, 0));
+            b.build().unwrap()
+        };
+        assert!(DagTask::new(graph(), 0.0, 1.0).is_err(), "zero period");
+        assert!(DagTask::new(graph(), -5.0, 1.0).is_err(), "negative period");
+        assert!(DagTask::new(graph(), f64::NAN, 1.0).is_err(), "NaN period");
+        assert!(DagTask::new(graph(), 10.0, 20.0).is_err(), "deadline > period");
+        assert!(DagTask::new(graph(), 10.0, 0.0).is_err(), "zero deadline");
+
+        for (period, want_period_err) in
+            [(0.0, true), (-1.0, true), (f64::NAN, true), (f64::INFINITY, true), (10.0, false)]
+        {
+            match validate_timing(3, period, 5.0) {
+                Err(TasksetError::DegeneratePeriod { task, period: p }) => {
+                    assert!(want_period_err, "period {period}");
+                    assert_eq!(task, 3);
+                    assert!(p.is_nan() == period.is_nan() && (p.is_nan() || p == period));
+                }
+                Ok(()) => assert!(!want_period_err, "period {period} must be rejected"),
+                other => panic!("period {period}: unexpected {other:?}"),
+            }
+        }
+        for deadline in [0.0, -2.0, f64::NAN, f64::INFINITY, 10.5] {
+            match validate_timing(7, 10.0, deadline) {
+                Err(TasksetError::DeadlineExceedsPeriod { task, period, .. }) => {
+                    assert_eq!((task, period), (7, 10.0));
+                }
+                other => panic!("deadline {deadline}: unexpected {other:?}"),
+            }
+        }
+        assert!(validate_timing(0, 10.0, 10.0).is_ok(), "D == T is the implicit-deadline edge");
+
+        let err = validate_timing(2, f64::NAN, 1.0).unwrap_err();
+        assert!(err.to_string().contains("degenerate period"), "{err}");
+        let err = validate_timing(2, 4.0, 9.0).unwrap_err();
+        assert!(err.to_string().contains("outside (0, period]"), "{err}");
     }
 
     #[test]

@@ -91,6 +91,55 @@ where
     }
 }
 
+/// Makespan bound computed from **statically certified** per-node cycle
+/// bounds (`l15-check`'s abstract interpretation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifiedMakespan {
+    /// The Graham-style bound over the certified node cycles.
+    pub makespan: MakespanBound,
+    /// Per-node slack: `R` minus the longest certified path through the
+    /// node. A node with zero slack sits on the critical path of the
+    /// bound; large-slack nodes can absorb that many extra cycles without
+    /// moving `R`.
+    pub node_slack: Vec<f64>,
+}
+
+/// [`makespan_bound`] over statically certified per-node cycle bounds.
+///
+/// Certified bounds already charge every read of dependent data inside
+/// the consuming node (always-hit or full-chain), so edges carry **zero**
+/// additional cost here — the producer→consumer wait is pure precedence.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `node_cycles` is not one bound per node.
+pub fn certified_makespan_bound(
+    task: &DagTask,
+    m: usize,
+    node_cycles: &[u64],
+) -> CertifiedMakespan {
+    let dag = task.graph();
+    assert_eq!(node_cycles.len(), dag.node_count(), "one certified bound per node");
+    let makespan = makespan_bound(task, m, |v| node_cycles[v.0] as f64, |_| 0.0);
+
+    // Longest certified path through each node (forward + backward chains).
+    let order = analysis::topological_order(dag);
+    let mut fwd = vec![0.0f64; dag.node_count()];
+    for &v in &order {
+        let best_in = dag.predecessors(v).iter().map(|&(_, p)| fwd[p.0]).fold(0.0f64, f64::max);
+        fwd[v.0] = best_in + node_cycles[v.0] as f64;
+    }
+    let mut bwd = vec![0.0f64; dag.node_count()];
+    for &v in order.iter().rev() {
+        let best_out = dag.successors(v).iter().map(|&(_, s)| bwd[s.0]).fold(0.0f64, f64::max);
+        bwd[v.0] = best_out + node_cycles[v.0] as f64;
+    }
+    let node_slack = (0..dag.node_count())
+        .map(|i| (makespan.bound - (fwd[i] + bwd[i] - node_cycles[i] as f64)).max(0.0))
+        .collect();
+    CertifiedMakespan { makespan, node_slack }
+}
+
 /// Deadline test: is the bound within `D_i`?
 pub fn schedulable<E, X>(task: &DagTask, m: usize, exec_time: X, edge_cost: E) -> bool
 where
@@ -306,6 +355,49 @@ mod tests {
             |v| loose.graph().node(v).wcet,
             |e| loose.graph().edge(e).cost
         ));
+    }
+
+    #[test]
+    fn certified_bound_matches_hand_computation_on_a_chain() {
+        let mut b = DagBuilder::new();
+        let x = b.add_node(Node::new(1.0, 1024));
+        let y = b.add_node(Node::new(1.0, 1024));
+        b.add_edge(x, y, 1.0, 0.5).unwrap();
+        let t = DagTask::new(b.build().unwrap(), 1e9, 1e9).unwrap();
+        let c = certified_makespan_bound(&t, 4, &[100, 250]);
+        // A chain: the bound is the path itself, every node is critical.
+        assert!((c.makespan.bound - 350.0).abs() < 1e-9);
+        assert_eq!(c.node_slack, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn certified_slack_identifies_off_critical_nodes() {
+        // Diamond with one heavy and one light branch.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(Node::new(1.0, 512));
+        let heavy = b.add_node(Node::new(1.0, 512));
+        let light = b.add_node(Node::new(1.0, 512));
+        let t = b.add_node(Node::new(1.0, 0));
+        b.add_edge(s, heavy, 1.0, 0.5).unwrap();
+        b.add_edge(s, light, 1.0, 0.5).unwrap();
+        b.add_edge(heavy, t, 1.0, 0.5).unwrap();
+        b.add_edge(light, t, 1.0, 0.5).unwrap();
+        let task = DagTask::new(b.build().unwrap(), 1e9, 1e9).unwrap();
+        let c = certified_makespan_bound(&task, 4, &[10, 1000, 50, 10]);
+        assert!(c.node_slack[1] < c.node_slack[2], "heavy branch has less slack");
+        assert_eq!(c.node_slack[1], c.node_slack[0], "source shares the critical path");
+        assert!(c.node_slack.iter().all(|&s| s >= 0.0));
+        // The bound dominates the critical path 10 + 1000 + 10.
+        assert!(c.makespan.bound >= 1020.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one certified bound per node")]
+    fn certified_bound_rejects_mismatched_lengths() {
+        let mut b = DagBuilder::new();
+        b.add_node(Node::new(1.0, 0));
+        let t = DagTask::new(b.build().unwrap(), 1e9, 1e9).unwrap();
+        certified_makespan_bound(&t, 2, &[1, 2]);
     }
 
     #[test]

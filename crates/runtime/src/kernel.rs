@@ -108,6 +108,10 @@ impl Error for KernelError {}
 pub struct RunReport {
     /// Cycles from kernel start to the sink's completion.
     pub makespan_cycles: u64,
+    /// Per-node dispatch cycle (the core's clock right before the first
+    /// instruction), for per-node observed-cycle accounting against
+    /// static bounds.
+    pub node_start: Vec<u64>,
     /// Per-node completion cycle.
     pub node_finish: Vec<u64>,
     /// Cycle-weighted average L1.5 way utilisation during the run.
@@ -174,6 +178,7 @@ pub fn run_task(
     let mut preds_left: Vec<usize> = dag.node_ids().map(|v| dag.in_degree(v)).collect();
     let mut consumers_left: Vec<usize> = dag.node_ids().map(|v| dag.out_degree(v)).collect();
     let mut node_ways: Vec<WayMask> = vec![WayMask::EMPTY; n];
+    let mut node_start = vec![0u64; n];
     let mut node_finish = vec![0u64; n];
     let mut done = 0usize;
 
@@ -237,6 +242,7 @@ pub fn run_task(
             c.resume();
             core_node[core] = Some(v);
             dispatch_cycle[core] = soc.clock(core);
+            node_start[v.0] = dispatch_cycle[core];
             state[v.0] = NodeState::Running { core };
 
             // Flight recorder: node lifecycle plus the Sec. 4.3
@@ -427,6 +433,7 @@ pub fn run_task(
     let stats = soc.uncore().stats();
     Ok(RunReport {
         makespan_cycles: end_cycle - start_cycle,
+        node_start,
         node_finish,
         l15_utilisation: if end_cycle > start_cycle {
             util_weighted / (end_cycle - start_cycle) as f64

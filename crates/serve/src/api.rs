@@ -96,10 +96,11 @@ pub fn route(method: &str, path: &str) -> Route {
         ("POST", "/simulate") => Route::Compute(Endpoint::Simulate),
         ("POST", "/check") => Route::Compute(Endpoint::Check),
         ("POST", "/trace") => Route::Compute(Endpoint::Trace),
+        ("POST", "/certify") => Route::Compute(Endpoint::Certify),
         (
             _,
             "/healthz" | "/metrics" | "/shutdown" | "/schedule" | "/analyze" | "/simulate"
-            | "/check" | "/trace",
+            | "/check" | "/trace" | "/certify",
         ) => Route::MethodNotAllowed,
         _ => Route::NotFound,
     }
@@ -131,6 +132,7 @@ fn handle_inner(endpoint: Endpoint, req: &Request, limits: &Limits) -> Result<Re
         Endpoint::Analyze => analyze(&task, req, limits),
         Endpoint::Simulate => simulate_soc(&task, req, limits),
         Endpoint::Trace => trace_capture(&task, req, limits),
+        Endpoint::Certify => certify(&task, req, limits),
         Endpoint::Check => unreachable!("handled above"),
     }
 }
@@ -509,6 +511,88 @@ fn trace_capture(task: &DagTask, req: &Request, limits: &Limits) -> Result<Respo
     Ok(with_trace_headers(Response::json(200, chrome::export(preset_name, &rec))))
 }
 
+/// `POST /certify` — the `l15-check` abstract-interpretation certifier
+/// over a submitted task on a preset SoC. The service derives the same
+/// plan `/simulate` would run (Alg. 1 on L1.5 presets, the baseline
+/// elsewhere), unrolls every node's generated program, and returns one
+/// sound static cycle bound per `(node, way-allocation)` pair plus the
+/// certified RTA makespan bound. When a plan assumption is not statically
+/// justified — the way budget overcommits ζ, a store lands before the
+/// Walloc settle horizon, a program is untraceable — the response carries
+/// machine-readable findings and `certified:false` instead of a makespan.
+/// Pure analysis: nothing is simulated.
+fn certify(task: &DagTask, req: &Request, limits: &Limits) -> Result<Response, Response> {
+    let dag = task.graph();
+    sim_caps(task, limits, "certify")?;
+    let (preset_name, cfg) = sim_preset(req)?;
+    let compute_iters = int_param(req, "compute_iters", 8, 256)? as u32;
+
+    let (plan, kcfg) = sim_plan(task, &cfg, 0, compute_iters);
+    let report = l15_check::certify_task(task, &plan, &cfg, kcfg.scale);
+    let certified = report.certified();
+    let cores = cfg.cores_per_cluster;
+
+    let (makespan, slack) = if certified {
+        let rta = rta::certified_makespan_bound(task, cores, &report.bounds());
+        (Some(rta.makespan.bound), rta.node_slack)
+    } else {
+        (None, Vec::new())
+    };
+
+    let items: Vec<String> = report
+        .node_bounds
+        .iter()
+        .enumerate()
+        .map(|(i, nb)| {
+            let mut b = Obj::new();
+            b.int("node", nb.node as u64);
+            match nb.bound_cycles {
+                u64::MAX => b.raw("bound_cycles", "null"),
+                c => b.int("bound_cycles", c),
+            };
+            b.int("ah", nb.ah);
+            b.int("am", nb.am);
+            b.int("nc", nb.nc);
+            b.bool("routed", nb.routed_justified);
+            match slack.get(i) {
+                Some(&s) => b.num("slack_cycles", s),
+                None => b.raw("slack_cycles", "null"),
+            };
+            b.finish()
+        })
+        .collect();
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let mut fo = Obj::new();
+            fo.str("code", f.code);
+            match f.node {
+                Some(v) => fo.int("node", v as u64),
+                None => fo.raw("node", "null"),
+            };
+            fo.str("message", &f.message);
+            fo.str("text", &f.to_string());
+            fo.finish()
+        })
+        .collect();
+
+    let mut o = Obj::new();
+    o.str("preset", preset_name);
+    o.int("nodes", dag.node_count() as u64);
+    o.int("cores", cores as u64);
+    o.int("zeta", cfg.l15.map_or(0, |c| c.ways) as u64);
+    o.raw("ways", &json::int_array(plan.local_ways.iter().map(|&x| x as u64)));
+    o.bool("certified", certified);
+    match makespan {
+        Some(m) => o.num("makespan_bound_cycles", m),
+        None => o.raw("makespan_bound_cycles", "null"),
+    };
+    o.raw("node_bounds", &format!("[{}]", items.join(",")));
+    o.raw("findings", &format!("[{}]", findings.join(",")));
+    Ok(Response::json(200, o.finish()))
+}
+
 /// `POST /check` — the `l15-check` static rules (R1–R5) over a submitted
 /// program: the `.dag` task text, optionally extended with embedded
 /// `plan <node> pri=<p> ways=<w> [tid=<t>]` lines. Without plan lines the
@@ -820,6 +904,115 @@ edge 2 3 cost=1 alpha=0.6
         let req = post("/trace", "max_events=99999999", SAMPLE);
         let resp = handle_compute(Endpoint::Trace, &req, &Limits::default());
         assert_eq!(resp.status, 400);
+    }
+
+    /// The full `/certify` response for the sample on the proposed
+    /// preset, pinned byte-for-byte. Any analyzer change that moves a
+    /// bound, a classification census or the certified makespan must
+    /// update this string *consciously* — the table is a public contract.
+    const CERTIFY_GOLDEN: &str = "{\"preset\":\"proposed_8core\",\"nodes\":4,\"cores\":4,\
+\"zeta\":16,\"ways\":[1,1,1,0],\"certified\":true,\"makespan_bound_cycles\":32813,\
+\"node_bounds\":[\
+{\"node\":0,\"bound_cycles\":8138,\"ah\":3061,\"am\":0,\"nc\":33,\"routed\":true,\"slack_cycles\":3147},\
+{\"node\":1,\"bound_cycles\":12588,\"ah\":6134,\"am\":0,\"nc\":34,\"routed\":true,\"slack_cycles\":3147},\
+{\"node\":2,\"bound_cycles\":12588,\"ah\":6134,\"am\":0,\"nc\":34,\"routed\":true,\"slack_cycles\":3147},\
+{\"node\":3,\"bound_cycles\":8940,\"ah\":6166,\"am\":0,\"nc\":2,\"routed\":false,\"slack_cycles\":3147}\
+],\"findings\":[]}";
+
+    #[test]
+    fn certify_response_is_pinned_on_the_proposed_preset() {
+        let req = post("/certify", "preset=proposed_8core&compute_iters=4", SAMPLE);
+        let resp = handle_compute(Endpoint::Certify, &req, &Limits::default());
+        assert_eq!(resp.status, 200);
+        assert_eq!(String::from_utf8(resp.body).unwrap(), CERTIFY_GOLDEN);
+    }
+
+    #[test]
+    fn certify_certifies_the_sample_on_the_proposed_preset() {
+        let req = post("/certify", "preset=proposed_8core&compute_iters=4", SAMPLE);
+        let resp = handle_compute(Endpoint::Certify, &req, &Limits::default());
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8(resp.body));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"certified\":true"), "{body}");
+        assert!(body.contains("\"findings\":[]"), "{body}");
+        assert!(body.contains("\"makespan_bound_cycles\":"), "{body}");
+        // One bound per node, each finite and positive.
+        for i in 0..4u64 {
+            assert!(body.contains(&format!("{{\"node\":{i},\"bound_cycles\":")), "{body}");
+        }
+        assert!(!body.contains("\"bound_cycles\":null"), "{body}");
+    }
+
+    #[test]
+    fn certify_bounds_cover_a_real_run_of_the_same_plan() {
+        // The certified bounds must be sound for the exact run `/simulate`
+        // performs: replay the sample on the same preset and compare the
+        // per-node observed cycles against the certified table.
+        let cfg = SocConfig::preset("proposed_8core").unwrap();
+        let task = parse_body(SAMPLE.as_bytes(), &Limits::default()).unwrap();
+        let (plan, kcfg) = sim_plan(&task, &cfg, 5_000_000, 4);
+        let report = l15_check::certify_task(&task, &plan, &cfg, kcfg.scale);
+        assert!(report.certified(), "{:?}", report.findings);
+
+        let mut soc = Soc::new(cfg, 0);
+        let run = run_task(&mut soc, &task, &plan, &kcfg).unwrap();
+        for nb in &report.node_bounds {
+            let observed = run.node_finish[nb.node] - run.node_start[nb.node];
+            assert!(
+                observed <= nb.bound_cycles,
+                "node {}: observed {observed} > bound {}",
+                nb.node,
+                nb.bound_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn certify_flags_unjustified_plans_on_legacy_presets() {
+        // A no-L1.5 preset runs the baseline plan: every store is
+        // conventional, nothing is routed, yet the table stays sound and
+        // the response still certifies (no assumption was *needed*).
+        let req = post("/certify", "preset=cmp_l2_8core&compute_iters=4", SAMPLE);
+        let resp = handle_compute(Endpoint::Certify, &req, &Limits::default());
+        assert_eq!(resp.status, 200, "{:?}", String::from_utf8(resp.body));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"zeta\":0"), "{body}");
+        assert!(body.contains("\"routed\":false"), "{body}");
+        assert!(body.contains("\"certified\":true"), "{body}");
+    }
+
+    #[test]
+    fn certify_rejects_bad_presets_and_oversized_tasks() {
+        let resp = handle_compute(
+            Endpoint::Certify,
+            &post("/certify", "preset=warp_drive", SAMPLE),
+            &Limits::default(),
+        );
+        assert_eq!(resp.status, 400);
+
+        let tight = Limits { max_sim_nodes: 2, ..Limits::default() };
+        let resp = handle_compute(Endpoint::Certify, &post("/certify", "", SAMPLE), &tight);
+        assert_eq!(resp.status, 413);
+
+        let fat = "task period=10 deadline=10\nnode 0 wcet=1 data=999999999\n";
+        let resp =
+            handle_compute(Endpoint::Certify, &post("/certify", "", fat), &Limits::default());
+        assert_eq!(resp.status, 413);
+
+        let resp = handle_compute(
+            Endpoint::Certify,
+            &post("/certify", "", "garbage\n"),
+            &Limits::default(),
+        );
+        assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn certify_is_deterministic() {
+        let req = post("/certify", "compute_iters=4", SAMPLE);
+        let a = handle_compute(Endpoint::Certify, &req, &Limits::default());
+        let b = handle_compute(Endpoint::Certify, &req, &Limits::default());
+        assert_eq!(a, b, "the bound table must be a pure function of the request");
     }
 
     #[test]

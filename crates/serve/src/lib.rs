@@ -8,6 +8,9 @@
 //! | `POST /schedule`  | `.dag` text     | Alg. 1 vs baseline plan + predicted makespan |
 //! | `POST /analyze`   | `.dag` text     | RTA bound + critical-path analysis           |
 //! | `POST /simulate`  | `.dag` text     | bounded cycle-accurate run on a SoC preset   |
+//! | `POST /check`     | program text    | static protocol verdict (rules R1–R5)        |
+//! | `POST /trace`     | `.dag` text     | Chrome/Perfetto trace of a simulated run     |
+//! | `POST /certify`   | `.dag` text     | static per-node cycle bounds + certified RTA |
 //! | `GET /metrics`    | —               | plaintext counters + latency histograms      |
 //! | `GET /healthz`    | —               | liveness probe                               |
 //! | `POST /shutdown`  | —               | graceful drain and exit                      |
@@ -26,6 +29,8 @@
 //!   byte-identical responses at any worker count;
 //! * **graceful shutdown** — `POST /shutdown` closes admission, drains
 //!   every admitted job, then exits; admitted work is never dropped.
+
+#![forbid(unsafe_code)]
 
 pub mod api;
 pub mod client;

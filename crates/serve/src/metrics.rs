@@ -41,16 +41,19 @@ pub enum Endpoint {
     Check = 3,
     /// `POST /trace`.
     Trace = 4,
+    /// `POST /certify`.
+    Certify = 5,
 }
 
 impl Endpoint {
     /// All compute endpoints, in render order.
-    pub const ALL: [Endpoint; 5] = [
+    pub const ALL: [Endpoint; 6] = [
         Endpoint::Schedule,
         Endpoint::Analyze,
         Endpoint::Simulate,
         Endpoint::Check,
         Endpoint::Trace,
+        Endpoint::Certify,
     ];
 
     /// The label value used on the exposition page.
@@ -61,6 +64,7 @@ impl Endpoint {
             Endpoint::Simulate => "simulate",
             Endpoint::Check => "check",
             Endpoint::Trace => "trace",
+            Endpoint::Certify => "certify",
         }
     }
 }
@@ -155,7 +159,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     /// Admitted requests per compute endpoint.
-    pub requests: [Counter; 5],
+    pub requests: [Counter; 6],
     /// Served inline `GET /healthz` requests.
     pub healthz: Counter,
     /// Served inline `GET /metrics` requests (incremented *before*
@@ -180,9 +184,9 @@ pub struct ServeMetrics {
     /// Instantaneous queue depth (set by the queue, read by the page).
     pub queue_depth: AtomicU64,
     /// Time from admission to dispatch, per endpoint.
-    pub queue_wait: [Histogram; 5],
+    pub queue_wait: [Histogram; 6],
     /// Handler execution time, per endpoint.
-    pub handle_time: [Histogram; 5],
+    pub handle_time: [Histogram; 6],
     /// Flight-recorder events dropped by `/trace` captures, per
     /// `l15_trace::Category` (indexes match `Category::ALL`).
     pub trace_dropped: [Counter; Category::COUNT],

@@ -129,6 +129,56 @@ fn check_endpoint_lints_programs_over_the_wire() {
 }
 
 #[test]
+fn certify_endpoint_returns_the_bound_table_over_the_wire() {
+    let handle = start(ServeConfig::default()).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // Happy path: the sample certifies on the proposed preset and the
+    // response carries one finite bound per node plus a certified RTA
+    // makespan.
+    let r = client::post(
+        addr,
+        "/certify?preset=proposed_8core&compute_iters=4",
+        SAMPLE.as_bytes(),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert_eq!(r.header("content-type"), Some("application/json"));
+    let text = r.text();
+    assert!(text.contains("\"certified\":true"), "{text}");
+    assert!(text.contains("\"findings\":[]"), "{text}");
+    assert!(text.contains("\"makespan_bound_cycles\":"), "{text}");
+    assert!(!text.contains("\"bound_cycles\":null"), "{text}");
+
+    // Determinism over the wire: the bound table is byte-identical.
+    let r2 = client::post(
+        addr,
+        "/certify?preset=proposed_8core&compute_iters=4",
+        SAMPLE.as_bytes(),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(r.body, r2.body);
+
+    // Error mapping: a garbage body is a 422, an unknown preset a 400.
+    let r = client::post(addr, "/certify", b"garbage\n", TIMEOUT).unwrap();
+    assert_eq!(r.status, 422, "{}", r.text());
+    let r = client::post(addr, "/certify?preset=warp_drive", SAMPLE.as_bytes(), TIMEOUT).unwrap();
+    assert_eq!(r.status, 400, "{}", r.text());
+
+    // Metrics reconciliation: all four requests were admitted under the
+    // certify endpoint label (the 4xx ones fail inside the handler).
+    let page = client::get(addr, "/metrics", TIMEOUT).unwrap().text();
+    assert_eq!(scrape(&page, "l15_requests_total{endpoint=\"certify\"}"), Some(4));
+    assert_eq!(
+        scrape(&page, "l15_latency_us_count{endpoint=\"certify\",phase=\"handle\"}"),
+        Some(4)
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn trace_endpoint_captures_and_accounts_drops_over_the_wire() {
     let handle = start(ServeConfig::default()).expect("bind ephemeral port");
     let addr = handle.addr();

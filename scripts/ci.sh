@@ -21,6 +21,13 @@ cargo fmt --check
 echo "==> clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> unsafe-code gate (every crate forbids unsafe)"
+for lib in crates/*/src/lib.rs; do
+    grep -q '^#!\[forbid(unsafe_code)\]$' "$lib" \
+        || { echo "$lib is missing #![forbid(unsafe_code)]"; exit 1; }
+done
+echo "all crates carry #![forbid(unsafe_code)]"
+
 echo "==> sweep determinism (fig7 --quick, L15_JOBS=1 vs 4)"
 seq_out=$(mktemp)
 par_out=$(mktemp)
@@ -101,9 +108,34 @@ grep -q "0 finding(s)" "$fz_seq"
 # The seeded regression corpus replays clean.
 cargo run --release --offline -q -p l15-bench --bin l15-fuzz -- \
     corpus crates/testkit/corpus/fuzz > "$fz_seq"
-grep -q "11 case(s), 0 finding(s)" "$fz_seq"
+grep -q "13 case(s), 0 finding(s)" "$fz_seq"
 rm -f "$fz_seq" "$fz_par"
 echo "l15-fuzz is clean and byte-identical across worker counts"
+
+echo "==> static bounds (l15-absint --quick, L15_JOBS=1 vs 4 determinism)"
+# The abstract-interpretation certifier sweeps (preset, workload) pairs,
+# compares every static per-node bound against the cycle-accurate run
+# (any exceedance aborts with a non-zero exit), and reports precision.
+# The table must be byte-identical at any worker count.
+ab_seq=$(mktemp)
+ab_par=$(mktemp)
+L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin l15-absint -- --quick > "$ab_seq"
+L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin l15-absint -- --quick > "$ab_par"
+diff -u "$ab_seq" "$ab_par"
+grep -q "0 soundness violation(s)" "$ab_seq"
+rm -f "$ab_seq" "$ab_par"
+echo "l15-absint bounds are sound and byte-identical across worker counts"
+
+echo "==> soundness sweep (l15-fuzz, 200 fresh seeded cases)"
+# Every generated case also checks the fourth (soundness) verdict:
+# observed memory-system cycles never exceed the static per-core bound.
+# A violation prints a shrunk L15_PROP_SEED replay and fails the gate.
+sw_out=$(mktemp)
+cargo run --release --offline -q -p l15-bench --bin l15-fuzz -- \
+    run --quick --cases 200 --seed 7 > "$sw_out"
+grep -q "200 case(s), 0 finding(s)" "$sw_out"
+rm -f "$sw_out"
+echo "static bounds hold on 200 fresh fuzz cases"
 
 echo "==> cluster sweep (l15-cluster --quick, fixed seed, L15_JOBS=1 vs 4)"
 # Fixed-seed federated success-ratio sweep over the 4/8/16-core platforms
