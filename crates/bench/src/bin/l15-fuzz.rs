@@ -115,13 +115,14 @@ fn shrink_and_report(knobs: &FuzzKnobs, seed: u64) -> usize {
             println!(
                 "corpus entry for this finding:\n\
                  seed = {seed:#x}\nops = {}\ncores = {}\nclusters = {}\nways = {}\n\
-                 private = {}\nshared = {}",
+                 private = {}\nshared = {}\narrivals = {}",
                 knobs.ops,
                 knobs.cores,
                 knobs.clusters,
                 knobs.ways,
                 knobs.private_slots,
-                knobs.shared_slots
+                knobs.shared_slots,
+                knobs.arrivals
             );
             1
         }

@@ -1,14 +1,20 @@
 //! `loadgen` — the load generator for a running `l15-serve` instance.
 //!
 //! ```text
-//! loadgen --port N [--quick|--smoke] [--open] [--shutdown] [--conns N]
-//!         [--requests N] [--seed N] [--rate N]
+//! loadgen --port N [--quick|--smoke] [--open|--sporadic] [--shutdown]
+//!         [--conns N] [--requests N] [--seed N] [--rate N]
 //! ```
 //!
 //! Drives a seeded corpus of synthetic DAG tasks (the Sec. 5.1 generator)
 //! against the service, closed-loop (`--conns` workers, the default) or
 //! open-loop (`--open`, paced at `--rate` requests/s), and reports
 //! throughput and latency percentiles.
+//!
+//! `--sporadic` switches to the online tier: a seeded sporadic stream of
+//! jobs submitted **sequentially** to `POST /submit` (the session's
+//! decision sequence is a function of submission order, so one client
+//! thread keeps it byte-stable), paced open-loop at `--rate` and
+//! reconciled exactly against the server's `l15_online_total` deltas.
 //!
 //! **Determinism contract.** Which task and endpoint request `j` uses is
 //! derived from `--seed`, and a `503` (backpressure or queue expiry) is
@@ -30,12 +36,13 @@ use l15_dag::gen::{DagGenParams, DagGenerator};
 use l15_dag::textio;
 use l15_serve::client::{self, ClientResponse};
 use l15_serve::metrics::scrape;
+use l15_testkit::arrivals;
 use l15_testkit::cli;
 use l15_testkit::pool;
 use l15_testkit::rng::SmallRng;
 
 const BIN: &str = "loadgen";
-const BOOL_FLAGS: &[&str] = &["--smoke", "--open", "--shutdown"];
+const BOOL_FLAGS: &[&str] = &["--smoke", "--open", "--sporadic", "--shutdown"];
 const VALUE_FLAGS: &[&str] = &["--port", "--conns", "--requests", "--seed", "--rate"];
 const TIMEOUT: Duration = Duration::from_secs(30);
 /// Hard cap on 503-retries per request before declaring the server stuck.
@@ -170,6 +177,117 @@ fn fetch_counters(addr: SocketAddr) -> (u64, u64) {
     (admitted, shed)
 }
 
+/// Scrapes one online counter off a `/metrics` page.
+fn online_counter(page: &str, event: &str) -> u64 {
+    scrape(page, &format!("l15_online_total{{event=\"{event}\"}}")).unwrap_or(0)
+}
+
+/// `--sporadic`: a seeded sporadic stream into the online tier, submitted
+/// sequentially (one client — the decision bytes depend on submission
+/// order), wall-paced at `--rate` submissions/s with a mid-stream mode
+/// change, and reconciled exactly against the `l15_online_total` deltas.
+fn run_sporadic(plan: &Plan, args: &cli::Parsed) {
+    let metrics_page = || match client::get(plan.addr, "/metrics", TIMEOUT) {
+        Ok(r) if r.status == 200 => r.text(),
+        _ => {
+            eprintln!("{BIN}: cannot fetch /metrics from {}", plan.addr);
+            std::process::exit(1);
+        }
+    };
+    let submit = |target: &str, body: &[u8]| match client::post(plan.addr, target, body, TIMEOUT) {
+        Ok(r) if r.status == 200 => r,
+        Ok(r) => {
+            eprintln!("{BIN}: {target} answered {}: {}", r.status, r.text());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{BIN}: {target} I/O error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let before = metrics_page();
+    // A fresh session, so the decision sequence below is a pure function
+    // of the seed regardless of what ran against this server before.
+    submit("/submit?reset=1", b"");
+
+    let stream =
+        l15_online::StreamParams { seed: plan.seed, ..l15_online::StreamParams::default() };
+    let arrivals = arrivals::sporadic_stream(
+        plan.seed,
+        &arrivals::SporadicParams { count: plan.requests, min_gap: 4_000, max_extra: 8_000 },
+    );
+    let switch_before = plan.requests / 2;
+    let (mut admitted, mut rejected) = (0u64, 0u64);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let t0 = Instant::now();
+    for arrival in &arrivals {
+        if arrival.index == switch_before {
+            let resp = submit("/submit?mode=loadgen&zeta=8", b"");
+            digest = fnv1a(digest, &resp.body);
+        }
+        let due = t0 + Duration::from_micros(arrival.index as u64 * 1_000_000 / plan.rate);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let body = textio::write_task(&l15_online::task_for(arrival, &stream));
+        let resp = submit("/submit", body.as_bytes());
+        let text = resp.text();
+        if text.contains("\"admitted\":true") {
+            admitted += 1;
+        } else {
+            rejected += 1;
+        }
+        digest = fnv1a(digest, &resp.body);
+    }
+    let wall = t0.elapsed();
+    let jobs = match client::get(plan.addr, "/jobs", TIMEOUT) {
+        Ok(r) if r.status == 200 => r.body,
+        other => {
+            eprintln!("{BIN}: /jobs failed: {other:?}");
+            std::process::exit(1);
+        }
+    };
+    digest = fnv1a(digest, &jobs);
+
+    // --- Deterministic section (CI diffs these lines) -------------------
+    println!("loadgen seed={} requests={} mode=sporadic", plan.seed, plan.requests);
+    println!("submitted={} admitted={admitted} rejected={rejected}", admitted + rejected);
+    println!("digest=0x{digest:016x}");
+
+    // --- Exact reconciliation against the server's accounting -----------
+    let after = metrics_page();
+    let delta = |event: &str| online_counter(&after, event) - online_counter(&before, event);
+    let reconciled = delta("submitted") == plan.requests as u64
+        && delta("admitted") == admitted
+        && delta("rejected") == rejected
+        && delta("resets") == 1
+        && delta("mode_changes") == 1;
+    println!("reconcile={}", if reconciled { "ok" } else { "MISMATCH" });
+    println!(
+        "~reconcile submitted={} admitted={} rejected={} resets={} mode_changes={}",
+        delta("submitted"),
+        delta("admitted"),
+        delta("rejected"),
+        delta("resets"),
+        delta("mode_changes")
+    );
+    println!("~wall_ms={}", wall.as_millis());
+    if !reconciled {
+        eprintln!("{BIN}: client/server online accounting mismatch");
+        std::process::exit(1);
+    }
+    if args.flag("--shutdown") {
+        match client::post(plan.addr, "/shutdown", b"", TIMEOUT) {
+            Ok(r) if r.status == 200 => println!("~server draining"),
+            other => {
+                eprintln!("{BIN}: shutdown request failed: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args = cli::parse_or_exit(BIN, BOOL_FLAGS, VALUE_FLAGS);
     let plan = build_plan(&args);
@@ -177,6 +295,10 @@ fn main() {
     if !matches!(client::get(plan.addr, "/healthz", TIMEOUT), Ok(r) if r.status == 200) {
         eprintln!("{BIN}: no healthy l15-serve at {}", plan.addr);
         std::process::exit(1);
+    }
+    if args.flag("--sporadic") {
+        run_sporadic(&plan, &args);
+        return;
     }
     let (admitted_before, shed_before) = fetch_counters(plan.addr);
 

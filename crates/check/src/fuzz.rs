@@ -437,8 +437,8 @@ impl CorpusEntry {
 
 /// Parses a `key = value` corpus entry (`#` comments, blank lines
 /// allowed). `seed` is required (decimal or `0x` hex); `ops`, `cores`,
-/// `clusters`, `ways`, `private` and `shared` override the quick-profile
-/// knobs.
+/// `clusters`, `ways`, `private`, `shared` and `arrivals` override the
+/// quick-profile knobs.
 ///
 /// # Errors
 ///
@@ -466,6 +466,7 @@ pub fn parse_corpus_entry(text: &str) -> Result<CorpusEntry, String> {
             "ways" => knobs.ways = number as usize,
             "private" => knobs.private_slots = number as usize,
             "shared" => knobs.shared_slots = number as usize,
+            "arrivals" => knobs.arrivals = number as usize,
             other => return Err(format!("line {}: unknown key {other:?}", i + 1)),
         }
     }
@@ -990,6 +991,28 @@ mod tests {
     }
 
     #[test]
+    fn sporadic_arrival_cases_check_clean() {
+        // Mid-stream admission churn (quiesce/re-admit Reconfig pairs)
+        // must leave every conservation law clean on the healthy tree.
+        let knobs = FuzzKnobs {
+            private_slots: 16,
+            shared_slots: 8,
+            ops: 96,
+            arrivals: 6,
+            ..FuzzKnobs::quick()
+        };
+        for outcome in sweep(&knobs, 0xa221, 3, None) {
+            assert!(
+                outcome.verdict.is_clean(),
+                "case {} (seed {:#x}): {}",
+                outcome.index,
+                outcome.seed,
+                outcome.verdict.render("sporadic sweep")
+            );
+        }
+    }
+
+    #[test]
     fn sweeps_are_reproducible() {
         let knobs = FuzzKnobs { private_slots: 16, shared_slots: 8, ops: 64, ..FuzzKnobs::quick() };
         let a = sweep(&knobs, 7, 3, None);
@@ -1012,6 +1035,10 @@ mod tests {
         let multi = parse_corpus_entry("seed = 7\nclusters = 2\nops = 32\n").unwrap();
         assert_eq!(multi.knobs.clusters, 2);
         assert_eq!(multi.case().knobs.total_cores(), 8);
+
+        let sporadic = parse_corpus_entry("seed = 3\nops = 32\narrivals = 4\n").unwrap();
+        assert_eq!(sporadic.knobs.arrivals, 4);
+        assert_eq!(sporadic.case().steps.len(), 32 + 2 * 4);
 
         assert!(parse_corpus_entry("ops = 64\n").unwrap_err().contains("missing `seed`"));
         assert!(parse_corpus_entry("seed = banana\n").unwrap_err().contains("needs a number"));

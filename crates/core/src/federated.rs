@@ -99,6 +99,22 @@ pub enum FederatedError {
     },
 }
 
+impl FederatedError {
+    /// A stable short reason code for machine consumers (the online
+    /// admission log, the `/submit` rejection body). Codes are part of
+    /// the determinism contract: they never change once published.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FederatedError::NoClusters => "no-clusters",
+            FederatedError::EmptyTaskset => "empty-taskset",
+            FederatedError::Overutilized { .. } => "overutilized",
+            FederatedError::TaskUnschedulable { .. } => "task-unschedulable",
+            FederatedError::NotEnoughClusters { .. } => "not-enough-clusters",
+            FederatedError::LightTaskUnplaceable { .. } => "light-unplaceable",
+        }
+    }
+}
+
 impl fmt::Display for FederatedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -430,6 +446,24 @@ mod tests {
             federated_partition(&[fat.clone(), fat.clone(), fat], topo(2), &model).unwrap_err();
         assert!(matches!(err, FederatedError::Overutilized { .. }), "{err}");
         assert!(err.to_string().contains("over-utilized"), "{err}");
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_distinct() {
+        let errs = [
+            FederatedError::NoClusters,
+            FederatedError::EmptyTaskset,
+            FederatedError::Overutilized { utilisation: 9.0, cores: 8 },
+            FederatedError::TaskUnschedulable { task: 0, bound: 2.0, deadline: 1.0 },
+            FederatedError::NotEnoughClusters { needed: 3, available: 2 },
+            FederatedError::LightTaskUnplaceable { task: 1, utilisation: 2.0 },
+        ];
+        let mut codes: Vec<&str> = errs.iter().map(|e| e.code()).collect();
+        assert_eq!(codes[0], "no-clusters");
+        assert_eq!(codes[2], "overutilized");
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len(), "codes must be distinct");
     }
 
     #[test]

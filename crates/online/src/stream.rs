@@ -1,0 +1,164 @@
+//! Seeded sporadic job streams driven through an [`OnlineSession`].
+//!
+//! The arrival law comes from [`l15_testkit::arrivals::sporadic_stream`]
+//! — integer inter-arrival gaps with a guaranteed minimum separation —
+//! and each arrival's workload is generated from its position-stable
+//! per-arrival seed, so the whole stream (arrival cycles, task shapes,
+//! admission decisions, plans) is a pure function of one seed at any
+//! `L15_JOBS` setting.
+
+use l15_dag::gen::{DagGenParams, DagGenerator};
+use l15_dag::DagTask;
+use l15_testkit::arrivals::{sporadic_stream, Arrival, SporadicParams};
+use l15_testkit::rng::{Rng, SmallRng};
+
+use crate::session::{OnlineConfig, OnlineSession};
+
+/// A mode change injected into the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeSwitchSpec {
+    /// Switch immediately before this arrival index.
+    pub before: usize,
+    /// Name of the new mode.
+    pub name: String,
+    /// Way budget of the new mode.
+    pub zeta_cap: usize,
+    /// How many of the newest active jobs survive the switch.
+    pub keep_newest: usize,
+}
+
+/// Parameters of one seeded sporadic stream.
+#[derive(Debug, Clone)]
+pub struct StreamParams {
+    /// Stream seed: drives arrival cycles and per-arrival workloads.
+    pub seed: u64,
+    /// The sporadic arrival law.
+    pub arrivals: SporadicParams,
+    /// Per-arrival task utilisation is drawn uniformly from this range —
+    /// the knob that makes rejections appear as the platform fills.
+    pub util_range: (f64, f64),
+    /// Base generator parameters (`utilisation` is overridden per
+    /// arrival).
+    pub gen: DagGenParams,
+    /// An optional mid-stream mode change.
+    pub mode_switch: Option<ModeSwitchSpec>,
+}
+
+impl Default for StreamParams {
+    fn default() -> Self {
+        StreamParams {
+            seed: 0xb0a7,
+            arrivals: SporadicParams::default(),
+            util_range: (0.3, 1.2),
+            gen: small_gen(),
+            mode_switch: None,
+        }
+    }
+}
+
+/// Generator parameters small enough that every task also *executes*
+/// quickly on the live SoC (the serve and e2e paths): 2–3 layers of at
+/// most 4 nodes, modest payloads.
+pub fn small_gen() -> DagGenParams {
+    DagGenParams {
+        layers: (2, 3),
+        max_width: 4,
+        data_bytes_range: (2 * 1024, 4 * 1024),
+        ..DagGenParams::default()
+    }
+}
+
+/// The task one arrival submits: generated from the arrival's
+/// position-stable seed with a per-arrival utilisation draw.
+pub fn task_for(arrival: &Arrival, params: &StreamParams) -> DagTask {
+    let mut rng = SmallRng::seed_from_u64(arrival.seed);
+    let (lo, hi) = params.util_range;
+    let utilisation = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+    let gen = DagGenerator::new(DagGenParams { utilisation, ..params.gen.clone() });
+    gen.generate(&mut rng).expect("stream generator parameters are valid")
+}
+
+/// Drives one seeded sporadic stream through a fresh session and returns
+/// it for inspection. Mode switches that the session refuses are logged
+/// (deterministically) and the stream continues in the old mode.
+pub fn run_stream(cfg: OnlineConfig, params: &StreamParams) -> OnlineSession {
+    let mut session = OnlineSession::new(cfg);
+    for arrival in sporadic_stream(params.seed, &params.arrivals) {
+        if let Some(spec) = &params.mode_switch {
+            if spec.before == arrival.index {
+                let keep: Vec<usize> = {
+                    let active = session.active();
+                    let skip = active.len().saturating_sub(spec.keep_newest);
+                    active[skip..].to_vec()
+                };
+                // A refusal is already logged by the session; ignore it
+                // and keep streaming in the old mode.
+                let _ = session.switch_mode(&spec.name, &keep, spec.zeta_cap);
+            }
+        }
+        let task = task_for(&arrival, params);
+        session.submit(task, arrival.cycle);
+    }
+    session
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analytic() -> OnlineConfig {
+        OnlineConfig { execute: false, ..OnlineConfig::default() }
+    }
+
+    #[test]
+    fn streams_are_a_pure_function_of_the_seed() {
+        let params = StreamParams::default();
+        let a = run_stream(analytic(), &params);
+        let b = run_stream(analytic(), &params);
+        assert_eq!(a.log(), b.log());
+        assert_eq!(a.metrics(), b.metrics());
+        let different = StreamParams { seed: 0x5eed, ..params };
+        let c = run_stream(analytic(), &different);
+        assert_ne!(a.log(), c.log(), "a different seed gives a different stream");
+    }
+
+    #[test]
+    fn a_filling_platform_mixes_admissions_and_rejections() {
+        // High pressure: long job lifetime, fast arrivals.
+        let cfg = OnlineConfig { job_lifetime: u64::MAX / 2, ..analytic() };
+        let params = StreamParams {
+            arrivals: SporadicParams { count: 24, min_gap: 1_000, max_extra: 2_000 },
+            util_range: (0.5, 1.3),
+            ..StreamParams::default()
+        };
+        let s = run_stream(cfg, &params);
+        let m = s.metrics();
+        assert_eq!(m.submitted, 24);
+        assert_eq!(m.admitted + m.rejected, 24);
+        assert!(m.admitted > 0, "{m:?}");
+        assert!(m.rejected > 0, "the platform must saturate: {m:?}");
+        assert_eq!(m.replans, m.admitted, "each admission replans");
+    }
+
+    #[test]
+    fn mid_stream_mode_switch_drops_and_replans() {
+        let cfg = OnlineConfig { job_lifetime: u64::MAX / 2, ..analytic() };
+        let params = StreamParams {
+            arrivals: SporadicParams { count: 12, min_gap: 1_000, max_extra: 2_000 },
+            mode_switch: Some(ModeSwitchSpec {
+                before: 6,
+                name: String::from("half"),
+                zeta_cap: 8,
+                keep_newest: 2,
+            }),
+            ..StreamParams::default()
+        };
+        let s = run_stream(cfg, &params);
+        let m = s.metrics();
+        assert_eq!(m.mode_changes, 1, "log:\n{}", s.log().join("\n"));
+        assert!(m.reclaimed_ways > 0, "{m:?}");
+        assert_eq!(s.mode().name, "half");
+        assert_eq!(s.mode().zeta_cap, 8);
+        assert!(s.log().iter().any(|l| l.starts_with("mode half ")), "{:?}", s.log());
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end online scenario plus the satellite switch-point property.
+//!
+//! The e2e test feeds a seeded sporadic stream into a persistent session
+//! with execution enabled: deterministic admit/reject decisions, an
+//! R6-gated mode change with verified way reclamation, and Gantt diffs
+//! showing observed spans track each successive replanned schedule.
+//!
+//! The property test pins the satellite claim: at every R6-admissible
+//! switch point, the quiescence protocol leaves the way ledger balanced
+//! (rule R2) and no stale GV copy readable (rule R3), whatever
+//! demand/publish state the cluster was in. Replay a failure with
+//! `L15_PROP_SEED`.
+
+use l15_check::{check_walloc, FsmBounds};
+use l15_online::session::OnlineConfig;
+use l15_online::stream::{run_stream, ModeSwitchSpec, StreamParams};
+use l15_online::Decision;
+use l15_rvcore::bus::SystemBus;
+use l15_rvcore::isa::L15Op;
+use l15_soc::{SocConfig, Uncore};
+use l15_testkit::arrivals::SporadicParams;
+use l15_testkit::prop;
+
+#[test]
+fn online_scenario_end_to_end() {
+    let cfg = OnlineConfig { execute: true, job_lifetime: 20_000_000, ..OnlineConfig::default() };
+    let params = StreamParams {
+        seed: 0x0a11e,
+        arrivals: SporadicParams { count: 8, min_gap: 50_000, max_extra: 100_000 },
+        util_range: (0.4, 1.1),
+        mode_switch: Some(ModeSwitchSpec {
+            before: 5,
+            name: String::from("degraded"),
+            zeta_cap: 8,
+            keep_newest: 2,
+        }),
+        ..StreamParams::default()
+    };
+    let run = || run_stream(cfg.clone(), &params);
+    let s = run();
+    let m = s.metrics();
+    let log = s.log().join("\n");
+
+    // Deterministic admit/reject over the whole stream.
+    assert_eq!(m.submitted, 8, "{log}");
+    assert_eq!(m.admitted + m.rejected, 8, "{log}");
+    assert!(m.admitted >= 2, "{log}");
+
+    // One R6-gated mode change with verified way reclamation.
+    assert_eq!(m.mode_changes, 1, "{log}");
+    assert!(m.reclaimed_ways > 0, "the switch must reclaim standing ways\n{log}");
+    assert_eq!(s.mode().name, "degraded");
+    assert_eq!(s.mode().zeta_cap, 8);
+
+    // Every admitted job executed and its observed spans track the
+    // replanned schedule: all planned nodes observed, none truncated.
+    let mut executed = 0;
+    for job in s.jobs() {
+        match &job.decision {
+            Decision::Admitted { .. } => {
+                assert_eq!(job.exec_error, None, "job {}\n{log}", job.id);
+                let stats = job.gantt.expect("admitted jobs execute with a recorder");
+                assert_eq!(stats.unobserved, 0, "job {}: {stats:?}", job.id);
+                assert_eq!(stats.truncated, 0, "job {}: {stats:?}", job.id);
+                assert_eq!(stats.observed, stats.planned, "job {}: {stats:?}", job.id);
+                assert!(job.plan_digest != 0);
+                executed += 1;
+            }
+            Decision::Rejected { code, reason } => {
+                assert!(!code.is_empty() && !reason.is_empty());
+            }
+        }
+    }
+    assert_eq!(executed as u64, m.admitted);
+    assert_eq!(m.executed, m.admitted);
+
+    // The whole scenario — decisions, plans, traces — replays
+    // byte-identically.
+    let again = run();
+    assert_eq!(s.log(), again.log());
+    assert_eq!(m, again.metrics());
+    let digests: Vec<u64> = s.jobs().iter().map(|j| j.plan_digest).collect();
+    let digests_again: Vec<u64> = again.jobs().iter().map(|j| j.plan_digest).collect();
+    assert_eq!(digests, digests_again);
+}
+
+/// Satellite property: every R6-admissible switch point leaves the way
+/// ledger balanced (R2) and no stale GV copy readable (R3). The R6 gate
+/// runs once — it depends only on the FSM bounds — and the property then
+/// drives random mid-mode cluster states through the quiescence
+/// protocol.
+#[test]
+fn prop_r6_admissible_switch_points_quiesce_clean() {
+    let bounds = FsmBounds::default();
+    assert!(check_walloc(&bounds).is_empty(), "R6 bounded model check must admit the switch point");
+
+    prop::run_with(prop::Config::with_cases(24), "r6_switch_point_quiesce", |g| {
+        let cfg = SocConfig::proposed_8core();
+        let cpc = cfg.cores_per_cluster;
+        let clusters = cfg.clusters;
+        let ways = cfg.l15.map(|c| c.ways).unwrap_or(0);
+        let mut u = Uncore::new(cfg);
+
+        // A random mid-mode state per cluster: partial demands, partial
+        // settles, publications and dirty data.
+        for cluster in 0..clusters {
+            let mut left = ways;
+            for lane in 0..cpc {
+                let want = g.usize_in(0..=left.min(ways / 2));
+                left -= want;
+                u.l15_ctrl(cluster * cpc + lane, L15Op::Demand, want as u32);
+                if g.bool() {
+                    u.advance(g.u32_in(0..=64));
+                }
+            }
+            u.advance(g.u32_in(0..=128));
+            for lane in 0..cpc {
+                if g.bool() {
+                    let supplied = u.l15_ctrl(cluster * cpc + lane, L15Op::Supply, 0).value;
+                    u.l15_ctrl(cluster * cpc + lane, L15Op::IpSet, 1);
+                    let addr = 0x4000 + 0x1000 * (cluster * cpc + lane) as u32;
+                    u.store(cluster * cpc + lane, addr, addr, 4, g.u32_in(..));
+                    u.l15_ctrl(cluster * cpc + lane, L15Op::GvSet, supplied);
+                }
+            }
+        }
+
+        // The switch point: quiesce every cluster and check R2/R3.
+        for cluster in 0..clusters {
+            let report = l15_runtime::quiesce_cluster(&mut u, cluster);
+            assert!(report.ledger_balanced, "R2 violated: {report:?}");
+            assert_eq!(report.stale_gv_lanes, 0, "R3 violated: {report:?}");
+            assert_eq!(report.resident_lines, 0, "lines survived: {report:?}");
+        }
+    });
+}

@@ -11,6 +11,9 @@
 //! * [`workgen::node_program`] — RV32 programs that read predecessors'
 //!   data, compute and produce their own dependent data;
 //! * [`kernel::run_task`] — the dispatcher/monitor;
+//! * [`quiesce::quiesce_cluster`] — the mode-change quiescence protocol
+//!   (drain demands, settle the Walloc, verify the R2/R3
+//!   post-conditions) the online layer runs at each switch point;
 //! * [`emit::emit_kernel_streams`] — the same Sec. 4.3 protocol rendered
 //!   statically as checkable [`l15_cache::l15::protocol::ProtocolOp`]
 //!   streams for the `l15-check` verifier.
@@ -47,6 +50,7 @@ pub mod emit;
 pub mod kernel;
 pub mod layout;
 pub mod multitask;
+pub mod quiesce;
 pub mod workgen;
 
 pub use capture::{run_task_traced, DEFAULT_CAPTURE_EVENTS};
@@ -55,4 +59,5 @@ pub use emit::{emit_kernel_streams, EmitOptions, KernelStreams, NodeStream};
 pub use kernel::{run_task, KernelConfig, KernelError, RunReport};
 pub use layout::TaskLayout;
 pub use multitask::{run_taskset, MultiTaskConfig, MultiTaskReport, TaskOutcome};
+pub use quiesce::{quiesce_cluster, QuiesceReport};
 pub use workgen::{node_program, WorkScale, WorkgenError};

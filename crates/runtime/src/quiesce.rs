@@ -1,0 +1,178 @@
+//! The mode-change quiescence protocol (paper Sec. 4.3 at a switch
+//! point).
+//!
+//! Before the online layer reconfigures a cluster for a new mode it must
+//! bring the L1.5 to a *quiescent* state: every lane's way demand drops
+//! to zero, the Walloc FSM revokes one way per cycle until the ledger
+//! drains, and dirty lines wash back through the L2. The post-state is
+//! exactly what the `l15-check` rules demand at an admissible switch
+//! point —
+//!
+//! * **R2 (way balance):** the ownership ledger reads zero ways owned;
+//! * **R3 (GV staleness):** no lane holds a readable GV mask, so no
+//!   consumer can observe a stale published copy across the switch.
+//!
+//! [`quiesce_cluster`] executes the protocol on a live [`Uncore`] and
+//! reports what it reclaimed plus whether both post-conditions hold; the
+//! online mode-change engine refuses the switch when they do not. The
+//! procedure is cycle-deterministic: the settle budget is a pure
+//! function of the cluster geometry, never of wall-clock time.
+
+use l15_rvcore::bus::SystemBus;
+use l15_rvcore::isa::L15Op;
+use l15_soc::Uncore;
+
+/// Outcome of one cluster quiescence episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuiesceReport {
+    /// The cluster that was quiesced.
+    pub cluster: usize,
+    /// Ways owned across all lanes immediately before the episode — the
+    /// capacity the switch reclaims for the next mode.
+    pub reclaimed_ways: usize,
+    /// Cycles spent settling the Walloc FSM (including extra rounds when
+    /// a backlog outlived the first budget).
+    pub settle_cycles: u32,
+    /// R2 post-condition: the ownership ledger reads zero after settle.
+    pub ledger_balanced: bool,
+    /// R3 post-condition violations: lanes still holding a readable
+    /// (non-empty) GV mask after settle.
+    pub stale_gv_lanes: usize,
+    /// Lines still valid in the L1.5 after settle (a drained cluster
+    /// holds none — revocation evicts every resident line).
+    pub resident_lines: usize,
+}
+
+impl QuiesceReport {
+    /// Whether the cluster reached the quiescent state the mode-change
+    /// engine requires: ledger balanced (R2), no stale GV copy readable
+    /// (R3), no resident lines.
+    pub fn clean(&self) -> bool {
+        self.ledger_balanced && self.stale_gv_lanes == 0 && self.resident_lines == 0
+    }
+}
+
+/// Cycles that drain any possible Walloc backlog for a `ways`-way
+/// cluster (one revocation action per tick, plus slack for the SDU).
+fn settle_budget(ways: usize) -> u32 {
+    (ways * 4 + 64) as u32
+}
+
+/// Runs the quiescence protocol on `cluster`: flush the cluster's L1s
+/// (dirty lines drain through the hierarchy before ways disappear), drop
+/// every lane's demand to zero, then settle the Walloc FSM until its
+/// backlog clears. A cluster without an L1.5 is already quiescent.
+pub fn quiesce_cluster(uncore: &mut Uncore, cluster: usize) -> QuiesceReport {
+    let cpc = uncore.config().cores_per_cluster;
+    let ways = uncore.config().l15.as_ref().map(|c| c.ways).unwrap_or(0);
+    let reclaimed_ways = match uncore.l15(cluster) {
+        Some(l15) => {
+            (0..cpc).map(|lane| l15.regs().ow(lane).map_or(0, |m| m.count())).sum::<usize>()
+        }
+        None => {
+            return QuiesceReport {
+                cluster,
+                reclaimed_ways: 0,
+                settle_cycles: 0,
+                ledger_balanced: true,
+                stale_gv_lanes: 0,
+                resident_lines: 0,
+            }
+        }
+    };
+
+    for lane in 0..cpc {
+        uncore.flush_l1d(cluster * cpc + lane);
+    }
+    for lane in 0..cpc {
+        uncore.l15_ctrl(cluster * cpc + lane, L15Op::Demand, 0);
+    }
+
+    // Settle in bounded rounds: the first budget covers one revocation
+    // per cycle across the whole cluster; a lingering backlog (requests
+    // queued behind the episode) earns at most three more rounds, so the
+    // cycle cost stays a pure function of geometry and backlog depth.
+    let budget = settle_budget(ways);
+    let mut settle_cycles = 0u32;
+    for _ in 0..4 {
+        uncore.advance(budget);
+        settle_cycles += budget;
+        if !uncore.l15(cluster).is_some_and(|l| l.reconfig_pending()) {
+            break;
+        }
+    }
+
+    let (ledger_balanced, stale_gv_lanes, resident_lines) = match uncore.l15(cluster) {
+        Some(l15) => (
+            l15.utilisation() == 0.0,
+            (0..cpc).filter(|&lane| l15.gv_get(lane).is_ok_and(|m| !m.is_empty())).count(),
+            l15.valid_lines(),
+        ),
+        None => (true, 0, 0),
+    };
+
+    QuiesceReport {
+        cluster,
+        reclaimed_ways,
+        settle_cycles,
+        ledger_balanced,
+        stale_gv_lanes,
+        resident_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l15_soc::SocConfig;
+
+    fn busy_uncore() -> Uncore {
+        let mut u = Uncore::new(SocConfig::proposed_8core());
+        // Lanes 0 and 1 of cluster 0 demand ways, settle, and lane 0
+        // publishes its supply mask — a live mid-mode cluster.
+        u.l15_ctrl(0, L15Op::Demand, 3);
+        u.l15_ctrl(1, L15Op::Demand, 2);
+        u.advance(64);
+        let supplied = u.l15_ctrl(0, L15Op::Supply, 0).value;
+        u.l15_ctrl(0, L15Op::IpSet, 1);
+        u.store(0, 0x4000, 0x4000, 4, 0xfeed_f00d);
+        u.l15_ctrl(0, L15Op::GvSet, supplied);
+        u
+    }
+
+    #[test]
+    fn quiesce_reclaims_ways_and_clears_gv() {
+        let mut u = busy_uncore();
+        let l15 = u.l15(0).unwrap();
+        assert!(l15.utilisation() > 0.0, "precondition: ways owned");
+        assert!(!l15.gv_get(0).unwrap().is_empty(), "precondition: GV published");
+
+        let report = quiesce_cluster(&mut u, 0);
+        assert_eq!(report.cluster, 0);
+        assert_eq!(report.reclaimed_ways, 5);
+        assert!(report.ledger_balanced, "{report:?}");
+        assert_eq!(report.stale_gv_lanes, 0, "{report:?}");
+        assert_eq!(report.resident_lines, 0, "{report:?}");
+        assert!(report.clean());
+        assert!(report.settle_cycles > 0);
+    }
+
+    #[test]
+    fn quiesce_is_idempotent_and_deterministic() {
+        let mut a = busy_uncore();
+        let mut b = busy_uncore();
+        assert_eq!(quiesce_cluster(&mut a, 0), quiesce_cluster(&mut b, 0));
+        // A second pass reclaims nothing and stays clean.
+        let again = quiesce_cluster(&mut a, 0);
+        assert_eq!(again.reclaimed_ways, 0);
+        assert!(again.clean());
+    }
+
+    #[test]
+    fn untouched_cluster_is_already_quiescent() {
+        let mut u = Uncore::new(SocConfig::proposed_8core());
+        let report = quiesce_cluster(&mut u, 1);
+        assert_eq!(report.reclaimed_ways, 0);
+        assert!(report.clean());
+    }
+}

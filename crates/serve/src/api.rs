@@ -50,6 +50,9 @@ pub struct Limits {
     /// Flight-recorder capacity cap for `/trace` (events per capture;
     /// bounds both the default and the `max_events` query parameter).
     pub max_trace_events: usize,
+    /// Job-record cap of the persistent `/submit` session; past it,
+    /// submissions get `429` until the session is reset.
+    pub max_online_jobs: usize,
 }
 
 impl Default for Limits {
@@ -64,6 +67,7 @@ impl Default for Limits {
             max_clusters: 16,
             max_federated_tasks: 64,
             max_trace_events: 1 << 18,
+            max_online_jobs: 10_000,
         }
     }
 }
@@ -79,6 +83,11 @@ pub enum Route {
     Shutdown,
     /// Admitted to the queue, executed in a batch on the pool.
     Compute(Endpoint),
+    /// `POST /submit` — stateful online admission; serialised on the
+    /// session mutex, handled inline on the connection thread.
+    Submit,
+    /// `GET /jobs` — the online session's job ledger; inline.
+    Jobs,
     /// Unknown path (404).
     NotFound,
     /// Known path, wrong method (405).
@@ -97,10 +106,12 @@ pub fn route(method: &str, path: &str) -> Route {
         ("POST", "/check") => Route::Compute(Endpoint::Check),
         ("POST", "/trace") => Route::Compute(Endpoint::Trace),
         ("POST", "/certify") => Route::Compute(Endpoint::Certify),
+        ("POST", "/submit") => Route::Submit,
+        ("GET", "/jobs") => Route::Jobs,
         (
             _,
             "/healthz" | "/metrics" | "/shutdown" | "/schedule" | "/analyze" | "/simulate"
-            | "/check" | "/trace" | "/certify",
+            | "/check" | "/trace" | "/certify" | "/submit" | "/jobs",
         ) => Route::MethodNotAllowed,
         _ => Route::NotFound,
     }
@@ -137,7 +148,7 @@ fn handle_inner(endpoint: Endpoint, req: &Request, limits: &Limits) -> Result<Re
     }
 }
 
-fn parse_body(body: &[u8], limits: &Limits) -> Result<DagTask, Response> {
+pub(crate) fn parse_body(body: &[u8], limits: &Limits) -> Result<DagTask, Response> {
     let text = std::str::from_utf8(body)
         .map_err(|_| Response::error(400, "body must be UTF-8 `.dag` task text"))?;
     let task = textio::parse_task(text).map_err(|e| match e {
@@ -685,6 +696,10 @@ edge 2 3 cost=1 alpha=0.6
         assert_eq!(route("POST", "/simulate"), Route::Compute(Endpoint::Simulate));
         assert_eq!(route("POST", "/check"), Route::Compute(Endpoint::Check));
         assert_eq!(route("POST", "/trace"), Route::Compute(Endpoint::Trace));
+        assert_eq!(route("POST", "/submit"), Route::Submit);
+        assert_eq!(route("GET", "/jobs"), Route::Jobs);
+        assert_eq!(route("GET", "/submit"), Route::MethodNotAllowed);
+        assert_eq!(route("POST", "/jobs"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/trace"), Route::MethodNotAllowed);
         assert_eq!(route("POST", "/healthz"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/schedule"), Route::MethodNotAllowed);

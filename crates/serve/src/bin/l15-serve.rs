@@ -39,7 +39,10 @@ fn main() {
         }
     };
     println!("listening on {}", handle.addr());
-    println!("endpoints: POST /schedule /analyze /simulate /shutdown; GET /healthz /metrics");
+    println!(
+        "endpoints: POST /schedule /analyze /simulate /check /trace /certify /submit /shutdown; \
+         GET /healthz /metrics /jobs"
+    );
     handle.join();
     println!("drained and stopped");
 }

@@ -11,6 +11,8 @@
 //! | `POST /check`     | program text    | static protocol verdict (rules R1–R5)        |
 //! | `POST /trace`     | `.dag` text     | Chrome/Perfetto trace of a simulated run     |
 //! | `POST /certify`   | `.dag` text     | static per-node cycle bounds + certified RTA |
+//! | `POST /submit`    | `.dag` text     | online admission into the persistent session |
+//! | `GET /jobs`       | —               | the online session's job ledger + metrics    |
 //! | `GET /metrics`    | —               | plaintext counters + latency histograms      |
 //! | `GET /healthz`    | —               | liveness probe                               |
 //! | `POST /shutdown`  | —               | graceful drain and exit                      |
@@ -28,7 +30,11 @@
 //!   bytes (no RNG, no clocks), so identical requests produce
 //!   byte-identical responses at any worker count;
 //! * **graceful shutdown** — `POST /shutdown` closes admission, drains
-//!   every admitted job, then exits; admitted work is never dropped.
+//!   every admitted job, then exits; admitted work is never dropped;
+//! * **online tier** — `/submit` and `/jobs` are the one *stateful*
+//!   exception to handler purity: they drive a persistent
+//!   [`l15_online::OnlineSession`] (admission control, R6-gated mode
+//!   changes) serialised on a mutex, deterministic in submission order.
 
 #![forbid(unsafe_code)]
 
@@ -37,6 +43,7 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod online;
 pub mod queue;
 pub mod server;
 

@@ -19,6 +19,9 @@
 //!   work does not produce a 200/4xx result);
 //! * `l15_batches_total` / `l15_batch_jobs_total` — dispatcher batches and
 //!   the jobs they carried;
+//! * `l15_online_total{event}` — online-session admission outcomes
+//!   (`submitted = admitted + rejected`; the sporadic loadgen mode
+//!   reconciles against these);
 //! * `l15_queue_depth` — instantaneous queue occupancy (gauge);
 //! * `l15_latency_us{endpoint,phase=queue|handle}` — histograms.
 
@@ -190,6 +193,21 @@ pub struct ServeMetrics {
     /// Flight-recorder events dropped by `/trace` captures, per
     /// `l15_trace::Category` (indexes match `Category::ALL`).
     pub trace_dropped: [Counter; Category::COUNT],
+    /// Served inline `POST /submit` requests (any outcome).
+    pub submit: Counter,
+    /// Served inline `GET /jobs` requests.
+    pub jobs_fetches: Counter,
+    /// Arrivals the online session evaluated (excludes resets, mode
+    /// changes and 4xx bodies).
+    pub online_submitted: Counter,
+    /// Arrivals the admission controller admitted.
+    pub online_admitted: Counter,
+    /// Arrivals it rejected with a reason code.
+    pub online_rejected: Counter,
+    /// Committed R6-gated mode changes (refusals don't count).
+    pub online_mode_changes: Counter,
+    /// `?reset=1` session reboots.
+    pub online_resets: Counter,
 }
 
 impl ServeMetrics {
@@ -230,6 +248,11 @@ impl ServeMetrics {
             "l15_requests_total{{endpoint=\"metrics\"}} {}\n",
             self.metrics_fetches.get()
         ));
+        out.push_str(&format!("l15_requests_total{{endpoint=\"submit\"}} {}\n", self.submit.get()));
+        out.push_str(&format!(
+            "l15_requests_total{{endpoint=\"jobs\"}} {}\n",
+            self.jobs_fetches.get()
+        ));
         out.push_str("# TYPE l15_responses_total counter\n");
         for (label, c) in [
             ("200", &self.responses_200),
@@ -254,6 +277,16 @@ impl ServeMetrics {
                 cat.name(),
                 self.trace_dropped[cat as usize].get()
             ));
+        }
+        out.push_str("# TYPE l15_online_total counter\n");
+        for (event, c) in [
+            ("submitted", &self.online_submitted),
+            ("admitted", &self.online_admitted),
+            ("rejected", &self.online_rejected),
+            ("mode_changes", &self.online_mode_changes),
+            ("resets", &self.online_resets),
+        ] {
+            out.push_str(&format!("l15_online_total{{event=\"{event}\"}} {}\n", c.get()));
         }
         out.push_str("# TYPE l15_queue_depth gauge\n");
         out.push_str(&format!("l15_queue_depth {}\n", self.queue_depth.load(Ordering::Relaxed)));
@@ -338,6 +371,24 @@ mod tests {
         assert_eq!(scrape(&page, "l15_trace_dropped_events_total{category=\"access\"}"), Some(12));
         assert_eq!(scrape(&page, "l15_trace_dropped_events_total{category=\"node\"}"), Some(3));
         assert_eq!(scrape(&page, "l15_trace_dropped_events_total{category=\"pipeline\"}"), Some(0));
+    }
+
+    #[test]
+    fn online_counters_render_per_event() {
+        let m = ServeMetrics::default();
+        m.online_submitted.add(5);
+        m.online_admitted.add(3);
+        m.online_rejected.add(2);
+        m.online_mode_changes.inc();
+        m.submit.add(6);
+        let page = m.render();
+        assert_eq!(scrape(&page, "l15_online_total{event=\"submitted\"}"), Some(5));
+        assert_eq!(scrape(&page, "l15_online_total{event=\"admitted\"}"), Some(3));
+        assert_eq!(scrape(&page, "l15_online_total{event=\"rejected\"}"), Some(2));
+        assert_eq!(scrape(&page, "l15_online_total{event=\"mode_changes\"}"), Some(1));
+        assert_eq!(scrape(&page, "l15_online_total{event=\"resets\"}"), Some(0));
+        assert_eq!(scrape(&page, "l15_requests_total{endpoint=\"submit\"}"), Some(6));
+        assert_eq!(scrape(&page, "l15_requests_total{endpoint=\"jobs\"}"), Some(0));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! ```text
 //!  TcpListener ── acceptor ── connection threads ──┐
 //!                   (inline: /healthz /metrics     │ try_push  (503 when full)
-//!                            /shutdown)            ▼
+//!                    /shutdown /submit /jobs)      ▼
 //!                                            BoundedQueue
 //!                                                  │ pop_batch
 //!                                             dispatcher ── pool::run ── reply
@@ -18,6 +18,11 @@
 //! one-shot channel. Graceful shutdown (`POST /shutdown` or
 //! [`Handle::shutdown`]) closes the queue, drains every admitted job, and
 //! joins all threads — admitted work is never dropped.
+//!
+//! The online endpoints (`POST /submit`, `GET /jobs`) are stateful and
+//! bypass the queue entirely: they serialise on the persistent
+//! [`OnlineState`] session mutex on the connection thread (see
+//! [`crate::online`]).
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -31,6 +36,7 @@ use l15_testkit::pool;
 use crate::api::{self, Limits, Route};
 use crate::http::{read_request, Request, RequestError, Response};
 use crate::metrics::{Endpoint, ServeMetrics};
+use crate::online::OnlineState;
 use crate::queue::{BoundedQueue, PushError};
 
 /// How long the dispatcher waits for a first job before re-checking.
@@ -112,6 +118,7 @@ struct Shared {
     addr: SocketAddr,
     metrics: ServeMetrics,
     queue: BoundedQueue<Job>,
+    online: OnlineState,
     stopping: AtomicBool,
     conns: WaitGroup,
 }
@@ -174,6 +181,7 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<Handle> {
         queue: BoundedQueue::new(cfg.queue_capacity),
         cfg,
         addr,
+        online: OnlineState::default(),
         metrics: ServeMetrics::default(),
         stopping: AtomicBool::new(false),
         conns: WaitGroup::default(),
@@ -243,6 +251,16 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             Response::text(200, shared.metrics.render())
         }
         Route::Shutdown => Response::json(200, "{\"draining\":true}".to_owned()),
+        Route::Submit => {
+            // Stateful: serialised on the session mutex, never queued —
+            // each decision depends on the jobs already resident.
+            shared.metrics.submit.inc();
+            shared.online.submit(&request, &shared.cfg.limits, &shared.metrics)
+        }
+        Route::Jobs => {
+            shared.metrics.jobs_fetches.inc();
+            shared.online.jobs()
+        }
         Route::NotFound => Response::error(404, "no such endpoint"),
         Route::MethodNotAllowed => Response::error(405, "method not allowed for this path"),
         Route::Compute(endpoint) => {

@@ -308,3 +308,67 @@ fn saturation_accounting_reconciles_exactly() {
     assert_eq!(scrape(&page, "l15_responses_total{status=\"200\"}"), Some(ok));
     handle.shutdown();
 }
+
+#[test]
+fn online_session_over_the_wire() {
+    let handle = start(ServeConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    // A clean session, then a stream of identical submissions: the
+    // first ones are admitted, and a second identical run (after a
+    // reset) replays the exact same decision bytes — the session is
+    // deterministic in submission order.
+    let run = || {
+        let r = client::post(addr, "/submit?reset=1", b"", TIMEOUT).unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        (0..4)
+            .map(|_| {
+                let r = client::post(addr, "/submit", SAMPLE.as_bytes(), TIMEOUT).unwrap();
+                assert_eq!(r.status, 200, "{}", r.text());
+                r.text()
+            })
+            .collect::<Vec<_>>()
+    };
+    let first = run();
+    assert!(first[0].contains("\"admitted\":true"), "{}", first[0]);
+    assert!(first[0].contains("\"id\":0"), "{}", first[0]);
+
+    // Garbage bodies are 4xx and don't touch the ledger.
+    let r = client::post(addr, "/submit", b"garbage\n", TIMEOUT).unwrap();
+    assert_eq!(r.status, 422, "{}", r.text());
+    let r = client::get(addr, "/jobs", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200);
+    let jobs = r.text();
+    assert!(jobs.contains("\"submitted\":4"), "{jobs}");
+    assert!(jobs.contains("\"mode\":\"boot\""), "{jobs}");
+
+    // An R6-gated mode change dropping every job, then the replay.
+    let r = client::post(addr, "/submit?mode=degraded&zeta=8", b"", TIMEOUT).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let report = r.text();
+    assert!(report.contains("\"mode\":\"degraded\""), "{report}");
+    assert!(!report.contains("\"reclaimed_ways\":0,"), "ways must be reclaimed: {report}");
+    let second = run();
+    assert_eq!(first, second, "decision replay must be byte-identical");
+
+    // The metrics page reconciles: 9 evaluated arrivals (2×4 + the
+    // post-reset garbage never counts), all admitted or rejected.
+    let page = client::get(addr, "/metrics", TIMEOUT).unwrap().text();
+    let submitted = scrape(&page, "l15_online_total{event=\"submitted\"}").unwrap();
+    let admitted = scrape(&page, "l15_online_total{event=\"admitted\"}").unwrap();
+    let rejected = scrape(&page, "l15_online_total{event=\"rejected\"}").unwrap();
+    assert_eq!(submitted, 8);
+    assert_eq!(admitted + rejected, submitted);
+    assert_eq!(scrape(&page, "l15_online_total{event=\"mode_changes\"}"), Some(1));
+    assert_eq!(scrape(&page, "l15_online_total{event=\"resets\"}"), Some(2));
+    // 8 submissions + 2 resets + 1 mode change + 1 garbage body.
+    assert_eq!(scrape(&page, "l15_requests_total{endpoint=\"submit\"}"), Some(12));
+    assert_eq!(scrape(&page, "l15_requests_total{endpoint=\"jobs\"}"), Some(1));
+
+    // Wrong methods on the online paths.
+    let r = client::get(addr, "/submit", TIMEOUT).unwrap();
+    assert_eq!(r.status, 405);
+    let r = client::post(addr, "/jobs", b"", TIMEOUT).unwrap();
+    assert_eq!(r.status, 405);
+    handle.shutdown();
+}

@@ -95,6 +95,12 @@ pub struct FuzzKnobs {
     pub shared_slots: usize,
     /// Interleaved ops per case (FlexiCAS `TestN`).
     pub ops: usize,
+    /// Sporadic mode-switch arrivals injected mid-stream. Each arrival
+    /// is a quiesce/re-admit pair on one core — a `Reconfig` dropping its
+    /// demand to zero followed by a `Reconfig` re-admitting a fresh
+    /// demand — mimicking the online layer's admission-driven Walloc
+    /// churn. Adds `2 * arrivals` steps on top of `ops`.
+    pub arrivals: usize,
     /// Cache line size in bytes (fixed across the hierarchy).
     pub line_bytes: u64,
     /// Upper bound on one `Advance`/`Reconfig` settle draw, in cycles.
@@ -112,6 +118,7 @@ impl Default for FuzzKnobs {
             private_slots: 1024,
             shared_slots: 256,
             ops: (1024 + 256) * 4 * 2,
+            arrivals: 0,
             line_bytes: 64,
             max_advance: 8,
             mix: OpMix::default(),
@@ -330,14 +337,49 @@ pub fn draw_case(g: &mut G, knobs: &FuzzKnobs) -> FuzzCase {
         remaining -= n;
     }
 
+    // Sporadic mode-switch positions: one switch point drawn inside each
+    // of `arrivals` equal windows of the op stream, so arrivals are
+    // spread across the run (and positions are distinct by construction).
+    let mut arrival_at: Vec<usize> = Vec::with_capacity(knobs.arrivals);
+    if knobs.arrivals > 0 && knobs.ops > 0 {
+        let window = (knobs.ops / knobs.arrivals).max(1);
+        for i in 0..knobs.arrivals {
+            let lo = (i * window).min(knobs.ops - 1);
+            let hi = (lo + window - 1).min(knobs.ops - 1);
+            arrival_at.push(g.usize_in(lo..=hi));
+        }
+    }
+    let mut next_arrival = 0usize;
+
     let weights = knobs.mix.weights();
     let mut demand = init_demand.clone();
     let mut produced = vec![false; knobs.shared_slots];
     let mut produced_list: Vec<usize> = Vec::new();
-    let mut steps = Vec::with_capacity(knobs.ops);
+    let mut steps = Vec::with_capacity(knobs.ops + 2 * knobs.arrivals);
     let mut mix = MixCounts::default();
 
-    for _ in 0..knobs.ops {
+    for step in 0..knobs.ops {
+        // Mode-switch arrival due at this step: quiesce one core's ways
+        // to zero, then re-admit it with a fresh demand drawn under the
+        // budget freed by the quiesce — the online layer's admission
+        // churn, expressed in the op vocabulary the harness replays.
+        while next_arrival < arrival_at.len() && arrival_at[next_arrival] <= step {
+            next_arrival += 1;
+            mix.reconfig += 2;
+            let core = g.usize_in(0..knobs.cores);
+            demand[core] = 0;
+            steps.push((
+                core,
+                CoreOp::Reconfig { ways: 0, settle: g.u32_in(0..=knobs.max_advance) },
+            ));
+            let others: usize = demand.iter().sum();
+            let n = g.usize_in(0..=knobs.ways - others);
+            demand[core] = n;
+            steps.push((
+                core,
+                CoreOp::Reconfig { ways: n, settle: g.u32_in(0..=knobs.max_advance) },
+            ));
+        }
         let core = g.usize_in(0..knobs.cores);
         let op = match g.weighted(&weights) {
             0 => {
@@ -519,6 +561,48 @@ mod tests {
         assert_eq!(case.steps.len(), knobs.ops);
         let total: usize = case.init_demand.iter().sum();
         assert!(total <= knobs.ways);
+    }
+
+    #[test]
+    fn arrivals_insert_mode_switch_pairs_within_budget() {
+        let knobs = FuzzKnobs { ops: 64, arrivals: 5, ..FuzzKnobs::quick() };
+        let mut g = prop::seeded_g(0xA11);
+        let case = draw_case(&mut g, &knobs);
+        assert_eq!(case.steps.len(), knobs.ops + 2 * knobs.arrivals);
+        // Replay the demand ledger: Σ demand ≤ ways at every reconfig.
+        let mut demand = case.init_demand.clone();
+        let mut reconfigs = 0usize;
+        let mut zero_then_readmit = 0usize;
+        let mut prev: Option<(usize, usize)> = None;
+        for &(core, op) in &case.steps {
+            if let CoreOp::Reconfig { ways, .. } = op {
+                reconfigs += 1;
+                demand[core] = ways;
+                assert!(demand.iter().sum::<usize>() <= knobs.ways, "budget oversubscribed");
+                if let Some((pc, pw)) = prev {
+                    if pc == core && pw == 0 {
+                        zero_then_readmit += 1;
+                    }
+                }
+                prev = Some((core, ways));
+            } else {
+                prev = None;
+            }
+        }
+        assert!(reconfigs >= 2 * knobs.arrivals);
+        assert!(zero_then_readmit >= knobs.arrivals, "each arrival quiesces then re-admits");
+    }
+
+    #[test]
+    fn arrivals_knob_is_deterministic_and_spreads_positions() {
+        let knobs = FuzzKnobs { ops: 128, arrivals: 4, ..FuzzKnobs::quick() };
+        let a = draw_case(&mut prop::seeded_g(7), &knobs);
+        let b = draw_case(&mut prop::seeded_g(7), &knobs);
+        assert_eq!(a, b);
+        // A zero-arrival draw of the same seed differs (the knob is live).
+        let plain = draw_case(&mut prop::seeded_g(7), &FuzzKnobs { arrivals: 0, ..knobs.clone() });
+        assert_eq!(plain.steps.len(), knobs.ops);
+        assert_ne!(a.steps.len(), plain.steps.len());
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //!   diagnostics, shared by the `l15-check` binary, the `POST /check`
 //!   endpoint and the mutation tests so a finding is byte-identical on
 //!   every surface.
+//! * [`arrivals`] — seeded sporadic arrival-stream generator (integer
+//!   cycle timestamps, enforced minimum separation) feeding the online
+//!   admission layer and its load generators deterministically.
 //! * [`diff`] — bookkeeping for the differential harness in
 //!   `tests/differential.rs`, which runs generated DAG workloads through
 //!   both the L1.5 SoC path and the shared-L1 baseline and checks the
@@ -62,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod bench;
 pub mod cli;
 pub mod diag;

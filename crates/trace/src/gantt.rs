@@ -62,6 +62,67 @@ pub fn align(planned: &[Planned], spans: &Spans) -> Vec<NodeDiff> {
         .collect()
 }
 
+/// Structured summary of a plan-vs-observed comparison — the machine
+/// half of [`diff`], used by the online layer to judge whether observed
+/// execution tracks each successive replan without parsing the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiffStats {
+    /// Nodes in the plan.
+    pub planned: usize,
+    /// Planned nodes that appear in the recording.
+    pub observed: usize,
+    /// Observed nodes finishing after their predicted finish.
+    pub overruns: usize,
+    /// Observed nodes running on a different core than planned.
+    pub migrated: usize,
+    /// Observed nodes whose span was truncated by the recording window.
+    pub truncated: usize,
+    /// Planned nodes absent from the recording.
+    pub unobserved: usize,
+    /// Predicted makespan (max planned finish), in cycles.
+    pub planned_makespan: u64,
+    /// Observed makespan (max observed finish), in cycles.
+    pub observed_makespan: u64,
+}
+
+impl DiffStats {
+    /// Whether the observation structurally tracks the plan: every
+    /// planned node was observed in full on its assigned core. Overruns
+    /// are allowed (the makespan model is an estimate); missing,
+    /// truncated or migrated nodes are not.
+    pub fn tracks_plan(&self) -> bool {
+        self.unobserved == 0 && self.truncated == 0 && self.migrated == 0
+    }
+}
+
+/// Computes the structured comparison summary for a plan + recording.
+pub fn stats(planned: &[Planned], spans: &Spans) -> DiffStats {
+    let mut s = DiffStats {
+        planned: planned.len(),
+        planned_makespan: planned.iter().map(|p| p.finish).max().unwrap_or(0),
+        observed_makespan: spans.nodes.iter().map(|n| n.finish).max().unwrap_or(0),
+        ..DiffStats::default()
+    };
+    for row in align(planned, spans) {
+        match row.observed {
+            Some(o) => {
+                s.observed += 1;
+                if o.finish > row.planned.finish {
+                    s.overruns += 1;
+                }
+                if o.core != row.planned.core {
+                    s.migrated += 1;
+                }
+                if o.truncated {
+                    s.truncated += 1;
+                }
+            }
+            None => s.unobserved += 1,
+        }
+    }
+    s
+}
+
 fn ratio(observed: u64, planned: u64) -> String {
     if planned == 0 {
         String::from("   -  ")
@@ -73,21 +134,17 @@ fn ratio(observed: u64, planned: u64) -> String {
 /// Renders the plan-vs-observed table as deterministic plain text.
 pub fn diff(planned: &[Planned], spans: &Spans) -> String {
     let rows = align(planned, spans);
+    let totals = stats(planned, spans);
     let mut out = String::new();
     out.push_str(
         "node  core(plan/obs)  planned[start..finish]  observed[start..finish]  \
          delta  ratio  note\n",
     );
-    let mut overruns = 0usize;
-    let mut missing = 0usize;
     for row in &rows {
         let p = row.planned;
         match row.observed {
             Some(o) => {
                 let delta = o.finish as i64 - p.finish as i64;
-                if delta > 0 {
-                    overruns += 1;
-                }
                 let note = if o.truncated {
                     "truncated"
                 } else if o.core != p.core {
@@ -113,7 +170,6 @@ pub fn diff(planned: &[Planned], spans: &Spans) -> String {
                 );
             }
             None => {
-                missing += 1;
                 let _ = writeln!(
                     out,
                     "{:>4}  {:>4}/-         [{:>8}..{:>8}]     [       -..       -]         -     -   unobserved",
@@ -122,21 +178,19 @@ pub fn diff(planned: &[Planned], spans: &Spans) -> String {
             }
         }
     }
-    let planned_makespan = planned.iter().map(|p| p.finish).max().unwrap_or(0);
-    let observed_makespan = spans.nodes.iter().map(|s| s.finish).max().unwrap_or(0);
     let _ = writeln!(
         out,
         "makespan: planned {} observed {} ratio {}",
-        planned_makespan,
-        observed_makespan,
-        ratio(observed_makespan, planned_makespan).trim(),
+        totals.planned_makespan,
+        totals.observed_makespan,
+        ratio(totals.observed_makespan, totals.planned_makespan).trim(),
     );
     let _ = writeln!(
         out,
         "nodes: {} planned, {} overrun, {} unobserved, walloc {} cycles",
-        rows.len(),
-        overruns,
-        missing,
+        totals.planned,
+        totals.overruns,
+        totals.unobserved,
         spans.walloc_cycles(),
     );
     out
@@ -170,6 +224,41 @@ mod tests {
         assert_eq!(rows[0].finish_delta(), Some(20));
         assert_eq!(rows[1].finish_delta(), Some(-10));
         assert_eq!(rows[2].finish_delta(), None);
+    }
+
+    #[test]
+    fn stats_summarise_the_table() {
+        let planned = vec![
+            Planned { node: 0, core: 0, start: 0, finish: 100 },
+            Planned { node: 1, core: 1, start: 0, finish: 50 },
+            Planned { node: 2, core: 0, start: 100, finish: 180 },
+        ];
+        let spans = spans_with(vec![
+            NodeSpan { node: 0, core: 0, start: 0, finish: 120, truncated: false },
+            NodeSpan { node: 1, core: 2, start: 0, finish: 40, truncated: false },
+        ]);
+        let s = stats(&planned, &spans);
+        assert_eq!(
+            s,
+            DiffStats {
+                planned: 3,
+                observed: 2,
+                overruns: 1,
+                migrated: 1,
+                truncated: 0,
+                unobserved: 1,
+                planned_makespan: 180,
+                observed_makespan: 120,
+            }
+        );
+        assert!(!s.tracks_plan(), "migrated + unobserved nodes break tracking");
+
+        let clean = spans_with(vec![
+            NodeSpan { node: 0, core: 0, start: 0, finish: 120, truncated: false },
+            NodeSpan { node: 1, core: 1, start: 0, finish: 40, truncated: false },
+            NodeSpan { node: 2, core: 0, start: 120, finish: 200, truncated: false },
+        ]);
+        assert!(stats(&planned, &clean).tracks_plan(), "overruns alone still track");
     }
 
     #[test]

@@ -38,7 +38,9 @@ chk_seq=$(mktemp)
 chk_par=$(mktemp)
 tr_seq=$(mktemp)
 tr_par=$(mktemp)
-trap 'rm -f "$seq_out" "$par_out" "$serve_log" "$lg_seq" "$lg_par" "$lg_seq.det" "$lg_par.det" "$chk_seq" "$chk_par" "$tr_seq" "$tr_par"' EXIT
+sp_seq=$(mktemp)
+sp_par=$(mktemp)
+trap 'rm -f "$seq_out" "$par_out" "$serve_log" "$lg_seq" "$lg_par" "$lg_seq.det" "$lg_par.det" "$chk_seq" "$chk_par" "$tr_seq" "$tr_par" "$sp_seq" "$sp_par" "$sp_seq.det" "$sp_par.det"' EXIT
 L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$seq_out"
 L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin fig7 -- --quick > "$par_out"
 diff -u "$seq_out" "$par_out"
@@ -82,16 +84,28 @@ done
 L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin loadgen -- \
     --smoke --port "$port" > "$lg_seq"
 L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin loadgen -- \
-    --smoke --port "$port" --shutdown > "$lg_par"
+    --smoke --port "$port" > "$lg_par"
+# The online tier: two sporadic streams into /submit (each starts with a
+# session reset, so both replay the same decisions); the second one drains
+# the server. Reconciliation against l15_online_total is exact.
+cargo run --release --offline -q -p l15-bench --bin loadgen -- \
+    --smoke --sporadic --port "$port" > "$sp_seq"
+cargo run --release --offline -q -p l15-bench --bin loadgen -- \
+    --smoke --sporadic --port "$port" --shutdown > "$sp_par"
 wait "$serve_pid"
 grep -q "drained and stopped" "$serve_log" || { echo "server did not drain cleanly"; cat "$serve_log"; exit 1; }
 grep -q "^reconcile=ok$" "$lg_seq"
 grep -q "^reconcile=ok$" "$lg_par"
+grep -q "^reconcile=ok$" "$sp_seq"
+grep -q "^reconcile=ok$" "$sp_par"
 # Timing lines (prefixed ~) differ run to run; everything else must not.
 grep -v '^~' "$lg_seq" > "$lg_seq.det"
 grep -v '^~' "$lg_par" > "$lg_par.det"
 diff -u "$lg_seq.det" "$lg_par.det"
-echo "loadgen deterministic output is byte-identical across worker counts"
+grep -v '^~' "$sp_seq" > "$sp_seq.det"
+grep -v '^~' "$sp_par" > "$sp_par.det"
+diff -u "$sp_seq.det" "$sp_par.det"
+echo "loadgen deterministic output (closed-loop and sporadic) is byte-identical"
 
 echo "==> fuzz regression (l15-fuzz, fixed seed, L15_JOBS=1 vs 4 determinism)"
 # Fixed-seed smoke sweep on the quick profile: the clean tree must report
@@ -108,7 +122,7 @@ grep -q "0 finding(s)" "$fz_seq"
 # The seeded regression corpus replays clean.
 cargo run --release --offline -q -p l15-bench --bin l15-fuzz -- \
     corpus crates/testkit/corpus/fuzz > "$fz_seq"
-grep -q "13 case(s), 0 finding(s)" "$fz_seq"
+grep -q "14 case(s), 0 finding(s)" "$fz_seq"
 rm -f "$fz_seq" "$fz_par"
 echo "l15-fuzz is clean and byte-identical across worker counts"
 
@@ -148,6 +162,24 @@ L15_SEED=1 L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin l15-cl
 diff -u "$cl_seq" "$cl_par"
 rm -f "$cl_seq" "$cl_par"
 echo "l15-cluster output is byte-identical across worker counts"
+
+echo "==> online tier (l15-online --quick, L15_JOBS=1 vs 4 + BENCH_online.json)"
+# Admission latencies are virtual cycles and the success-ratio trials fan
+# across the pool with position-stable seeds, so both the report and the
+# JSON artifact must be byte-identical at any worker count.
+on_seq=$(mktemp)
+on_par=$(mktemp)
+on_art_seq=$(mktemp)
+on_art_par=$(mktemp)
+L15_SEED=1 L15_JOBS=1 cargo run --release --offline -q -p l15-bench --bin l15-online -- \
+    --quick --out "$on_art_seq" > "$on_seq"
+L15_SEED=1 L15_JOBS=4 cargo run --release --offline -q -p l15-bench --bin l15-online -- \
+    --quick --out "$on_art_par" > "$on_par"
+diff -u "$on_seq" "$on_par"
+cmp "$on_art_seq" "$on_art_par"
+grep -q '"schema":"l15-online-bench-v1"' "$on_art_seq"
+rm -f "$on_seq" "$on_par" "$on_art_seq" "$on_art_par"
+echo "l15-online report and BENCH_online.json are byte-identical across worker counts"
 
 echo "==> bench binaries (--quick smoke)"
 for bin in crates/bench/src/bin/*.rs; do

@@ -10,6 +10,9 @@
 //! * [`core`] — the paper's contribution: Alg. 1 scheduling, baselines,
 //!   makespan and success-ratio simulators.
 //! * [`runtime`] — the programming model (dispatch-time reconfiguration).
+//! * [`online`] — the online scheduling layer: sporadic arrivals,
+//!   incremental admission control and R6-gated mode changes on a
+//!   persistent SoC session.
 //! * [`check`] — static protocol verifier + happens-before race detector
 //!   over the emitted kernel streams, with a trace-replay mode.
 //! * [`area`] — the Sec. 5.4 area model.
@@ -30,6 +33,7 @@ pub use l15_cache as cache;
 pub use l15_check as check;
 pub use l15_core as core;
 pub use l15_dag as dag;
+pub use l15_online as online;
 pub use l15_runtime as runtime;
 pub use l15_rvcore as rvcore;
 pub use l15_serve as serve;
